@@ -1,0 +1,59 @@
+#ifndef FCBENCH_BENCH_BENCH_COMMON_H_
+#define FCBENCH_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "data/dataset.h"
+
+namespace fcbench::bench {
+
+/// The 14 Table-4 method columns, in paper order.
+const std::vector<std::string>& PaperMethods();
+
+/// CPU subset / GPU subset of PaperMethods().
+std::vector<std::string> CpuMethods();
+std::vector<std::string> GpuMethods();
+
+/// Per-dataset payload size for bench sweeps; FCBENCH_BENCH_BYTES
+/// overrides the default (2 MiB) for larger-scale runs.
+uint64_t BenchBytes(uint64_t fallback = 2ull << 20);
+
+/// Benchmark repetitions; FCBENCH_BENCH_REPEATS overrides (default 2; the
+/// paper uses 10).
+int BenchRepeats(int fallback = 2);
+
+/// Runs the full (methods x 33 datasets) sweep with the standard options.
+std::vector<RunResult> RunFullSweep(const std::vector<std::string>& methods);
+
+/// Datasets restricted to one domain.
+std::vector<data::DatasetInfo> DatasetsOfDomain(data::Domain d);
+
+/// Fixed-width table printing.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int col_width = 10,
+                        int first_width = 16);
+
+  void AddRow(const std::vector<std::string>& cells);
+  void Print() const;
+
+  static std::string Fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int col_width_;
+  int first_width_;
+};
+
+/// Prints the standard bench banner (binary name + scale knobs).
+void Banner(const std::string& experiment, const std::string& paper_ref);
+
+/// Percentile of a sorted copy of `v` (p in [0,100]).
+double Percentile(std::vector<double> v, double p);
+
+}  // namespace fcbench::bench
+
+#endif  // FCBENCH_BENCH_BENCH_COMMON_H_

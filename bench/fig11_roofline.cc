@@ -1,0 +1,84 @@
+// Figure 11: roofline analysis. CPU methods: measured throughput x
+// analytic ops/byte of the hottest kernel -> dot under the Xeon roofs.
+// GPU methods: modeled SIMT throughput -> dot under the RTX 6000 roofs.
+// Paper §6.3 Observation 10: GPU methods hug the memory roof; serial CPU
+// methods sit far below both roofs; ndzip is compute-bound.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "roofline/roofline.h"
+
+namespace fcbench::bench {
+namespace {
+
+int Main() {
+  Banner("Figure 11 - roofline analysis", "paper §6.3 Obs. 10");
+  // Profile on msg-bt, like the paper (footnote 15).
+  auto ds = data::GenerateDataset(*data::FindDataset("msg-bt"),
+                                  BenchBytes(4ull << 20));
+  if (!ds.ok()) return 1;
+  BenchmarkRunner::Options opt;
+  opt.repeats = BenchRepeats();
+  BenchmarkRunner runner(opt);
+
+  // CPU plot.
+  std::vector<roofline::KernelPoint> cpu_points;
+  for (const auto& m : CpuMethods()) {
+    auto r = runner.RunOne(m, ds.value());
+    if (!r.ok) continue;
+    cpu_points.push_back(roofline::PointFromThroughput(
+        m, roofline::CpuMethodOpsPerByte(m), r.ct_gbps * 1e9));
+  }
+  auto cpu = roofline::CpuRoofline();
+  std::printf("\n(a) CPU-based methods\n%s",
+              roofline::RenderAscii(cpu, cpu_points).c_str());
+
+  // GPU plot: modeled achieved rates with per-pipeline intensity
+  // estimates (lane ops per device byte; see gpusim kernels).
+  std::vector<roofline::KernelPoint> gpu_points;
+  auto gpu_intensity = [](const std::string& m) {
+    if (m == "gfc") return 0.4;
+    if (m == "mpc") return 0.5;
+    if (m == "nv_lz4") return 45.0;   // divergence-serialized search
+    if (m == "nv_bitcomp") return 0.8;
+    return 1.2;  // ndzip_gpu
+  };
+  for (const auto& m : GpuMethods()) {
+    auto r = runner.RunOne(m, ds.value());
+    if (!r.ok) continue;
+    gpu_points.push_back(roofline::PointFromThroughput(
+        m, gpu_intensity(m), r.ct_gbps * 1e9));
+  }
+  auto gpu = roofline::GpuRoofline();
+  std::printf("\n(b) GPU-based methods (modeled)\n%s",
+              roofline::RenderAscii(gpu, gpu_points).c_str());
+
+  int gpu_near_mem = 0;
+  for (const auto& p : gpu_points) {
+    if (roofline::Classify(gpu, p, 0.25) != roofline::Bound::kLatencyBound) {
+      ++gpu_near_mem;
+    }
+  }
+  int cpu_below = 0;
+  for (const auto& p : cpu_points) {
+    if (roofline::Classify(cpu, p, 0.25) == roofline::Bound::kLatencyBound) {
+      ++cpu_below;
+    }
+  }
+  std::printf("\nShape checks vs. paper:\n");
+  std::printf("  GPU methods near a roof: %d/%zu (paper: most near the "
+              "memory roof)\n",
+              gpu_near_mem, gpu_points.size());
+  std::printf("  CPU methods far below the roofs: %d/%zu (paper: serial "
+              "methods are neither memory- nor compute-bound -> "
+              "parallelism would help)\n",
+              cpu_below, cpu_points.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcbench::bench
+
+int main() { return fcbench::bench::Main(); }

@@ -1,0 +1,83 @@
+// Figure 6: compression ratios grouped by (a) data type and domain and
+// (b) predictor class and hardware platform (§6.1.1 medians:
+// single > double; OBS > HPC/TS > DB; dictionary > Lorenzo > delta;
+// CPU > GPU).
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/compressor.h"
+
+namespace fcbench::bench {
+namespace {
+
+void PrintGroup(const char* title,
+                const std::map<std::string, std::vector<double>>& groups) {
+  std::printf("\n%s\n", title);
+  TablePrinter t({"group", "median", "q1", "q3", "n"}, 10, 14);
+  for (const auto& [name, crs] : groups) {
+    t.AddRow({name, TablePrinter::Fmt(Percentile(crs, 50)),
+              TablePrinter::Fmt(Percentile(crs, 25)),
+              TablePrinter::Fmt(Percentile(crs, 75)),
+              std::to_string(crs.size())});
+  }
+  t.Print();
+}
+
+int Main() {
+  Banner("Figure 6 - CR by data/method groups", "paper §6.1.1 Obs. 1");
+  auto results = RunFullSweep(PaperMethods());
+
+  std::map<std::string, std::vector<double>> by_dtype, by_domain, by_pred,
+      by_arch;
+  auto& registry = CompressorRegistry::Global();
+  std::map<std::string, CompressorTraits> traits;
+  for (const auto& m : PaperMethods()) {
+    traits[m] = registry.Create(m).value()->traits();
+  }
+
+  for (const auto& r : results) {
+    if (!r.ok || r.cr <= 0) continue;
+    const data::DatasetInfo* info = data::FindDataset(r.dataset);
+    by_dtype[info->dtype == DType::kFloat32 ? "single(f32)" : "double(f64)"]
+        .push_back(r.cr);
+    by_domain[std::string(data::DomainName(info->domain))].push_back(r.cr);
+    by_pred[std::string(PredictorClassName(traits[r.method].predictor))]
+        .push_back(r.cr);
+    by_arch[traits[r.method].arch == Arch::kCpu ? "CPU" : "GPU"].push_back(
+        r.cr);
+  }
+
+  PrintGroup("(a1) by precision", by_dtype);
+  PrintGroup("(a2) by data domain", by_domain);
+  PrintGroup("(b1) by predictor class", by_pred);
+  PrintGroup("(b2) by hardware platform", by_arch);
+
+  auto med = [&](std::map<std::string, std::vector<double>>& g,
+                 const std::string& k) { return Percentile(g[k], 50); };
+  std::printf("\nShape checks vs. paper:\n");
+  std::printf("  single >= double:        %s (%.3f vs %.3f; paper 1.225 vs 1.202)\n",
+              med(by_dtype, "single(f32)") >= med(by_dtype, "double(f64)")
+                  ? "yes" : "NO",
+              med(by_dtype, "single(f32)"), med(by_dtype, "double(f64)"));
+  std::printf("  DB hardest domain:       %s (DB median %.3f; paper 1.080)\n",
+              med(by_domain, "DB") <= med(by_domain, "HPC") &&
+                      med(by_domain, "DB") <= med(by_domain, "OBS")
+                  ? "yes" : "NO",
+              med(by_domain, "DB"));
+  std::printf("  dictionary > delta:      %s (%.3f vs %.3f; paper 1.309 vs 1.116)\n",
+              med(by_pred, "DICTIONARY") > med(by_pred, "DELTA") ? "yes"
+                                                                 : "NO",
+              med(by_pred, "DICTIONARY"), med(by_pred, "DELTA"));
+  std::printf("  CPU >= GPU:              %s (%.3f vs %.3f)\n",
+              med(by_arch, "CPU") >= med(by_arch, "GPU") ? "yes" : "NO",
+              med(by_arch, "CPU"), med(by_arch, "GPU"));
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcbench::bench
+
+int main() { return fcbench::bench::Main(); }

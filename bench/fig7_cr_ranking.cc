@@ -1,0 +1,87 @@
+// Figure 7: (a) average (harmonic-mean) compression ratios per method and
+// (b) the Friedman test + Nemenyi critical-difference diagram over the
+// 33 x 14 CR matrix (paper §6.1.1 Observation 2: "no significant
+// winner").
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "stats/stats.h"
+
+namespace fcbench::bench {
+namespace {
+
+int Main() {
+  Banner("Figure 7 - CR ranking + critical difference",
+         "paper §6.1.1 Obs. 2, §5.4");
+  const auto& methods = PaperMethods();
+  auto results = RunFullSweep(methods);
+
+  // (a) harmonic-mean CRs.
+  std::printf("\n(a) harmonic-mean compression ratios\n");
+  TablePrinter t({"method", "harmonic CR", "failures"}, 14, 18);
+  for (const auto& s : Summarize(results)) {
+    t.AddRow({s.method, TablePrinter::Fmt(s.harmonic_cr),
+              std::to_string(s.failures)});
+  }
+  t.Print();
+
+  // (b) Friedman + Nemenyi over the full matrix.
+  std::vector<std::string> dataset_names;
+  for (const auto& d : data::AllDatasets()) dataset_names.push_back(d.name);
+  auto matrix = CrMatrix(results, methods, dataset_names);
+  auto fr = stats::FriedmanTest(matrix);
+  if (!fr.ok()) {
+    std::printf("Friedman test failed: %s\n",
+                fr.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n(b) Friedman test: chi2 = %.2f, p = %.3g (k=%d, N=%d) -> %s\n",
+              fr.value().chi2, fr.value().p_value, fr.value().k,
+              fr.value().n,
+              fr.value().reject_h0
+                  ? "reject H0: methods differ (as in the paper)"
+                  : "cannot reject H0");
+  auto cd = stats::BuildCdDiagram(methods, fr.value().avg_ranks,
+                                  fr.value().n);
+  std::printf("%s", cd.Render().c_str());
+
+  // Pairwise follow-up (Demsar 2006): Wilcoxon signed-rank on the two
+  // best-ranked methods over the per-dataset CR columns. This is the
+  // "no significant winner" observation made precise for the top pair.
+  int best = 0, second = 1;
+  for (size_t m = 0; m < methods.size(); ++m) {
+    if (fr.value().avg_ranks[m] < fr.value().avg_ranks[best]) {
+      second = best;
+      best = static_cast<int>(m);
+    } else if (static_cast<int>(m) != best &&
+               fr.value().avg_ranks[m] < fr.value().avg_ranks[second]) {
+      second = static_cast<int>(m);
+    }
+  }
+  std::vector<double> col_a, col_b;
+  for (const auto& row : matrix) {
+    col_a.push_back(row[best]);
+    col_b.push_back(row[second]);
+  }
+  auto wx = stats::WilcoxonSignedRankTest(col_a, col_b);
+  std::printf("\nWilcoxon signed-rank, top pair %s vs %s: W = %.1f, "
+              "p = %.3g -> %s\n",
+              methods[best].c_str(), methods[second].c_str(), wx.w,
+              wx.p_value,
+              wx.significant ? "significant pairwise difference"
+                             : "no significant pairwise difference "
+                               "(consistent with the paper's Obs. 2)");
+
+  std::printf("\nShape check vs. paper: the top clique should join several "
+              "dictionary/transform methods (bitshuffle, chimp, SPDP, "
+              "nv::LZ4, MPC, fpzip) with no single significant winner; GFC "
+              "ranks at the bottom.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcbench::bench
+
+int main() { return fcbench::bench::Main(); }

@@ -1,0 +1,105 @@
+// Microbenchmarks of the transform kernels (google-benchmark): bit
+// transpose, byte shuffle, Lorenzo transform -- the building blocks whose
+// cost DESIGN.md's ablations reference (bit transpose must run near
+// memory bandwidth for bitshuffle/ndzip/MPC to be viable).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "compressors/ndzip.h"
+#include "compressors/transpose.h"
+#include "util/rng.h"
+
+namespace fcbench::compressors {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n) {
+  Rng rng(7);
+  std::vector<uint8_t> v(n);
+  for (auto& b : v) b = static_cast<uint8_t>(rng.Next());
+  return v;
+}
+
+void BM_BitTranspose(benchmark::State& state) {
+  size_t esize = static_cast<size_t>(state.range(0));
+  size_t count = (1 << 20) / esize;
+  auto src = RandomBytes(count * esize);
+  std::vector<uint8_t> dst(count * esize);
+  for (auto _ : state) {
+    BitTranspose(src.data(), dst.data(), count, esize);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * src.size());
+}
+BENCHMARK(BM_BitTranspose)->Arg(4)->Arg(8);
+
+void BM_BitUntranspose(benchmark::State& state) {
+  size_t esize = static_cast<size_t>(state.range(0));
+  size_t count = (1 << 20) / esize;
+  auto src = RandomBytes(count * esize);
+  std::vector<uint8_t> dst(count * esize);
+  for (auto _ : state) {
+    BitUntranspose(src.data(), dst.data(), count, esize);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * src.size());
+}
+BENCHMARK(BM_BitUntranspose)->Arg(4)->Arg(8);
+
+void BM_ByteShuffle(benchmark::State& state) {
+  size_t count = 1 << 17;
+  auto src = RandomBytes(count * 8);
+  std::vector<uint8_t> dst(count * 8);
+  for (auto _ : state) {
+    ByteShuffle(src.data(), dst.data(), count, 8);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * src.size());
+}
+BENCHMARK(BM_ByteShuffle);
+
+void BM_LorenzoForward3D(benchmark::State& state) {
+  size_t sides[3] = {16, 16, 16};
+  Rng rng(9);
+  std::vector<uint32_t> block(4096);
+  for (auto& w : block) w = static_cast<uint32_t>(rng.Next());
+  for (auto _ : state) {
+    auto copy = block;
+    ndzip_detail::LorenzoForward(copy.data(), sides);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetBytesProcessed(state.iterations() * block.size() * 4);
+}
+BENCHMARK(BM_LorenzoForward3D);
+
+void BM_LorenzoInverse3D(benchmark::State& state) {
+  size_t sides[3] = {16, 16, 16};
+  Rng rng(9);
+  std::vector<uint32_t> block(4096);
+  for (auto& w : block) w = static_cast<uint32_t>(rng.Next());
+  ndzip_detail::LorenzoForward(block.data(), sides);
+  for (auto _ : state) {
+    auto copy = block;
+    ndzip_detail::LorenzoInverse(copy.data(), sides);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetBytesProcessed(state.iterations() * block.size() * 4);
+}
+BENCHMARK(BM_LorenzoInverse3D);
+
+void BM_Transpose8x8(benchmark::State& state) {
+  Rng rng(13);
+  uint64_t x = rng.Next();
+  for (auto _ : state) {
+    x = Transpose8x8(x + 1);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Transpose8x8);
+
+}  // namespace
+}  // namespace fcbench::compressors
+
+BENCHMARK_MAIN();

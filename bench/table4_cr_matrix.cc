@@ -1,0 +1,79 @@
+// Table 4: the full 33-dataset x 14-method compression-ratio matrix with
+// per-domain averages and the overall average (harmonic means, §5.2).
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "util/entropy.h"
+
+namespace fcbench::bench {
+namespace {
+
+int Main() {
+  Banner("Table 4 - compression ratio matrix", "paper §6.1.1");
+  const auto& methods = PaperMethods();
+  auto results = RunFullSweep(methods);
+
+  std::map<std::pair<std::string, std::string>, const RunResult*> lookup;
+  for (const auto& r : results) lookup[{r.dataset, r.method}] = &r;
+
+  std::vector<std::string> headers = {"dataset"};
+  for (const auto& m : methods) headers.push_back(m.substr(0, 9));
+  TablePrinter table(headers, 10, 18);
+
+  data::Domain current = data::Domain::kHpc;
+  std::map<std::string, std::vector<double>> domain_crs;
+  auto flush_domain = [&](data::Domain d) {
+    std::vector<std::string> row = {std::string("avg-") +
+                                    std::string(data::DomainName(d))};
+    for (const auto& m : methods) {
+      auto& v = domain_crs[m];
+      row.push_back(TablePrinter::Fmt(HarmonicMean(v.data(), v.size())));
+      v.clear();
+    }
+    table.AddRow(row);
+  };
+
+  bool first = true;
+  for (const auto& info : data::AllDatasets()) {
+    if (!first && info.domain != current) flush_domain(current);
+    first = false;
+    current = info.domain;
+    std::vector<std::string> row = {info.name};
+    for (const auto& m : methods) {
+      auto it = lookup.find({info.name, m});
+      if (it == lookup.end() || !it->second->ok) {
+        row.push_back("-");  // paper's "-" cells (runtime errors / limits)
+      } else {
+        row.push_back(TablePrinter::Fmt(it->second->cr));
+        domain_crs[m].push_back(it->second->cr);
+      }
+    }
+    table.AddRow(row);
+  }
+  flush_domain(current);
+
+  // Overall harmonic means (Figure 7a values).
+  std::vector<std::string> overall = {"overall-avg"};
+  auto summaries = Summarize(results);
+  for (const auto& m : methods) {
+    for (const auto& s : summaries) {
+      if (s.method == m) {
+        overall.push_back(TablePrinter::Fmt(s.harmonic_cr));
+      }
+    }
+  }
+  table.AddRow(overall);
+  table.Print();
+
+  std::printf("\nNote: '-' marks runs the method rejected (e.g. GFC on "
+              "single-precision data), matching the paper's missing "
+              "cells.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcbench::bench
+
+int main() { return fcbench::bench::Main(); }

@@ -1,0 +1,59 @@
+// Table 5 + Figure 8: average compression and decompression throughput
+// per method (GB/s). CPU methods are wall-clock measured on this host;
+// GPU methods report the SIMT cost model's device throughput (§5.2,
+// DESIGN.md substitution table). Observation 3: GPU-based methods are
+// orders of magnitude faster; Observation 4: decompression tends to be
+// faster than compression.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace fcbench::bench {
+namespace {
+
+int Main() {
+  Banner("Table 5 / Figure 8 - throughputs", "paper §6.1.2-6.1.3");
+  auto results = RunFullSweep(PaperMethods());
+  auto summaries = Summarize(results);
+
+  TablePrinter t({"method", "avg CT GB/s", "avg DT GB/s", "arch"}, 13, 18);
+  double cpu_ct_max = 0, gpu_ct_median_src = 0;
+  std::vector<double> gpu_cts, cpu_cts;
+  auto gpu = GpuMethods();
+  for (const auto& s : summaries) {
+    bool is_gpu =
+        std::find(gpu.begin(), gpu.end(), s.method) != gpu.end();
+    t.AddRow({s.method, TablePrinter::Fmt(s.mean_ct_gbps),
+              TablePrinter::Fmt(s.mean_dt_gbps), is_gpu ? "GPU" : "CPU"});
+    if (is_gpu) {
+      gpu_cts.push_back(s.mean_ct_gbps);
+    } else {
+      cpu_cts.push_back(s.mean_ct_gbps);
+      cpu_ct_max = std::max(cpu_ct_max, s.mean_ct_gbps);
+    }
+  }
+  t.Print();
+  (void)gpu_ct_median_src;
+
+  double gpu_med = Percentile(gpu_cts, 50);
+  double cpu_med = Percentile(cpu_cts, 50);
+  std::printf("\nObservation 3: GPU median CT %.2f GB/s vs CPU median %.3f "
+              "GB/s -> %.0fx (paper: ~350x, 73.71 vs 0.21)\n",
+              gpu_med, cpu_med, cpu_med > 0 ? gpu_med / cpu_med : 0.0);
+
+  int decomp_faster = 0, total = 0;
+  for (const auto& s : summaries) {
+    ++total;
+    if (s.mean_dt_gbps >= s.mean_ct_gbps * 0.8) ++decomp_faster;
+  }
+  std::printf("Observation 4: decompression >= ~compression for %d/%d "
+              "methods (LZ-family strongly asymmetric).\n",
+              decomp_faster, total);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcbench::bench
+
+int main() { return fcbench::bench::Main(); }

@@ -1,0 +1,55 @@
+// Compressor selection: runs a scaled-down benchmark sweep and asks the
+// §7.3 recommendation engine which method to use per domain and
+// objective — the "map to assist users in selecting the most suitable
+// compressors" the paper concludes with.
+
+#include <cstdio>
+
+#include "core/recommend.h"
+#include "core/runner.h"
+#include "data/dataset.h"
+
+using namespace fcbench;
+
+int main() {
+  std::printf("running a scaled benchmark sweep to build the "
+              "recommendation map (a few seconds)...\n\n");
+  BenchmarkRunner::Options opt;
+  opt.repeats = 1;
+  opt.dataset_bytes = 1 << 20;
+  BenchmarkRunner runner(opt);
+
+  std::vector<std::string> methods = {
+      "pfpc",    "spdp",      "fpzip",     "bitshuffle_lz4",
+      "bitshuffle_zstd", "ndzip_cpu", "buff", "gorilla",
+      "chimp128", "gfc",      "mpc",       "nv_lz4",
+      "nv_bitcomp", "ndzip_gpu"};
+  auto results = runner.RunAll(methods, data::AllDatasets());
+
+  RecommendationEngine engine(std::move(results));
+  std::printf("%s\n", engine.RenderMap().c_str());
+
+  // Scenario queries a downstream user might ask.
+  struct Query {
+    const char* description;
+    data::Domain domain;
+    Objective objective;
+  };
+  for (const Query& q : {
+           Query{"archive 3-D simulation checkpoints (smallest files)",
+                 data::Domain::kHpc, Objective::kStorageReduction},
+           Query{"monitor IoT sensors with tight ingest deadlines",
+                 data::Domain::kTimeSeries, Objective::kSpeed},
+           Query{"store telescope images, balanced cost",
+                 data::Domain::kObservation, Objective::kBalanced},
+           Query{"compress numeric columns of a transactional DB",
+                 data::Domain::kDatabase, Objective::kStorageReduction},
+       }) {
+    auto rec = engine.Recommend(q.domain, q.objective);
+    std::printf("workload: %s\n  -> use %-16s (%s; harmonic CR %.3f, "
+                "end-to-end %.2f ms)\n",
+                q.description, rec.method.c_str(), rec.rationale.c_str(),
+                rec.harmonic_cr, rec.mean_wall_ms);
+  }
+  return 0;
+}

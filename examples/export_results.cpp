@@ -1,0 +1,93 @@
+// Exports the full benchmark grid as CSV for external analysis (R/pandas
+// notebooks) — the artifact-style workflow the paper's repository offers.
+//
+//   export_results [out.csv] [--bytes=N] [--repeats=N] [--methods=a,b,c]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "data/dataset.h"
+
+using namespace fcbench;
+
+namespace {
+
+std::string FlagValue(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = (argc > 1 && argv[1][0] != '-')
+                             ? argv[1]
+                             : "fcbench_results.csv";
+  BenchmarkRunner::Options opt;
+  opt.dataset_bytes = std::strtoull(
+      FlagValue(argc, argv, "bytes", "1048576").c_str(), nullptr, 10);
+  opt.repeats = std::atoi(FlagValue(argc, argv, "repeats", "1").c_str());
+
+  std::vector<std::string> methods;
+  std::string methods_flag = FlagValue(argc, argv, "methods", "");
+  if (methods_flag.empty()) {
+    for (const auto& name : CompressorRegistry::Global().Names()) {
+      if (name != "dzip_nn") methods.push_back(name);  // NN coder too slow
+    }
+  } else {
+    methods = SplitCsv(methods_flag);
+  }
+
+  std::printf("sweep: %zu methods x %zu datasets, %llu bytes each...\n",
+              methods.size(), data::AllDatasets().size(),
+              static_cast<unsigned long long>(opt.dataset_bytes));
+  BenchmarkRunner runner(opt);
+  auto results = runner.RunAll(methods, data::AllDatasets());
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "dataset,domain,dtype,method,ok,cr,ct_gbps,dt_gbps,"
+               "comp_wall_ms,decomp_wall_ms,orig_bytes,comp_bytes,"
+               "peak_mem_bytes,round_trip_exact,error\n");
+  for (const auto& r : results) {
+    const data::DatasetInfo* info = data::FindDataset(r.dataset);
+    std::fprintf(
+        f, "%s,%s,%s,%s,%d,%.6f,%.6f,%.6f,%.4f,%.4f,%llu,%llu,%llu,%d,%s\n",
+        r.dataset.c_str(),
+        info ? std::string(data::DomainName(info->domain)).c_str() : "?",
+        info ? DTypeName(info->dtype) : "?", r.method.c_str(), r.ok ? 1 : 0,
+        r.cr, r.ct_gbps, r.dt_gbps, r.comp_wall_ms, r.decomp_wall_ms,
+        static_cast<unsigned long long>(r.orig_bytes),
+        static_cast<unsigned long long>(r.comp_bytes),
+        static_cast<unsigned long long>(r.peak_mem_bytes),
+        r.round_trip_exact ? 1 : 0, r.error.c_str());
+  }
+  std::fclose(f);
+  std::printf("wrote %zu rows to %s\n", results.size(), out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,280 @@
+// fcbench — command-line driver for the library. The tool a downstream
+// user reaches for first:
+//
+//   fcbench_cli list
+//   fcbench_cli compress   <method> <in.raw> <out.fcz> --dtype=f32 [--dims=AxBxC]
+//   fcbench_cli decompress <in.fcz> <out.raw>
+//   fcbench_cli bench      <method> <in.raw> --dtype=f64 [--repeats=N]
+//   fcbench_cli gen        <dataset> <out.raw> [--bytes=N]
+//
+// The .fcz container (core/container.h) stores method name + DataDesc +
+// xxHash64 checksums, so decompression is self-describing and any file
+// corruption is detected end to end.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/compressor.h"
+#include "core/container.h"
+#include "core/runner.h"
+#include "data/dataset.h"
+#include "util/bitio.h"
+#include "util/timer.h"
+
+using namespace fcbench;
+
+namespace {
+
+Result<Buffer> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  Buffer buf(static_cast<size_t>(size));
+  size_t got = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (got != buf.size()) return Status::IoError("short read " + path);
+  return buf;
+}
+
+Status WriteFile(const std::string& path, ByteSpan data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  size_t put = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (put != data.size()) return Status::IoError("short write " + path);
+  return Status::OK();
+}
+
+std::string FlagValue(int argc, char** argv, const std::string& name,
+                      const std::string& fallback) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+Result<DataDesc> ParseDesc(int argc, char** argv, size_t raw_bytes) {
+  DataDesc desc;
+  std::string dtype = FlagValue(argc, argv, "dtype", "f64");
+  if (dtype == "f32") {
+    desc.dtype = DType::kFloat32;
+  } else if (dtype == "f64") {
+    desc.dtype = DType::kFloat64;
+  } else {
+    return Status::InvalidArgument("--dtype must be f32 or f64");
+  }
+  std::string dims = FlagValue(argc, argv, "dims", "");
+  if (dims.empty()) {
+    desc.extent = {raw_bytes / DTypeSize(desc.dtype)};
+  } else {
+    size_t pos = 0;
+    while (pos < dims.size()) {
+      size_t next = dims.find('x', pos);
+      if (next == std::string::npos) next = dims.size();
+      desc.extent.push_back(std::stoull(dims.substr(pos, next - pos)));
+      pos = next + 1;
+    }
+  }
+  desc.precision_digits =
+      std::atoi(FlagValue(argc, argv, "precision", "0").c_str());
+  if (desc.num_bytes() != raw_bytes) {
+    return Status::InvalidArgument("--dims does not match file size");
+  }
+  return desc;
+}
+
+int CmdList() {
+  std::printf("%-18s %-6s %-10s %-12s %s\n", "name", "year", "arch",
+              "predictor", "domain");
+  for (const auto& name : CompressorRegistry::Global().Names()) {
+    auto c = CompressorRegistry::Global().Create(name).TakeValue();
+    const auto& t = c->traits();
+    std::printf("%-18s %-6d %-10s %-12s %s\n", t.name.c_str(), t.year,
+                t.arch == Arch::kCpu ? "CPU" : "GPU(sim)",
+                std::string(PredictorClassName(t.predictor)).c_str(),
+                t.domain.c_str());
+  }
+  return 0;
+}
+
+int CmdCompress(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr, "usage: fcbench_cli compress <method> <in> <out> "
+                         "--dtype=f32|f64 [--dims=AxB] [--precision=N]\n");
+    return 2;
+  }
+  auto raw = ReadFile(argv[2 + 1]);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "%s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  auto desc = ParseDesc(argc, argv, raw.value().size());
+  if (!desc.ok()) {
+    std::fprintf(stderr, "%s\n", desc.status().ToString().c_str());
+    return 1;
+  }
+  std::string method = argv[2];
+  Buffer out;
+  Timer timer;
+  Status st = FczContainer::Pack(method, desc.value(), raw.value().span(),
+                                 CompressorConfig{}, &out);
+  double secs = timer.ElapsedSeconds();
+  if (!st.ok()) {
+    std::fprintf(stderr, "compress: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = WriteFile(argv[4], out.span());
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu -> %zu bytes (ratio %.3f) in %.3f s (%.1f MB/s)\n",
+              method.c_str(), raw.value().size(), out.size(),
+              static_cast<double>(raw.value().size()) / out.size(), secs,
+              raw.value().size() / secs / 1e6);
+  return 0;
+}
+
+int CmdDecompress(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: fcbench_cli decompress <in.fcz> <out>\n");
+    return 2;
+  }
+  auto file = ReadFile(argv[2]);
+  if (!file.ok()) {
+    std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  ByteSpan in = file.value().span();
+  ContainerInfo info;
+  Timer timer;
+  auto out = FczContainer::Unpack(in, &info);
+  double secs = timer.ElapsedSeconds();
+  if (!out.ok()) {
+    std::fprintf(stderr, "decompress: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  Status st = WriteFile(argv[3], out.value().span());
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu -> %zu bytes in %.3f s (%s, checksums ok)\n",
+              info.method.c_str(), in.size(), out.value().size(), secs,
+              info.desc.ToString().c_str());
+  return 0;
+}
+
+int CmdBench(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: fcbench_cli bench <method> <in> "
+                         "--dtype=f32|f64 [--repeats=N]\n");
+    return 2;
+  }
+  auto raw = ReadFile(argv[3]);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "%s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  auto desc = ParseDesc(argc, argv, raw.value().size());
+  if (!desc.ok()) {
+    std::fprintf(stderr, "%s\n", desc.status().ToString().c_str());
+    return 1;
+  }
+  int repeats = std::atoi(FlagValue(argc, argv, "repeats", "3").c_str());
+
+  // Wrap the bytes in a Dataset so the standard runner protocol applies.
+  data::Dataset ds;
+  static data::DatasetInfo info{"cli-input", data::Domain::kHpc,
+                                desc.value().dtype, desc.value().extent,
+                                0.0, desc.value().precision_digits,
+                                data::GenKind::kSmoothField, 0.0};
+  ds.info = &info;
+  ds.desc = desc.value();
+  ds.bytes = Buffer::FromSpan(raw.value().span());
+
+  BenchmarkRunner::Options opt;
+  opt.repeats = repeats > 0 ? repeats : 3;
+  BenchmarkRunner runner(opt);
+  auto r = runner.RunOne(argv[2], ds);
+  if (!r.ok) {
+    std::fprintf(stderr, "bench failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("method      %s\n", r.method.c_str());
+  std::printf("ratio       %.4f (%llu -> %llu bytes)\n", r.cr,
+              static_cast<unsigned long long>(r.orig_bytes),
+              static_cast<unsigned long long>(r.comp_bytes));
+  std::printf("compress    %.4f GB/s (%.2f ms end-to-end)\n", r.ct_gbps,
+              r.comp_wall_ms);
+  std::printf("decompress  %.4f GB/s (%.2f ms end-to-end)\n", r.dt_gbps,
+              r.decomp_wall_ms);
+  std::printf("round trip  %s\n", r.round_trip_exact ? "bit-exact"
+                                                     : "NOT exact");
+  return 0;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: fcbench_cli gen <dataset> <out> [--bytes=N]\n");
+    return 2;
+  }
+  const data::DatasetInfo* info = data::FindDataset(argv[2]);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown dataset '%s'; available:\n", argv[2]);
+    for (const auto& d : data::AllDatasets()) {
+      std::fprintf(stderr, "  %s\n", d.name.c_str());
+    }
+    return 1;
+  }
+  uint64_t bytes =
+      std::strtoull(FlagValue(argc, argv, "bytes", "4194304").c_str(),
+                    nullptr, 10);
+  auto ds = data::GenerateDataset(*info, bytes);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  Status st = WriteFile(argv[3], ds.value().bytes.span());
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %s: %s (%zu bytes) -> %s\n", info->name.c_str(),
+              ds.value().desc.ToString().c_str(), ds.value().bytes.size(),
+              argv[3]);
+  std::printf("hint: --dtype=%s --dims=", DTypeName(info->dtype));
+  for (size_t i = 0; i < ds.value().desc.extent.size(); ++i) {
+    std::printf("%s%llu", i ? "x" : "",
+                static_cast<unsigned long long>(ds.value().desc.extent[i]));
+  }
+  std::printf(" --precision=%d\n", info->precision_digits);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "fcbench_cli — FCBench compressor toolbox\n"
+                 "commands: list | compress | decompress | bench | gen\n");
+    return 2;
+  }
+  std::string cmd = argv[1];
+  if (cmd == "list") return CmdList();
+  if (cmd == "compress") return CmdCompress(argc, argv);
+  if (cmd == "decompress") return CmdDecompress(argc, argv);
+  if (cmd == "bench") return CmdBench(argc, argv);
+  if (cmd == "gen") return CmdGen(argc, argv);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

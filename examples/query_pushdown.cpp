@@ -1,0 +1,107 @@
+// Example: monitoring-dashboard queries over compressed sensor data.
+//
+// A server-metrics pipeline (the BUFF motivation of paper §3.3) stores
+// low-precision readings compressed on disk in a checksummed .fcz
+// container, then answers dashboard queries two ways:
+//
+//   1. decode path  — decompress into a DataFrame, filter + aggregate
+//                     with the db::query engine (works for every method);
+//   2. pushdown path — evaluate the predicate directly on the encoded
+//                     BUFF sub-columns, decoding only qualifying records.
+//
+// Build & run:  ./examples/query_pushdown
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "compressors/buff.h"
+#include "core/container.h"
+#include "db/dataframe.h"
+#include "db/query.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace fcbench;
+
+int main() {
+  // --- ingest: one day of 10 Hz CPU-temperature readings, 2 decimals ----
+  const size_t kReadings = 864000;
+  Rng rng(7);
+  std::vector<double> temps(kReadings);
+  double level = 55.0;
+  for (auto& t : temps) {
+    level += rng.Normal() * 0.02;
+    t = std::round(level * 100.0) / 100.0;  // sensor reports 0.01 C steps
+  }
+
+  DataDesc desc;
+  desc.dtype = DType::kFloat64;
+  desc.extent = {kReadings};
+  desc.precision_digits = 2;  // BUFF's lossless bound for this feed
+
+  // --- store: checksummed self-describing container --------------------
+  Buffer fcz;
+  Status st = FczContainer::Pack("buff", desc, AsBytes(temps),
+                                 CompressorConfig{}, &fcz);
+  if (!st.ok()) {
+    std::fprintf(stderr, "pack: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("stored %zu readings: %zu -> %zu bytes (ratio %.2f)\n",
+              kReadings, temps.size() * 8, fcz.size(),
+              double(temps.size() * 8) / fcz.size());
+
+  auto info = FczContainer::Inspect(fcz.span());
+  std::printf("container: method=%s %s (checked without decode)\n\n",
+              info.value().method.c_str(),
+              info.value().desc.ToString().c_str());
+
+  // --- query 1: decode path (any method) --------------------------------
+  const double kAlertThreshold = 55.8;
+  Timer decode_timer;
+  auto raw = FczContainer::Unpack(fcz.span());
+  if (!raw.ok()) {
+    std::fprintf(stderr, "unpack: %s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  auto df = db::DataFrame::FromBytes(raw.value().span(), desc);
+  auto sel = db::Filter(df.value(), db::ScanPredicate{
+                                        .column = 0,
+                                        .op = db::CompareOp::kGe,
+                                        .value = kAlertThreshold});
+  auto mean = db::Aggregate(df.value(), 0, db::AggregateOp::kMean,
+                            &sel.value());
+  double decode_ms = decode_timer.ElapsedSeconds() * 1e3;
+  std::printf("decode path:   %8zu readings >= %.2f C, mean %.3f C "
+              "(%.2f ms: unpack+verify+scan)\n",
+              sel.value().size(), kAlertThreshold, mean.value(), decode_ms);
+
+  // --- query 2: pushdown path (BUFF only, no decode) ---------------------
+  // The encoded payload sits after the container header; hand the scan the
+  // BUFF stream itself.
+  auto payload_off = fcz.size() - info.value().payload_bytes;
+  ByteSpan buff_stream = fcz.span().subspan(payload_off);
+  Timer push_timer;
+  auto agg = compressors::BuffCompressor::FilteredAggregate(
+      buff_stream, compressors::BuffCompressor::Predicate::kGreaterEqual,
+      kAlertThreshold, compressors::BuffCompressor::Aggregate::kSum);
+  double push_ms = push_timer.ElapsedSeconds() * 1e3;
+  double push_mean =
+      agg.value().count ? agg.value().value / agg.value().count : 0.0;
+  std::printf("pushdown path: %8llu readings >= %.2f C, mean %.3f C "
+              "(%.2f ms: predicate on encoded sub-columns)\n",
+              static_cast<unsigned long long>(agg.value().count),
+              kAlertThreshold, push_mean, push_ms);
+  std::printf("\npushdown speedup: %.1fx (paper §3.3 reports 35-50x vs "
+              "decompress-then-filter baselines)\n",
+              decode_ms / push_ms);
+
+  // --- integrity: flip one bit anywhere and the store notices -----------
+  Buffer tampered = Buffer::FromSpan(fcz.span());
+  tampered.data()[tampered.size() / 2] ^= 0x04;
+  auto bad = FczContainer::Unpack(tampered.span());
+  std::printf("tamper check: %s\n",
+              bad.ok() ? "MISSED (bug!)" : bad.status().ToString().c_str());
+  return bad.ok() ? 1 : 0;
+}

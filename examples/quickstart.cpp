@@ -1,0 +1,73 @@
+// Quickstart: compress and decompress a floating-point array with three
+// methods from the registry, print ratio + throughput, verify the round
+// trip. This is the 60-second tour of the public API.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/compressor.h"
+#include "util/timer.h"
+
+using namespace fcbench;
+
+int main() {
+  // 1. Some data: a smooth-ish time series of doubles.
+  std::vector<double> values(1 << 18);
+  double x = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    x += 0.01;
+    values[i] = std::sin(x) * 100.0 + 0.001 * (i % 97);
+  }
+  DataDesc desc = DataDesc::Make(DType::kFloat64, {values.size()});
+
+  // 2. Pick methods from the registry (every method of the FCBench paper
+  //    is available by its paper name).
+  auto& registry = CompressorRegistry::Global();
+  std::printf("registered methods:");
+  for (const auto& name : registry.Names()) std::printf(" %s", name.c_str());
+  std::printf("\n\n");
+
+  for (const char* name : {"gorilla", "bitshuffle_zstd", "ndzip_cpu"}) {
+    auto create = registry.Create(name);
+    if (!create.ok()) {
+      std::printf("%s: %s\n", name, create.status().ToString().c_str());
+      return 1;
+    }
+    auto compressor = std::move(create).TakeValue();
+
+    // 3. Compress.
+    Buffer compressed;
+    Timer timer;
+    Status st = compressor->Compress(AsBytes(values), desc, &compressed);
+    double comp_s = timer.ElapsedSeconds();
+    if (!st.ok()) {
+      std::printf("%s: compress failed: %s\n", name, st.ToString().c_str());
+      return 1;
+    }
+
+    // 4. Decompress and verify bit-exactness.
+    Buffer restored;
+    timer.Reset();
+    st = compressor->Decompress(compressed.span(), desc, &restored);
+    double decomp_s = timer.ElapsedSeconds();
+    if (!st.ok()) {
+      std::printf("%s: decompress failed: %s\n", name, st.ToString().c_str());
+      return 1;
+    }
+    bool exact = restored.size() == values.size() * 8 &&
+                 std::memcmp(restored.data(), values.data(),
+                             restored.size()) == 0;
+
+    std::printf("%-16s ratio %.3f   compress %.2f MB/s   decompress %.2f "
+                "MB/s   round-trip %s\n",
+                name,
+                static_cast<double>(values.size() * 8) / compressed.size(),
+                values.size() * 8 / comp_s / 1e6,
+                values.size() * 8 / decomp_s / 1e6,
+                exact ? "bit-exact" : "MISMATCH");
+    if (!exact) return 1;
+  }
+  return 0;
+}

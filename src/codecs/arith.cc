@@ -1,0 +1,124 @@
+#include "codecs/arith.h"
+
+namespace fcbench::codecs {
+
+namespace {
+constexpr uint32_t kHalf = 0x80000000u;
+constexpr uint32_t kQuarter = 0x40000000u;
+constexpr uint32_t kThreeQuarter = 0xc0000000u;
+
+inline uint32_t ClampP(uint32_t p1) {
+  if (p1 < 1) return 1;
+  if (p1 > 65535) return 65535;
+  return p1;
+}
+
+/// Split point of [low, high] given P(1); the 1-branch takes the lower part.
+inline uint32_t SplitPoint(uint32_t low, uint32_t high, uint32_t p1) {
+  uint64_t width = static_cast<uint64_t>(high) - low;
+  return low + static_cast<uint32_t>((width * p1) >> 16);
+}
+
+}  // namespace
+
+void BinaryArithEncoder::EmitBit(int b) {
+  acc_ = static_cast<uint8_t>((acc_ << 1) | (b & 1));
+  if (++nacc_ == 8) {
+    out_->PushBack(acc_);
+    acc_ = 0;
+    nacc_ = 0;
+  }
+}
+
+void BinaryArithEncoder::Encode(int bit, uint32_t p1) {
+  uint32_t split = SplitPoint(low_, high_, ClampP(p1));
+  if (bit) {
+    high_ = split;
+  } else {
+    low_ = split + 1;
+  }
+  for (;;) {
+    if (high_ < kHalf) {
+      EmitBit(0);
+      while (pending_ > 0) {
+        EmitBit(1);
+        --pending_;
+      }
+    } else if (low_ >= kHalf) {
+      EmitBit(1);
+      while (pending_ > 0) {
+        EmitBit(0);
+        --pending_;
+      }
+      low_ -= kHalf;
+      high_ -= kHalf;
+    } else if (low_ >= kQuarter && high_ < kThreeQuarter) {
+      ++pending_;
+      low_ -= kQuarter;
+      high_ -= kQuarter;
+    } else {
+      break;
+    }
+    low_ <<= 1;
+    high_ = (high_ << 1) | 1;
+  }
+}
+
+void BinaryArithEncoder::Finish() {
+  ++pending_;
+  int b = (low_ >= kQuarter) ? 1 : 0;
+  EmitBit(b);
+  while (pending_ > 0) {
+    EmitBit(1 - b);
+    --pending_;
+  }
+  // Pad to a byte boundary (decoder reads zeros past the end harmlessly).
+  while (nacc_ != 0) EmitBit(0);
+}
+
+BinaryArithDecoder::BinaryArithDecoder(ByteSpan in) : in_(in) {
+  for (int i = 0; i < 32; ++i) {
+    code_ = (code_ << 1) | static_cast<uint32_t>(NextBit());
+  }
+}
+
+int BinaryArithDecoder::NextBit() {
+  if (byte_ >= in_.size()) return 0;
+  int bit = (in_[byte_] >> (7 - nbit_)) & 1;
+  if (++nbit_ == 8) {
+    nbit_ = 0;
+    ++byte_;
+  }
+  return bit;
+}
+
+int BinaryArithDecoder::Decode(uint32_t p1) {
+  uint32_t split = SplitPoint(low_, high_, ClampP(p1));
+  int bit = (code_ <= split) ? 1 : 0;
+  if (bit) {
+    high_ = split;
+  } else {
+    low_ = split + 1;
+  }
+  for (;;) {
+    if (high_ < kHalf) {
+      // nothing
+    } else if (low_ >= kHalf) {
+      low_ -= kHalf;
+      high_ -= kHalf;
+      code_ -= kHalf;
+    } else if (low_ >= kQuarter && high_ < kThreeQuarter) {
+      low_ -= kQuarter;
+      high_ -= kQuarter;
+      code_ -= kQuarter;
+    } else {
+      break;
+    }
+    low_ <<= 1;
+    high_ = (high_ << 1) | 1;
+    code_ = (code_ << 1) | static_cast<uint32_t>(NextBit());
+  }
+  return bit;
+}
+
+}  // namespace fcbench::codecs

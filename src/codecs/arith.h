@@ -1,0 +1,78 @@
+#ifndef FCBENCH_CODECS_ARITH_H_
+#define FCBENCH_CODECS_ARITH_H_
+
+#include <cstdint>
+
+#include "util/buffer.h"
+
+namespace fcbench::codecs {
+
+/// Binary arithmetic coder with explicit 16-bit probabilities, used by the
+/// Dzip-style neural coder (§4.5): the NN predicts P(bit=1) and the coder
+/// turns that prediction into near-entropy output.
+///
+/// Carry-less implementation with 32-bit low/high bounds (CACM-87 style).
+class BinaryArithEncoder {
+ public:
+  explicit BinaryArithEncoder(Buffer* out) : out_(out) {}
+
+  /// Encodes `bit` with probability-of-one `p1` expressed in 1/65536 units
+  /// (clamped internally to [1, 65535]).
+  void Encode(int bit, uint32_t p1);
+
+  /// Flushes trailing state; call once.
+  void Finish();
+
+ private:
+  void EmitBit(int b);
+
+  Buffer* out_;
+  uint32_t low_ = 0;
+  uint32_t high_ = 0xffffffffu;
+  uint64_t pending_ = 0;
+  uint8_t acc_ = 0;
+  int nacc_ = 0;
+};
+
+/// Decoder mirroring BinaryArithEncoder; must be fed the same probability
+/// sequence by the (deterministically replayed) model.
+class BinaryArithDecoder {
+ public:
+  explicit BinaryArithDecoder(ByteSpan in);
+
+  /// Decodes one bit given probability-of-one `p1` (1/65536 units).
+  int Decode(uint32_t p1);
+
+ private:
+  int NextBit();
+
+  ByteSpan in_;
+  size_t byte_ = 0;
+  int nbit_ = 0;
+  uint32_t low_ = 0;
+  uint32_t high_ = 0xffffffffu;
+  uint32_t code_ = 0;
+};
+
+/// Adaptive bit model: exponential-decay probability estimator (as in
+/// LZMA/CM coders).
+class BitModel {
+ public:
+  uint32_t p1() const { return p_; }
+
+  void Update(int bit) {
+    if (bit) {
+      p_ += (65536 - p_) >> kRate;
+    } else {
+      p_ -= p_ >> kRate;
+    }
+  }
+
+ private:
+  static constexpr int kRate = 5;
+  uint32_t p_ = 32768;
+};
+
+}  // namespace fcbench::codecs
+
+#endif  // FCBENCH_CODECS_ARITH_H_

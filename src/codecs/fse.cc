@@ -1,0 +1,330 @@
+#include "codecs/fse.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "util/bitio.h"
+
+namespace fcbench::codecs {
+
+namespace {
+
+// floor(log2(v)) for v >= 1.
+inline int FloorLog2(uint32_t v) { return 31 - std::countl_zero(v); }
+
+struct SymbolStats {
+  uint64_t hist[256] = {0};
+  int distinct = 0;
+  int last_symbol = 0;
+};
+
+SymbolStats CountSymbols(ByteSpan input) {
+  SymbolStats s;
+  for (uint8_t b : input) ++s.hist[b];
+  for (int i = 0; i < 256; ++i) {
+    if (s.hist[i] > 0) {
+      ++s.distinct;
+      s.last_symbol = i;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int FseCodec::ChooseTableLog(size_t n, int distinct) {
+  // Enough room for every present symbol...
+  int min_log = 1;
+  while ((1 << min_log) < distinct) ++min_log;
+  // ...but never more states than input symbols (a state per symbol is
+  // already lossless-optimal) and never above the default budget.
+  int log = kDefaultTableLog;
+  while (log > min_log && (size_t(1) << log) > n) --log;
+  return std::clamp(log, min_log, kMaxTableLog);
+}
+
+void FseCodec::NormalizeHistogram(const uint64_t hist[256], int table_log,
+                                  uint16_t norm[256]) {
+  const uint32_t table_size = 1u << table_log;
+  uint64_t total = 0;
+  for (int i = 0; i < 256; ++i) total += hist[i];
+  std::memset(norm, 0, 256 * sizeof(uint16_t));
+  if (total == 0) return;
+
+  // First pass: proportional share, with every present symbol >= 1.
+  uint32_t assigned = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (hist[i] == 0) continue;
+    uint64_t share = (hist[i] * table_size + total / 2) / total;
+    if (share == 0) share = 1;
+    if (share > table_size) share = table_size;
+    norm[i] = static_cast<uint16_t>(share);
+    assigned += norm[i];
+  }
+
+  // Second pass: repair rounding drift by charging the most frequent
+  // symbols, which distorts their per-symbol cost the least.
+  while (assigned != table_size) {
+    int pick = -1;
+    for (int i = 0; i < 256; ++i) {
+      if (norm[i] == 0) continue;
+      if (assigned > table_size) {
+        // Need to shrink: pick the largest norm that stays >= 1.
+        if (norm[i] > 1 && (pick < 0 || norm[i] > norm[pick])) pick = i;
+      } else {
+        // Need to grow: pick the symbol with the largest true count.
+        if (pick < 0 || hist[i] > hist[pick]) pick = i;
+      }
+    }
+    if (pick < 0) break;  // All norms 1 yet oversubscribed: caller's log
+                          // was too small for `distinct`; unreachable via
+                          // ChooseTableLog.
+    if (assigned > table_size) {
+      --norm[pick];
+      --assigned;
+    } else {
+      ++norm[pick];
+      ++assigned;
+    }
+  }
+}
+
+Status FseCodec::BuildDecodeTable(const uint16_t norm[256], int table_log,
+                                  std::vector<DecodeEntry>* table,
+                                  std::vector<uint32_t>* encode_index) {
+  if (table_log < 1 || table_log > kMaxTableLog) {
+    return Status::Corruption("fse: table_log out of range");
+  }
+  const uint32_t table_size = 1u << table_log;
+  uint32_t total = 0;
+  for (int i = 0; i < 256; ++i) total += norm[i];
+  if (total != table_size) {
+    return Status::Corruption("fse: frequencies do not sum to table size");
+  }
+
+  // Spread symbols over the table with zstd's stride; any odd step is
+  // coprime with the power-of-two table size, visiting each slot once.
+  uint32_t step = (table_size >> 1) + (table_size >> 3) + 3;
+  step |= 1;
+  std::vector<uint8_t> spread(table_size);
+  uint32_t pos = 0;
+  for (int s = 0; s < 256; ++s) {
+    for (uint16_t k = 0; k < norm[s]; ++k) {
+      spread[pos] = static_cast<uint8_t>(s);
+      pos = (pos + step) & (table_size - 1);
+    }
+  }
+
+  // Cumulative start of each symbol's encode slots.
+  uint32_t cum[257];
+  cum[0] = 0;
+  for (int s = 0; s < 256; ++s) cum[s + 1] = cum[s] + norm[s];
+
+  table->assign(table_size, DecodeEntry{});
+  if (encode_index != nullptr) encode_index->assign(table_size, 0);
+
+  // Walking table slots in order assigns each symbol s the sub-states
+  // x = f, f+1, ..., 2f-1 (Duda's construction): decoding from slot i
+  // yields symbol s and reconstructs the prior encoder state as
+  // (x << nb) + bits with nb = table_log - floor(log2(x)).
+  std::vector<uint32_t> next(256);
+  for (int s = 0; s < 256; ++s) next[s] = norm[s];
+  for (uint32_t i = 0; i < table_size; ++i) {
+    uint8_t s = spread[i];
+    uint32_t x = next[s]++;
+    int nb = table_log - FloorLog2(x);
+    (*table)[i] = DecodeEntry{
+        .symbol = s,
+        .num_bits = static_cast<uint8_t>(nb),
+        .new_state_base = (x << nb) - table_size,
+    };
+    if (encode_index != nullptr) {
+      (*encode_index)[cum[s] + (x - norm[s])] = i;
+    }
+  }
+  return Status::OK();
+}
+
+void FseCodec::Compress(ByteSpan input, Buffer* out) {
+  const size_t n = input.size();
+  SymbolStats stats = CountSymbols(input);
+
+  auto emit_raw = [&] {
+    out->PushBack(kRawMode);
+    PutVarint64(out, n);
+    out->Append(input);
+  };
+
+  if (n == 0) {
+    emit_raw();
+    return;
+  }
+  if (stats.distinct == 1) {
+    out->PushBack(kRleMode);
+    PutVarint64(out, n);
+    out->PushBack(static_cast<uint8_t>(stats.last_symbol));
+    return;
+  }
+
+  const int table_log = ChooseTableLog(n, stats.distinct);
+  const uint32_t table_size = 1u << table_log;
+  uint16_t norm[256];
+  NormalizeHistogram(stats.hist, table_log, norm);
+
+  std::vector<DecodeEntry> table;
+  std::vector<uint32_t> encode_index;
+  Status st = BuildDecodeTable(norm, table_log, &table, &encode_index);
+  if (!st.ok()) {  // Defensive: cannot happen with our own normalization.
+    emit_raw();
+    return;
+  }
+  uint32_t cum[257];
+  cum[0] = 0;
+  for (int s = 0; s < 256; ++s) cum[s + 1] = cum[s] + norm[s];
+  // Bit cost thresholds: symbol s costs max_bits[s] or max_bits[s]-1.
+  uint8_t max_bits[256];
+  for (int s = 0; s < 256; ++s) {
+    max_bits[s] =
+        norm[s] > 0 ? static_cast<uint8_t>(table_log - FloorLog2(norm[s])) : 0;
+  }
+
+  // Encode backwards so the decoder emits forwards. Transition bit chunks
+  // must be *read* in reverse order of emission, so stage them and write
+  // the staged list back-to-front below.
+  struct Chunk {
+    uint32_t bits;
+    uint8_t nb;
+  };
+  std::vector<Chunk> chunks;
+  chunks.reserve(n);
+  uint32_t state = table_size;  // Any state in [size, 2*size) works.
+  for (size_t i = n; i-- > 0;) {
+    uint8_t s = input[i];
+    int nb = max_bits[s];
+    if ((state >> nb) < norm[s]) --nb;
+    chunks.push_back(
+        Chunk{.bits = state & ((1u << nb) - 1), .nb = static_cast<uint8_t>(nb)});
+    uint32_t x = state >> nb;  // x in [norm[s], 2*norm[s])
+    state = table_size + encode_index[cum[s] + (x - norm[s])];
+  }
+
+  Buffer payload;
+  BitWriter writer(&payload);
+  writer.WriteBits(state - table_size, table_log);
+  for (size_t i = chunks.size(); i-- > 0;) {
+    writer.WriteBits(chunks[i].bits, chunks[i].nb);
+  }
+  writer.Flush();
+
+  Buffer header;
+  header.PushBack(kFseMode);
+  PutVarint64(&header, n);
+  header.PushBack(static_cast<uint8_t>(table_log));
+  PutVarint64(&header, static_cast<uint64_t>(stats.distinct));
+  for (int s = 0; s < 256; ++s) {
+    if (norm[s] == 0) continue;
+    header.PushBack(static_cast<uint8_t>(s));
+    PutVarint64(&header, norm[s]);
+  }
+  PutVarint64(&header, payload.size());
+
+  if (header.size() + payload.size() >= n + 1 + 5) {
+    emit_raw();  // Entropy coding lost to the header; store verbatim.
+    return;
+  }
+  out->Append(header.span());
+  out->Append(payload.span());
+}
+
+Status FseCodec::Decompress(ByteSpan input, size_t* consumed, Buffer* out) {
+  size_t off = 0;
+  if (input.empty()) return Status::Corruption("fse: empty stream");
+  uint8_t mode = input[off++];
+  uint64_t n = 0;
+  if (!GetVarint64(input, &off, &n)) {
+    return Status::Corruption("fse: truncated length");
+  }
+
+  if (mode == kRawMode) {
+    if (off + n > input.size()) {
+      return Status::Corruption("fse: truncated raw payload");
+    }
+    out->Append(input.subspan(off, n));
+    off += n;
+    *consumed = off;
+    return Status::OK();
+  }
+  if (mode == kRleMode) {
+    if (off >= input.size()) {
+      return Status::Corruption("fse: truncated rle payload");
+    }
+    uint8_t sym = input[off++];
+    size_t base = out->size();
+    out->Resize(base + n);
+    std::memset(out->data() + base, sym, n);
+    *consumed = off;
+    return Status::OK();
+  }
+  if (mode != kFseMode) {
+    return Status::Corruption("fse: unknown stream mode");
+  }
+
+  if (off >= input.size()) return Status::Corruption("fse: missing table_log");
+  int table_log = input[off++];
+  if (table_log < 1 || table_log > kMaxTableLog) {
+    return Status::Corruption("fse: table_log out of range");
+  }
+  uint64_t distinct = 0;
+  if (!GetVarint64(input, &off, &distinct) || distinct == 0 ||
+      distinct > 256) {
+    return Status::Corruption("fse: bad symbol count");
+  }
+  uint16_t norm[256] = {0};
+  for (uint64_t i = 0; i < distinct; ++i) {
+    if (off >= input.size()) {
+      return Status::Corruption("fse: truncated frequency table");
+    }
+    uint8_t sym = input[off++];
+    uint64_t freq = 0;
+    if (!GetVarint64(input, &off, &freq) || freq == 0 ||
+        freq > (uint64_t(1) << table_log)) {
+      return Status::Corruption("fse: bad symbol frequency");
+    }
+    if (norm[sym] != 0) return Status::Corruption("fse: duplicate symbol");
+    norm[sym] = static_cast<uint16_t>(freq);
+  }
+
+  uint64_t payload_bytes = 0;
+  if (!GetVarint64(input, &off, &payload_bytes) ||
+      off + payload_bytes > input.size()) {
+    return Status::Corruption("fse: truncated payload");
+  }
+
+  std::vector<DecodeEntry> table;
+  FCB_RETURN_IF_ERROR(BuildDecodeTable(norm, table_log, &table, nullptr));
+
+  BitReader reader(input.subspan(off, payload_bytes));
+  uint32_t state = static_cast<uint32_t>(reader.ReadBits(table_log));
+  const uint32_t table_size = 1u << table_log;
+
+  size_t base = out->size();
+  out->Resize(base + n);
+  uint8_t* dst = out->data() + base;
+  for (uint64_t i = 0; i < n; ++i) {
+    const DecodeEntry& e = table[state];
+    dst[i] = e.symbol;
+    state = e.new_state_base +
+            static_cast<uint32_t>(reader.ReadBits(e.num_bits));
+    if (state >= table_size) {
+      return Status::Corruption("fse: decoder state escaped table");
+    }
+  }
+  if (reader.overrun()) {
+    return Status::Corruption("fse: payload bit stream exhausted");
+  }
+  *consumed = off + payload_bytes;
+  return Status::OK();
+}
+
+}  // namespace fcbench::codecs

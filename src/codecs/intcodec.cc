@@ -1,0 +1,220 @@
+#include "codecs/intcodec.h"
+
+#include <array>
+#include <cstring>
+
+#include "util/bitio.h"
+
+namespace fcbench::codecs {
+
+void DeltaEncode(const uint64_t* in, size_t n, uint64_t* out) {
+  uint64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t cur = in[i];
+    out[i] = cur - prev;
+    prev = cur;
+  }
+}
+
+void DeltaDecode(const uint64_t* in, size_t n, uint64_t* out) {
+  uint64_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += in[i];
+    out[i] = acc;
+  }
+}
+
+void RleCodec::Compress(ByteSpan input, Buffer* out) {
+  PutVarint64(out, input.size());
+  size_t i = 0;
+  while (i < input.size()) {
+    uint8_t b = input[i];
+    size_t run = 1;
+    while (i + run < input.size() && input[i + run] == b) ++run;
+    PutVarint64(out, run);
+    out->PushBack(b);
+    i += run;
+  }
+}
+
+Status RleCodec::Decompress(ByteSpan input, size_t* consumed, Buffer* out) {
+  size_t off = 0;
+  uint64_t n = 0;
+  if (!GetVarint64(input, &off, &n)) {
+    return Status::Corruption("rle: truncated length");
+  }
+  size_t base = out->size();
+  out->Resize(base + n);
+  uint8_t* dst = out->data() + base;
+  uint64_t produced = 0;
+  while (produced < n) {
+    uint64_t run = 0;
+    if (!GetVarint64(input, &off, &run) || off >= input.size()) {
+      return Status::Corruption("rle: truncated run");
+    }
+    uint8_t b = input[off++];
+    if (run == 0 || produced + run > n) {
+      return Status::Corruption("rle: run overflows declared length");
+    }
+    std::memset(dst + produced, b, run);
+    produced += run;
+  }
+  *consumed = off;
+  return Status::OK();
+}
+
+namespace {
+
+// Simple8b selector table: (values per word, bits per value).
+// Selector 0 packs 240 zeros, 1 packs 120 zeros, 15 is the 1x60 escape.
+struct Selector {
+  uint32_t count;
+  uint32_t bits;
+};
+constexpr std::array<Selector, 16> kSelectors = {{
+    {240, 0},
+    {120, 0},
+    {60, 1},
+    {30, 2},
+    {20, 3},
+    {15, 4},
+    {12, 5},
+    {10, 6},
+    {8, 7},
+    {7, 8},
+    {6, 10},
+    {5, 12},
+    {4, 15},
+    {3, 20},
+    {2, 30},
+    {1, 60},
+}};
+constexpr uint64_t kMax60Bit = (uint64_t(1) << 60) - 1;
+
+}  // namespace
+
+void Simple8bCodec::Compress(const std::vector<uint64_t>& values,
+                             Buffer* out) {
+  PutVarint64(out, values.size());
+  size_t i = 0;
+  const size_t n = values.size();
+  while (i < n) {
+    if (values[i] > kMax60Bit) {
+      // Escape: selector 15 word carrying only the low 60 bits, followed
+      // by a varint with the high bits. Rare (deltas beyond 2^60).
+      uint64_t word = (uint64_t(15) << 60) | (values[i] & kMax60Bit);
+      // Tag escape words by an extra varint channel: high bits first.
+      PutVarint64(out, 1);  // 1 = escape marker
+      PutVarint64(out, values[i] >> 60);
+      PutFixed<uint64_t>(out, word);
+      ++i;
+      continue;
+    }
+    // Greedily choose the densest selector whose bit width covers the next
+    // `count` values.
+    uint32_t best_sel = 15;
+    for (uint32_t sel = 0; sel < kSelectors.size(); ++sel) {
+      const auto [count, bits] = kSelectors[sel];
+      if (i + count > n) continue;
+      uint64_t limit = bits == 0 ? 0 : ((uint64_t(1) << bits) - 1);
+      bool fits = true;
+      for (uint32_t k = 0; k < count; ++k) {
+        if (values[i + k] > limit) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        best_sel = sel;
+        break;
+      }
+    }
+    const auto [count, bits] = kSelectors[best_sel];
+    uint64_t word = uint64_t(best_sel) << 60;
+    for (uint32_t k = 0; k < count && bits > 0; ++k) {
+      word |= values[i + k] << (k * bits);
+    }
+    PutVarint64(out, 0);  // 0 = regular word
+    PutFixed<uint64_t>(out, word);
+    i += count;
+  }
+}
+
+Status Simple8bCodec::Decompress(ByteSpan input, size_t* consumed,
+                                 std::vector<uint64_t>* values) {
+  size_t off = 0;
+  uint64_t n = 0;
+  if (!GetVarint64(input, &off, &n)) {
+    return Status::Corruption("simple8b: truncated count");
+  }
+  values->clear();
+  values->reserve(n);
+  while (values->size() < n) {
+    uint64_t marker = 0;
+    if (!GetVarint64(input, &off, &marker) || marker > 1) {
+      return Status::Corruption("simple8b: bad word marker");
+    }
+    uint64_t high = 0;
+    if (marker == 1 && !GetVarint64(input, &off, &high)) {
+      return Status::Corruption("simple8b: truncated escape");
+    }
+    uint64_t word = 0;
+    if (!GetFixed<uint64_t>(input, &off, &word)) {
+      return Status::Corruption("simple8b: truncated word");
+    }
+    uint32_t sel = static_cast<uint32_t>(word >> 60);
+    if (marker == 1) {
+      if (sel != 15) return Status::Corruption("simple8b: bad escape word");
+      values->push_back((high << 60) | (word & kMax60Bit));
+      continue;
+    }
+    const auto [count, bits] = kSelectors[sel];
+    if (values->size() + count > n) {
+      return Status::Corruption("simple8b: word overflows declared count");
+    }
+    if (bits == 0) {
+      values->insert(values->end(), count, 0);
+      continue;
+    }
+    uint64_t mask = (bits == 60) ? kMax60Bit : ((uint64_t(1) << bits) - 1);
+    for (uint32_t k = 0; k < count; ++k) {
+      values->push_back((word >> (k * bits)) & mask);
+    }
+  }
+  *consumed = off;
+  return Status::OK();
+}
+
+void TimestampCodec::Compress(const std::vector<int64_t>& timestamps,
+                              Buffer* out) {
+  const size_t n = timestamps.size();
+  std::vector<uint64_t> dod(n);
+  int64_t prev = 0;
+  int64_t prev_delta = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t delta = timestamps[i] - prev;
+    dod[i] = ZigZagEncode(delta - prev_delta);
+    prev_delta = delta;
+    prev = timestamps[i];
+  }
+  Simple8bCodec::Compress(dod, out);
+}
+
+Status TimestampCodec::Decompress(ByteSpan input, size_t* consumed,
+                                  std::vector<int64_t>* timestamps) {
+  std::vector<uint64_t> dod;
+  FCB_RETURN_IF_ERROR(Simple8bCodec::Decompress(input, consumed, &dod));
+  timestamps->clear();
+  timestamps->reserve(dod.size());
+  int64_t prev = 0;
+  int64_t prev_delta = 0;
+  for (uint64_t z : dod) {
+    int64_t delta = prev_delta + ZigZagDecode(z);
+    prev += delta;
+    timestamps->push_back(prev);
+    prev_delta = delta;
+  }
+  return Status::OK();
+}
+
+}  // namespace fcbench::codecs

@@ -1,0 +1,79 @@
+#ifndef FCBENCH_CODECS_INTCODEC_H_
+#define FCBENCH_CODECS_INTCODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace fcbench::codecs {
+
+/// Integer coding substrate. The paper's Gorilla/Chimp implementations are
+/// taken from InfluxDB (§5.5), whose timestamp/integer columns use exactly
+/// these primitives: zigzag signed mapping, delta and delta-of-delta
+/// transforms, run-length coding, and Simple8b word packing. They also
+/// serve as reducers in the ablation benches.
+
+/// Maps a signed value to an unsigned one with small magnitudes staying
+/// small: 0,-1,1,-2,2 -> 0,1,2,3,4.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+/// Inverse of ZigZagEncode.
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// In-place forward delta: out[i] = in[i] - in[i-1] (out[0] = in[0]).
+void DeltaEncode(const uint64_t* in, size_t n, uint64_t* out);
+
+/// Inverse of DeltaEncode (prefix sum).
+void DeltaDecode(const uint64_t* in, size_t n, uint64_t* out);
+
+/// Byte run-length codec: (run_len varint, byte) pairs. Wins on the
+/// zero-heavy residual streams produced by delta transforms on smooth
+/// data; degrades to ~2x expansion on random bytes, so callers compare
+/// sizes before committing.
+class RleCodec {
+ public:
+  /// Compresses `input`, appending a self-describing stream to `out`.
+  static void Compress(ByteSpan input, Buffer* out);
+
+  /// Decompresses a stream produced by Compress, appending to `out` and
+  /// reporting consumed input bytes.
+  static Status Decompress(ByteSpan input, size_t* consumed, Buffer* out);
+};
+
+/// Simple8b: packs a run of small unsigned integers into 64-bit words.
+/// Each word spends 4 selector bits choosing how many values share the
+/// remaining 60 bits (240 or 120 ones, 60x1-bit, 30x2, 20x3, 15x4, 12x5,
+/// 10x6, 8x7, 7x8, 6x10, 5x12, 4x15, 3x20, 2x30, 1x60). Values that do
+/// not fit in 60 bits are carried in escape words.
+class Simple8bCodec {
+ public:
+  /// Packs `values` into selector-tagged 64-bit words appended to `out`.
+  static void Compress(const std::vector<uint64_t>& values, Buffer* out);
+
+  /// Unpacks a stream produced by Compress.
+  static Status Decompress(ByteSpan input, size_t* consumed,
+                           std::vector<uint64_t>* values);
+};
+
+/// Timestamp codec combining delta-of-delta + zigzag + Simple8b, the
+/// InfluxDB layout that motivates Gorilla's single-`0`-bit observation
+/// (§3.4: with a fixed sampling interval most delta-of-deltas are zero).
+class TimestampCodec {
+ public:
+  /// Compresses a monotone (or arbitrary) i64 timestamp column.
+  static void Compress(const std::vector<int64_t>& timestamps, Buffer* out);
+
+  /// Decompresses a stream produced by Compress.
+  static Status Decompress(ByteSpan input, size_t* consumed,
+                           std::vector<int64_t>* timestamps);
+};
+
+}  // namespace fcbench::codecs
+
+#endif  // FCBENCH_CODECS_INTCODEC_H_

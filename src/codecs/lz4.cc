@@ -1,0 +1,210 @@
+#include "codecs/lz4.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/bitio.h"
+
+namespace fcbench::codecs {
+
+namespace {
+
+constexpr int kMinMatch = 4;
+constexpr size_t kLastLiterals = 5;   // spec: last 5 bytes always literals
+constexpr size_t kMfLimit = 12;       // spec: match must end 12B before end
+constexpr int kHashLog = 16;
+
+inline uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t Hash4(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashLog);
+}
+
+/// Emits a length using the 255-extension scheme, given the nibble already
+/// holds min(len, 15).
+void EmitLengthExtension(size_t len, Buffer* out) {
+  if (len < 15) return;
+  len -= 15;
+  while (len >= 255) {
+    out->PushBack(255);
+    len -= 255;
+  }
+  out->PushBack(static_cast<uint8_t>(len));
+}
+
+}  // namespace
+
+void Lz4Codec::Compress(ByteSpan input, Buffer* out) const {
+  const uint8_t* src = input.data();
+  const size_t n = input.size();
+
+  if (n < kMfLimit + kMinMatch) {
+    // Too small for any match: single literals-only sequence.
+    uint8_t token = static_cast<uint8_t>(std::min<size_t>(n, 15) << 4);
+    out->PushBack(token);
+    EmitLengthExtension(n, out);
+    out->Append(src, n);
+    return;
+  }
+
+  // hash -> most recent position; chains via prev table when attempts > 1.
+  std::vector<int32_t> head(size_t(1) << kHashLog, -1);
+  std::vector<int32_t> prev;
+  const bool chained = opts_.max_attempts > 1;
+  if (chained) prev.assign(n, -1);
+
+  const size_t match_limit = n - kLastLiterals;
+  const size_t input_limit = n - kMfLimit;
+
+  size_t anchor = 0;
+  size_t pos = 0;
+  while (pos < input_limit) {
+    // Find a match at `pos`.
+    uint32_t h = Hash4(Read32(src + pos));
+    int32_t cand = head[h];
+    if (chained) prev[pos] = cand;
+    head[h] = static_cast<int32_t>(pos);
+
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    int attempts = opts_.max_attempts;
+    while (cand >= 0 && attempts-- > 0) {
+      size_t dist = pos - static_cast<size_t>(cand);
+      if (dist > 65535) break;
+      if (Read32(src + cand) == Read32(src + pos)) {
+        size_t len = kMinMatch;
+        while (pos + len < match_limit && src[cand + len] == src[pos + len]) {
+          ++len;
+        }
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+        }
+      }
+      cand = chained ? prev[cand] : -1;
+    }
+
+    if (best_len < kMinMatch) {
+      ++pos;
+      continue;
+    }
+
+    // Sequence: literals [anchor, pos) + match (best_dist, best_len).
+    size_t lit_len = pos - anchor;
+    size_t match_code = best_len - kMinMatch;
+    uint8_t token =
+        static_cast<uint8_t>(std::min<size_t>(lit_len, 15) << 4) |
+        static_cast<uint8_t>(std::min<size_t>(match_code, 15));
+    out->PushBack(token);
+    EmitLengthExtension(lit_len, out);
+    out->Append(src + anchor, lit_len);
+    uint16_t off = static_cast<uint16_t>(best_dist);
+    out->Append(&off, 2);
+    EmitLengthExtension(match_code, out);
+
+    pos += best_len;
+    anchor = pos;
+
+    // Insert skipped positions into the table so later matches can refer
+    // back into the covered region (single probe per position).
+    if (pos < input_limit) {
+      for (size_t p = pos - 2; p < pos; ++p) {
+        uint32_t hh = Hash4(Read32(src + p));
+        if (chained) prev[p] = head[hh];
+        head[hh] = static_cast<int32_t>(p);
+      }
+    }
+  }
+
+  // Final literals-only sequence.
+  size_t lit_len = n - anchor;
+  uint8_t token = static_cast<uint8_t>(std::min<size_t>(lit_len, 15) << 4);
+  out->PushBack(token);
+  EmitLengthExtension(lit_len, out);
+  out->Append(src + anchor, lit_len);
+}
+
+Status Lz4Codec::Decompress(ByteSpan input, size_t decompressed_size,
+                            Buffer* out) const {
+  const uint8_t* src = input.data();
+  const size_t n = input.size();
+  size_t base = out->size();
+  out->Resize(base + decompressed_size);
+  uint8_t* dst = out->data() + base;
+  size_t dpos = 0;
+  size_t spos = 0;
+
+  auto read_len_ext = [&](size_t nibble, size_t* len) -> bool {
+    *len = nibble;
+    if (nibble == 15) {
+      uint8_t b;
+      do {
+        if (spos >= n) return false;
+        b = src[spos++];
+        *len += b;
+      } while (b == 255);
+    }
+    return true;
+  };
+
+  while (spos < n) {
+    uint8_t token = src[spos++];
+    size_t lit_len;
+    if (!read_len_ext(token >> 4, &lit_len)) {
+      return Status::Corruption("lz4: truncated literal length");
+    }
+    if (spos + lit_len > n || dpos + lit_len > decompressed_size) {
+      return Status::Corruption("lz4: literal run out of bounds");
+    }
+    std::memcpy(dst + dpos, src + spos, lit_len);
+    spos += lit_len;
+    dpos += lit_len;
+    if (spos >= n) break;  // final literals-only sequence
+
+    if (spos + 2 > n) return Status::Corruption("lz4: truncated offset");
+    uint16_t off;
+    std::memcpy(&off, src + spos, 2);
+    spos += 2;
+    if (off == 0 || off > dpos) {
+      return Status::Corruption("lz4: invalid match offset");
+    }
+    size_t match_code;
+    if (!read_len_ext(token & 0x0f, &match_code)) {
+      return Status::Corruption("lz4: truncated match length");
+    }
+    size_t match_len = match_code + kMinMatch;
+    if (dpos + match_len > decompressed_size) {
+      return Status::Corruption("lz4: match run out of bounds");
+    }
+    // Byte-by-byte copy: offsets < length overlap intentionally (RLE-ish).
+    const uint8_t* from = dst + dpos - off;
+    for (size_t i = 0; i < match_len; ++i) dst[dpos + i] = from[i];
+    dpos += match_len;
+  }
+
+  if (dpos != decompressed_size) {
+    return Status::Corruption("lz4: decompressed size mismatch");
+  }
+  return Status::OK();
+}
+
+void Lz4FrameCompress(ByteSpan input, Buffer* out) {
+  PutVarint64(out, input.size());
+  Lz4Codec().Compress(input, out);
+}
+
+Status Lz4FrameDecompress(ByteSpan input, Buffer* out) {
+  size_t offset = 0;
+  uint64_t orig = 0;
+  if (!GetVarint64(input, &offset, &orig)) {
+    return Status::Corruption("lz4 frame: bad header");
+  }
+  return Lz4Codec().Decompress(input.subspan(offset), orig, out);
+}
+
+}  // namespace fcbench::codecs

@@ -1,0 +1,49 @@
+#ifndef FCBENCH_CODECS_LZH_H_
+#define FCBENCH_CODECS_LZH_H_
+
+#include <cstddef>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace fcbench::codecs {
+
+/// zstd-style codec built from scratch: greedy LZ77 with chained-hash match
+/// search over a large window, followed by entropy coding of the separated
+/// token streams (literals via canonical Huffman; lengths/distances via
+/// byte-split Huffman). It stands in for libzstd as the back-end of
+/// bitshuffle::zstd (see DESIGN.md substitution table): like zstd it trades
+/// slower, search-heavy compression for fast decompression and a higher
+/// ratio than LZ4.
+class LzhCodec {
+ public:
+  /// Entropy stage for the token/literal streams. Real zstd uses FSE
+  /// (tANS); canonical Huffman is kept for the ablation bench comparing
+  /// the two back-ends on identical LZ77 parses.
+  enum class Entropy : uint8_t { kHuffman = 0, kFse = 1 };
+
+  struct Options {
+    /// Match-search depth. Higher = better ratio, slower compression.
+    int max_chain = 32;
+    /// log2 of the sliding window (default 1 MiB).
+    int window_log = 20;
+    /// Entropy coder for the four token streams.
+    Entropy entropy = Entropy::kFse;
+  };
+
+  LzhCodec() = default;
+  explicit LzhCodec(Options opts) : opts_(opts) {}
+
+  /// Compresses `input`, appending a self-describing frame to `out`.
+  void Compress(ByteSpan input, Buffer* out) const;
+
+  /// Decompresses a frame produced by Compress, appending to `out`.
+  static Status Decompress(ByteSpan input, Buffer* out);
+
+ private:
+  Options opts_;
+};
+
+}  // namespace fcbench::codecs
+
+#endif  // FCBENCH_CODECS_LZH_H_

@@ -1,0 +1,127 @@
+#include "codecs/range_coder.h"
+
+namespace fcbench::codecs {
+
+namespace {
+constexpr uint32_t kTopValue = 1u << 24;
+constexpr uint32_t kMaxTotal = 1u << 16;
+}  // namespace
+
+// Encoder follows the LZMA range-coder scheme: 64-bit low with an explicit
+// carry cache, 32-bit range.
+
+void RangeEncoder::Encode(uint32_t cum_low, uint32_t cum_high,
+                          uint32_t total) {
+  uint32_t r = range_ / total;
+  low_ += static_cast<uint64_t>(r) * cum_low;
+  range_ = r * (cum_high - cum_low);
+  while (range_ < kTopValue) {
+    ShiftLow();
+    range_ <<= 8;
+  }
+}
+
+void RangeEncoder::ShiftLow() {
+  if (static_cast<uint32_t>(low_) < 0xff000000u || (low_ >> 32) != 0) {
+    uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+    uint8_t temp = cache_;
+    do {
+      out_->PushBack(static_cast<uint8_t>(temp + carry));
+      temp = 0xff;
+    } while (--cache_size_ != 0);
+    cache_ = static_cast<uint8_t>(low_ >> 24);
+  }
+  ++cache_size_;
+  low_ = (low_ & 0x00ffffffull) << 8;
+}
+
+void RangeEncoder::Finish() {
+  for (int i = 0; i < 5; ++i) ShiftLow();
+}
+
+RangeDecoder::RangeDecoder(ByteSpan in) : in_(in) {
+  NextByte();  // discard the initial cache byte (always 0)
+  for (int i = 0; i < 4; ++i) {
+    code_ = (code_ << 8) | NextByte();
+  }
+}
+
+uint8_t RangeDecoder::NextByte() {
+  if (pos_ >= in_.size()) {
+    overrun_ = true;
+    return 0;
+  }
+  return in_[pos_++];
+}
+
+uint32_t RangeDecoder::DecodeTarget(uint32_t total) {
+  uint32_t r = range_ / total;
+  uint32_t target = static_cast<uint32_t>(code_ / r);
+  if (target >= total) target = total - 1;
+  return target;
+}
+
+void RangeDecoder::Consume(uint32_t cum_low, uint32_t cum_high,
+                           uint32_t total) {
+  uint32_t r = range_ / total;
+  code_ -= r * cum_low;
+  range_ = r * (cum_high - cum_low);
+  while (range_ < kTopValue) {
+    code_ = (code_ << 8) | NextByte();
+    range_ <<= 8;
+  }
+}
+
+AdaptiveModel::AdaptiveModel(int n) : freq_(n, 1), total_(n) {}
+
+void AdaptiveModel::Bounds(int s, uint32_t* lo, uint32_t* hi) const {
+  uint32_t cum = 0;
+  for (int i = 0; i < s; ++i) cum += freq_[i];
+  *lo = cum;
+  *hi = cum + freq_[s];
+}
+
+int AdaptiveModel::Find(uint32_t target, uint32_t* lo, uint32_t* hi) const {
+  uint32_t cum = 0;
+  for (size_t i = 0; i < freq_.size(); ++i) {
+    if (target < cum + freq_[i]) {
+      *lo = cum;
+      *hi = cum + freq_[i];
+      return static_cast<int>(i);
+    }
+    cum += freq_[i];
+  }
+  *lo = total_ - freq_.back();
+  *hi = total_;
+  return static_cast<int>(freq_.size()) - 1;
+}
+
+void AdaptiveModel::Update(int s) {
+  freq_[s] += 32;
+  total_ += 32;
+  if (total_ >= kMaxTotal) {
+    total_ = 0;
+    for (auto& f : freq_) {
+      f = (f + 1) / 2;
+      total_ += f;
+    }
+  }
+}
+
+void EncodeAdaptive(RangeEncoder* enc, AdaptiveModel* m, int s) {
+  uint32_t lo, hi;
+  m->Bounds(s, &lo, &hi);
+  enc->Encode(lo, hi, m->total());
+  m->Update(s);
+}
+
+int DecodeAdaptive(RangeDecoder* dec, AdaptiveModel* m) {
+  uint32_t target = dec->DecodeTarget(m->total());
+  uint32_t lo, hi;
+  int s = m->Find(target, &lo, &hi);
+  dec->Consume(lo, hi, m->total());
+  m->Update(s);
+  return s;
+}
+
+}  // namespace fcbench::codecs

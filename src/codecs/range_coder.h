@@ -1,0 +1,92 @@
+#ifndef FCBENCH_CODECS_RANGE_CODER_H_
+#define FCBENCH_CODECS_RANGE_CODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace fcbench::codecs {
+
+/// Byte-oriented range coder (Martin 1979 / Subbotin style) with adaptive
+/// frequency models — the "fast range coding method" fpzip uses to encode
+/// residual sign/leading-zero symbols (§3.1 of the paper).
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(Buffer* out) : out_(out) {}
+
+  /// Encodes a symbol given its cumulative range [cum_low, cum_high) out of
+  /// `total`. total must be <= 2^16.
+  void Encode(uint32_t cum_low, uint32_t cum_high, uint32_t total);
+
+  /// Flushes the coder state; call exactly once after the last symbol.
+  void Finish();
+
+ private:
+  void ShiftLow();
+
+  Buffer* out_;
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xffffffffu;
+  uint8_t cache_ = 0;
+  uint64_t cache_size_ = 1;
+};
+
+/// Decoder mirroring RangeEncoder.
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(ByteSpan in);
+
+  /// Returns a value in [0, total) locating the next symbol's cumulative
+  /// interval. After identifying the symbol, call Consume with its range.
+  uint32_t DecodeTarget(uint32_t total);
+
+  /// Advances past the identified symbol.
+  void Consume(uint32_t cum_low, uint32_t cum_high, uint32_t total);
+
+  bool overrun() const { return overrun_; }
+
+ private:
+  uint8_t NextByte();
+
+  ByteSpan in_;
+  size_t pos_ = 0;
+  uint32_t range_ = 0xffffffffu;
+  uint32_t code_ = 0;
+  bool overrun_ = false;
+};
+
+/// Adaptive frequency table over `n` symbols with periodic rescaling.
+/// Encoder and decoder maintain identical state as symbols stream through.
+class AdaptiveModel {
+ public:
+  explicit AdaptiveModel(int n);
+
+  int num_symbols() const { return static_cast<int>(freq_.size()); }
+  uint32_t total() const { return total_; }
+
+  /// Cumulative bounds of symbol s.
+  void Bounds(int s, uint32_t* lo, uint32_t* hi) const;
+
+  /// Finds the symbol whose interval contains `target` (linear scan — the
+  /// alphabets here are <= 70 symbols).
+  int Find(uint32_t target, uint32_t* lo, uint32_t* hi) const;
+
+  /// Records an occurrence (increment + rescale when needed).
+  void Update(int s);
+
+ private:
+  std::vector<uint32_t> freq_;
+  uint32_t total_;
+};
+
+/// Convenience: encode symbol `s` through model `m` (updating it).
+void EncodeAdaptive(RangeEncoder* enc, AdaptiveModel* m, int s);
+
+/// Convenience: decode one symbol through model `m` (updating it).
+int DecodeAdaptive(RangeDecoder* dec, AdaptiveModel* m);
+
+}  // namespace fcbench::codecs
+
+#endif  // FCBENCH_CODECS_RANGE_CODER_H_

@@ -1,0 +1,52 @@
+#ifndef FCBENCH_COMPRESSORS_BITSHUFFLE_H_
+#define FCBENCH_COMPRESSORS_BITSHUFFLE_H_
+
+#include "core/compressor.h"
+
+namespace fcbench::compressors {
+
+/// Bitshuffle (Masui et al. 2015; paper §3.7).
+///
+/// Splits the input into blocks (default 4096 bytes, sized for L1),
+/// bit-transposes each block's elements so that the i-th bits of all
+/// elements become contiguous bytes, then feeds the transposed block to a
+/// dictionary back-end. Blocks are distributed over worker threads
+/// (standing in for the original's SIMD + pthread parallelism).
+///
+/// Back-ends mirror the two paper variants:
+///   bitshuffle_lz4  — our from-scratch LZ4 block codec
+///   bitshuffle_zstd — our zstd-like LZH codec (see DESIGN.md)
+enum class BitshuffleBackend { kLz4, kZstd };
+
+class BitshuffleCompressor : public Compressor {
+ public:
+  BitshuffleCompressor(BitshuffleBackend backend,
+                       const CompressorConfig& config);
+
+  const CompressorTraits& traits() const override { return traits_; }
+
+  Status Compress(ByteSpan input, const DataDesc& desc,
+                  Buffer* out) override;
+  Status Decompress(ByteSpan input, const DataDesc& desc,
+                    Buffer* out) override;
+
+  static std::unique_ptr<Compressor> MakeLz4(const CompressorConfig& config) {
+    return std::make_unique<BitshuffleCompressor>(BitshuffleBackend::kLz4,
+                                                  config);
+  }
+  static std::unique_ptr<Compressor> MakeZstd(
+      const CompressorConfig& config) {
+    return std::make_unique<BitshuffleCompressor>(BitshuffleBackend::kZstd,
+                                                  config);
+  }
+
+ private:
+  CompressorTraits traits_;
+  BitshuffleBackend backend_;
+  size_t block_size_;
+  int threads_;
+};
+
+}  // namespace fcbench::compressors
+
+#endif  // FCBENCH_COMPRESSORS_BITSHUFFLE_H_

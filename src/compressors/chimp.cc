@@ -1,0 +1,229 @@
+#include "compressors/chimp.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/bitio.h"
+#include "util/float_bits.h"
+
+namespace fcbench::compressors {
+
+namespace {
+
+constexpr int kPrevValues = 128;       // window size (the "128" in chimp128)
+constexpr int kIndexBits = 7;          // log2(kPrevValues)
+constexpr int kKeyBits = 14;           // low bits used to group values
+constexpr size_t kKeySize = size_t(1) << kKeyBits;
+
+/// Rounded leading-zero table: 3-bit code -> leading-zero count, per the
+/// Chimp paper. Rounding sacrifices a few bits of precision in the count
+/// for a shorter control field.
+constexpr int kLeadingRound64[] = {0, 8, 12, 16, 18, 20, 22, 24};
+constexpr int kLeadingRound32[] = {0, 4, 6, 8, 10, 12, 14, 16};
+
+template <int kWidth>
+int RoundLeadingCode(int lead) {
+  const int* table = (kWidth == 64) ? kLeadingRound64 : kLeadingRound32;
+  int code = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (table[i] <= lead) code = i;
+  }
+  return code;
+}
+
+template <typename W>
+struct ChimpState {
+  std::vector<W> stored = std::vector<W>(kPrevValues, 0);
+  std::vector<int64_t> key_to_pos = std::vector<int64_t>(kKeySize, -1);
+  int64_t count = 0;  // total values seen
+
+  void Push(W v) {
+    stored[count % kPrevValues] = v;
+    key_to_pos[static_cast<size_t>(v) & (kKeySize - 1)] = count;
+    ++count;
+  }
+
+  /// Best earlier value by low-bit grouping; returns ring index or -1.
+  int FindCandidate(W v) const {
+    int64_t pos = key_to_pos[static_cast<size_t>(v) & (kKeySize - 1)];
+    if (pos < 0 || count - pos >= kPrevValues) return -1;
+    return static_cast<int>(pos % kPrevValues);
+  }
+};
+
+template <typename W>
+void ChimpEncode(const uint8_t* bytes, size_t n, Buffer* out) {
+  constexpr int kWidth = sizeof(W) * 8;
+  constexpr int kTrailThreshold = (kWidth == 64) ? 6 : 4;
+  const int* lead_table =
+      (kWidth == 64) ? kLeadingRound64 : kLeadingRound32;
+
+  BitWriter bw(out);
+  ChimpState<W> state;
+  W prev = 0;
+  int prev_lead_code = 0;
+  for (size_t i = 0; i < n; ++i) {
+    W v;
+    std::memcpy(&v, bytes + i * sizeof(W), sizeof(W));
+    if (i == 0) {
+      bw.WriteBits(v, kWidth);
+      state.Push(v);
+      prev = v;
+      continue;
+    }
+
+    int cand = state.FindCandidate(v);
+    W xor_cand = (cand >= 0) ? (v ^ state.stored[cand]) : W(~W(0));
+    int trail;
+    if constexpr (kWidth == 64) {
+      trail = TrailingZeros64(xor_cand);
+    } else {
+      trail = TrailingZeros32(xor_cand);
+    }
+
+    if (cand >= 0 && xor_cand == 0) {
+      // C = 00: exact repeat of a windowed value.
+      bw.WriteBits(0b00, 2);
+      bw.WriteBits(static_cast<uint64_t>(cand), kIndexBits);
+    } else if (cand >= 0 && trail > kTrailThreshold) {
+      // C = 01: windowed reference with enough trailing zeros.
+      int lead;
+      if constexpr (kWidth == 64) {
+        lead = LeadingZeros64(xor_cand);
+      } else {
+        lead = LeadingZeros32(xor_cand);
+      }
+      int lead_code = RoundLeadingCode<kWidth>(lead);
+      int lead_rounded = lead_table[lead_code];
+      int sig = kWidth - lead_rounded - trail;
+      bw.WriteBits(0b01, 2);
+      bw.WriteBits(static_cast<uint64_t>(cand), kIndexBits);
+      bw.WriteBits(static_cast<uint64_t>(lead_code), 3);
+      bw.WriteBits(static_cast<uint64_t>(sig - 1), 6);
+      bw.WriteBits(static_cast<uint64_t>(xor_cand >> trail), sig);
+    } else {
+      // Fall back to the immediately previous value, Gorilla-style but with
+      // Chimp's shorter codes.
+      W x = v ^ prev;
+      int lead;
+      if constexpr (kWidth == 64) {
+        lead = LeadingZeros64(x);
+      } else {
+        lead = LeadingZeros32(x);
+      }
+      int lead_code = RoundLeadingCode<kWidth>(lead);
+      if (x != 0 && lead_code == prev_lead_code) {
+        // C = 10: same rounded leading-zero count as last time.
+        int sig = kWidth - lead_table[lead_code];
+        bw.WriteBits(0b10, 2);
+        bw.WriteBits(static_cast<uint64_t>(x), sig);
+      } else {
+        // C = 11: new leading-zero code (x == 0 also lands here with
+        // lead_code = 7 -> sig = kWidth - table[7] bits of zeros).
+        if (x == 0) lead_code = 7;
+        int sig = kWidth - lead_table[lead_code];
+        bw.WriteBits(0b11, 2);
+        bw.WriteBits(static_cast<uint64_t>(lead_code), 3);
+        bw.WriteBits(static_cast<uint64_t>(x), sig);
+        prev_lead_code = lead_code;
+      }
+    }
+    state.Push(v);
+    prev = v;
+  }
+  bw.Flush();
+}
+
+template <typename W>
+Status ChimpDecode(ByteSpan in, size_t n, Buffer* out) {
+  constexpr int kWidth = sizeof(W) * 8;
+  const int* lead_table =
+      (kWidth == 64) ? kLeadingRound64 : kLeadingRound32;
+
+  BitReader br(in);
+  ChimpState<W> state;
+  W prev = 0;
+  int prev_lead_code = 0;
+  for (size_t i = 0; i < n; ++i) {
+    W v;
+    if (i == 0) {
+      v = static_cast<W>(br.ReadBits(kWidth));
+    } else {
+      uint32_t flag = static_cast<uint32_t>(br.ReadBits(2));
+      switch (flag) {
+        case 0b00: {
+          int idx = static_cast<int>(br.ReadBits(kIndexBits));
+          v = state.stored[idx];
+          break;
+        }
+        case 0b01: {
+          int idx = static_cast<int>(br.ReadBits(kIndexBits));
+          int lead_code = static_cast<int>(br.ReadBits(3));
+          int sig = static_cast<int>(br.ReadBits(6)) + 1;
+          int trail = kWidth - lead_table[lead_code] - sig;
+          if (trail < 0) return Status::Corruption("chimp: bad 01 window");
+          W center = static_cast<W>(br.ReadBits(sig));
+          v = state.stored[idx] ^ (center << trail);
+          break;
+        }
+        case 0b10: {
+          int sig = kWidth - lead_table[prev_lead_code];
+          W x = static_cast<W>(br.ReadBits(sig));
+          v = prev ^ x;
+          break;
+        }
+        default: {
+          int lead_code = static_cast<int>(br.ReadBits(3));
+          int sig = kWidth - lead_table[lead_code];
+          W x = static_cast<W>(br.ReadBits(sig));
+          v = prev ^ x;
+          prev_lead_code = lead_code;
+          break;
+        }
+      }
+    }
+    if (br.overrun()) return Status::Corruption("chimp: truncated stream");
+    state.Push(v);
+    prev = v;
+    out->Append(&v, sizeof(W));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ChimpCompressor::ChimpCompressor(const CompressorConfig& /*config*/) {
+  traits_.name = "chimp128";
+  traits_.year = 2022;
+  traits_.domain = "Database";
+  traits_.arch = Arch::kCpu;
+  traits_.predictor = PredictorClass::kDictionary;
+  traits_.parallel = false;
+  traits_.uses_dimensions = false;
+}
+
+Status ChimpCompressor::Compress(ByteSpan input, const DataDesc& desc,
+                                 Buffer* out) {
+  size_t esize = DTypeSize(desc.dtype);
+  if (input.size() % esize != 0) {
+    return Status::InvalidArgument("chimp: input not a whole element count");
+  }
+  size_t n = input.size() / esize;
+  if (desc.dtype == DType::kFloat64) {
+    ChimpEncode<uint64_t>(input.data(), n, out);
+  } else {
+    ChimpEncode<uint32_t>(input.data(), n, out);
+  }
+  return Status::OK();
+}
+
+Status ChimpCompressor::Decompress(ByteSpan input, const DataDesc& desc,
+                                   Buffer* out) {
+  size_t n = desc.num_elements();
+  if (desc.dtype == DType::kFloat64) {
+    return ChimpDecode<uint64_t>(input, n, out);
+  }
+  return ChimpDecode<uint32_t>(input, n, out);
+}
+
+}  // namespace fcbench::compressors

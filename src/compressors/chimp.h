@@ -1,0 +1,47 @@
+#ifndef FCBENCH_COMPRESSORS_CHIMP_H_
+#define FCBENCH_COMPRESSORS_CHIMP_H_
+
+#include "core/compressor.h"
+
+namespace fcbench::compressors {
+
+/// Chimp128 (Liakos et al., VLDB 2022; paper §3.5).
+///
+/// A Gorilla descendant that (a) redesigns the control codes for residuals
+/// with few trailing zeros and (b) selects, from the 128 most recent
+/// values (grouped by their least-significant bits in evicting queues),
+/// the reference whose XOR yields the most trailing zeros — making it a
+/// prediction-based method with a sliding window. Higher ratio than
+/// Gorilla on changing data, at lower compression throughput.
+///
+/// Control codes (per paper §3.5):
+///   C = 00 : residual vs. selected earlier value is all-zero
+///            (+ 7-bit index of that value)
+///   C = 01 : enough trailing zeros vs. selected value: 7-bit index,
+///            3-bit rounded leading-zero code, 6-bit significant count,
+///            then the significant bits
+///   C = 10 : XOR vs. immediately previous value, leading-zero count equal
+///            to the previous one -> significant bits only
+///   C = 11 : 3-bit new leading-zero code, then significant bits
+class ChimpCompressor : public Compressor {
+ public:
+  explicit ChimpCompressor(const CompressorConfig& config);
+
+  const CompressorTraits& traits() const override { return traits_; }
+
+  Status Compress(ByteSpan input, const DataDesc& desc,
+                  Buffer* out) override;
+  Status Decompress(ByteSpan input, const DataDesc& desc,
+                    Buffer* out) override;
+
+  static std::unique_ptr<Compressor> Make(const CompressorConfig& config) {
+    return std::make_unique<ChimpCompressor>(config);
+  }
+
+ private:
+  CompressorTraits traits_;
+};
+
+}  // namespace fcbench::compressors
+
+#endif  // FCBENCH_COMPRESSORS_CHIMP_H_

@@ -1,0 +1,183 @@
+#include "compressors/fpzip.h"
+
+#include <cstring>
+#include <vector>
+
+#include "codecs/range_coder.h"
+#include "util/bitio.h"
+#include "util/float_bits.h"
+
+namespace fcbench::compressors {
+
+namespace {
+
+/// Pads an extent to exactly 3 dims (leading 1s); rank > 3 flattens.
+void PadExtent(const DataDesc& desc, size_t e[3]) {
+  e[0] = e[1] = e[2] = 1;
+  int rank = desc.rank();
+  if (rank >= 1 && rank <= 3) {
+    for (int d = 0; d < rank; ++d) e[3 - rank + d] = desc.extent[d];
+  } else {
+    e[2] = desc.num_elements();
+  }
+}
+
+/// Lorenzo prediction at (i,j,k) from previously visited corners; word
+/// arithmetic is mod 2^w, matching fpzip's integer mapping.
+template <typename W>
+W LorenzoPredict(const W* x, size_t i, size_t j, size_t k, size_t s1,
+                 size_t s0) {
+  auto at = [&](size_t di, size_t dj, size_t dk) -> W {
+    if (di > i || dj > j || dk > k) return 0;
+    return x[(i - di) * s0 + (j - dj) * s1 + (k - dk)];
+  };
+  return at(0, 0, 1) + at(0, 1, 0) + at(1, 0, 0) - at(0, 1, 1) -
+         at(1, 0, 1) - at(1, 1, 0) + at(1, 1, 1);
+}
+
+template <typename W>
+void FpzipEncode(ByteSpan input, const DataDesc& desc, int precision_bits,
+                 Buffer* out) {
+  constexpr int kWidth = sizeof(W) * 8;
+  // Lossy mode: zero the low bits before prediction so encoder and
+  // decoder agree on the truncated values.
+  W keep_mask = ~W(0);
+  if (precision_bits > 0 && precision_bits < kWidth) {
+    keep_mask <<= (kWidth - precision_bits);
+  }
+  size_t e[3];
+  PadExtent(desc, e);
+  const size_t s1 = e[2];
+  const size_t s0 = e[1] * e[2];
+  const size_t n = e[0] * e[1] * e[2];
+
+  // Map to order-preserving integers.
+  std::vector<W> x(n);
+  for (size_t idx = 0; idx < n; ++idx) {
+    W bits;
+    std::memcpy(&bits, input.data() + idx * sizeof(W), sizeof(W));
+    x[idx] = SignedToOrdered(bits) & keep_mask;
+  }
+
+  Buffer symbols;  // range-coded significant-bit counts
+  Buffer raw;      // verbatim residual bits
+  codecs::RangeEncoder enc(&symbols);
+  codecs::AdaptiveModel model(kWidth + 1);
+  BitWriter bw(&raw);
+
+  for (size_t i = 0; i < e[0]; ++i) {
+    for (size_t j = 0; j < e[1]; ++j) {
+      for (size_t k = 0; k < e[2]; ++k) {
+        size_t idx = i * s0 + j * s1 + k;
+        W pred = LorenzoPredict(x.data(), i, j, k, s1, s0);
+        W r = x[idx] - pred;  // mod 2^w
+        // ZigZag the two's-complement residual.
+        using S = std::make_signed_t<W>;
+        W z = (r << 1) ^ static_cast<W>(static_cast<S>(r) >> (kWidth - 1));
+        int sig = kWidth - ((kWidth == 64)
+                                ? LeadingZeros64(static_cast<uint64_t>(z))
+                                : LeadingZeros32(static_cast<uint32_t>(z)));
+        codecs::EncodeAdaptive(&enc, &model, sig);
+        if (sig > 1) {
+          // Top bit of z is implicitly 1; store the remaining sig-1 bits.
+          bw.WriteBits(static_cast<uint64_t>(z), sig - 1);
+        }
+      }
+    }
+  }
+  enc.Finish();
+  bw.Flush();
+
+  PutVarint64(out, symbols.size());
+  PutVarint64(out, raw.size());
+  out->Append(symbols.span());
+  out->Append(raw.span());
+}
+
+template <typename W>
+Status FpzipDecode(ByteSpan input, const DataDesc& desc, Buffer* out) {
+  constexpr int kWidth = sizeof(W) * 8;
+  size_t e[3];
+  PadExtent(desc, e);
+  const size_t s1 = e[2];
+  const size_t s0 = e[1] * e[2];
+  const size_t n = e[0] * e[1] * e[2];
+
+  size_t off = 0;
+  uint64_t sym_size = 0, raw_size = 0;
+  if (!GetVarint64(input, &off, &sym_size) ||
+      !GetVarint64(input, &off, &raw_size) ||
+      off + sym_size + raw_size > input.size()) {
+    return Status::Corruption("fpzip: bad header");
+  }
+  codecs::RangeDecoder dec(input.subspan(off, sym_size));
+  codecs::AdaptiveModel model(kWidth + 1);
+  BitReader br(input.subspan(off + sym_size, raw_size));
+
+  std::vector<W> x(n);
+  for (size_t i = 0; i < e[0]; ++i) {
+    for (size_t j = 0; j < e[1]; ++j) {
+      for (size_t k = 0; k < e[2]; ++k) {
+        size_t idx = i * s0 + j * s1 + k;
+        W pred = LorenzoPredict(x.data(), i, j, k, s1, s0);
+        int sig = codecs::DecodeAdaptive(&dec, &model);
+        if (sig > kWidth) return Status::Corruption("fpzip: bad symbol");
+        W z = 0;
+        if (sig > 0) {
+          z = W(1) << (sig - 1);
+          if (sig > 1) {
+            z |= static_cast<W>(br.ReadBits(sig - 1));
+          }
+        }
+        if (br.overrun()) return Status::Corruption("fpzip: truncated bits");
+        W r = (z >> 1) ^ (~(z & 1) + 1);  // un-zigzag
+        x[idx] = pred + r;
+      }
+    }
+  }
+
+  size_t base = out->size();
+  out->Resize(base + n * sizeof(W));
+  uint8_t* dst = out->data() + base;
+  for (size_t idx = 0; idx < n; ++idx) {
+    W bits = OrderedToSigned(x[idx]);
+    std::memcpy(dst + idx * sizeof(W), &bits, sizeof(W));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FpzipCompressor::FpzipCompressor(const CompressorConfig& config)
+    : precision_bits_(config.fpzip_precision_bits) {
+  traits_.name = "fpzip";
+  traits_.year = 2006;
+  traits_.domain = "HPC";
+  traits_.arch = Arch::kCpu;
+  traits_.predictor = PredictorClass::kLorenzo;
+  traits_.parallel = false;
+  traits_.uses_dimensions = true;
+}
+
+Status FpzipCompressor::Compress(ByteSpan input, const DataDesc& desc,
+                                 Buffer* out) {
+  if (input.size() != desc.num_bytes()) {
+    return Status::InvalidArgument("fpzip: desc/input size mismatch");
+  }
+  if (desc.dtype == DType::kFloat64) {
+    FpzipEncode<uint64_t>(input, desc, precision_bits_, out);
+  } else {
+    FpzipEncode<uint32_t>(input, desc, precision_bits_, out);
+  }
+  return Status::OK();
+}
+
+Status FpzipCompressor::Decompress(ByteSpan input, const DataDesc& desc,
+                                   Buffer* out) {
+  if (desc.dtype == DType::kFloat64) {
+    return FpzipDecode<uint64_t>(input, desc, out);
+  }
+  return FpzipDecode<uint32_t>(input, desc, out);
+}
+
+}  // namespace fcbench::compressors

@@ -1,0 +1,49 @@
+#ifndef FCBENCH_COMPRESSORS_FPZIP_H_
+#define FCBENCH_COMPRESSORS_FPZIP_H_
+
+#include "core/compressor.h"
+
+namespace fcbench::compressors {
+
+/// fpzip (Lindstrom & Isenburg, TVCG 2006; paper §3.1).
+///
+/// Per element:
+///   1. the Lorenzo predictor estimates the value from the previously
+///      encoded corners of the local hypercube
+///      (x-hat = sum of odd-corner values minus sum of even-corner values)
+///   2. predicted and actual values are mapped to order-preserving
+///      sign-magnitude integers and subtracted to form an integer residual
+///   3. the residual's sign and significant-bit count are entropy coded
+///      with a fast range coder (Martin 1979)
+///   4. remaining residual bits are copied verbatim
+/// Serial; needs correct dimensionality for hypercube prediction (§3.1
+/// insights; §6.1.5 studies the 1-D fallback).
+///
+/// Lossy mode (§3.1: fpzip "provides both lossless and lossy
+/// compression"): CompressorConfig::fpzip_precision_bits keeps only the
+/// given number of most-significant bits of each value's ordered-integer
+/// representation before prediction, bounding the relative error while
+/// shortening every residual.
+class FpzipCompressor : public Compressor {
+ public:
+  explicit FpzipCompressor(const CompressorConfig& config);
+
+  const CompressorTraits& traits() const override { return traits_; }
+
+  Status Compress(ByteSpan input, const DataDesc& desc,
+                  Buffer* out) override;
+  Status Decompress(ByteSpan input, const DataDesc& desc,
+                    Buffer* out) override;
+
+  static std::unique_ptr<Compressor> Make(const CompressorConfig& config) {
+    return std::make_unique<FpzipCompressor>(config);
+  }
+
+ private:
+  CompressorTraits traits_;
+  int precision_bits_;  // 0 = lossless
+};
+
+}  // namespace fcbench::compressors
+
+#endif  // FCBENCH_COMPRESSORS_FPZIP_H_

@@ -1,0 +1,39 @@
+#ifndef FCBENCH_COMPRESSORS_GORILLA_H_
+#define FCBENCH_COMPRESSORS_GORILLA_H_
+
+#include "core/compressor.h"
+
+namespace fcbench::compressors {
+
+/// Gorilla value compression (Pelkonen et al., VLDB 2015; paper §3.4).
+///
+/// XORs each value with its predecessor and encodes the residual with
+/// three control codes:
+///   C = 0   : residual is zero (repeat of previous value)
+///   C = 10  : meaningful bits fit inside the previous leading/trailing
+///             zero window -> store only those bits
+///   C = 11  : 5 bits leading-zero count, 6 bits meaningful-bit count,
+///             then the meaningful bits
+/// Serial by design; sensitive to rapidly changing values (§3.4 insights).
+class GorillaCompressor : public Compressor {
+ public:
+  explicit GorillaCompressor(const CompressorConfig& config);
+
+  const CompressorTraits& traits() const override { return traits_; }
+
+  Status Compress(ByteSpan input, const DataDesc& desc,
+                  Buffer* out) override;
+  Status Decompress(ByteSpan input, const DataDesc& desc,
+                    Buffer* out) override;
+
+  static std::unique_ptr<Compressor> Make(const CompressorConfig& config) {
+    return std::make_unique<GorillaCompressor>(config);
+  }
+
+ private:
+  CompressorTraits traits_;
+};
+
+}  // namespace fcbench::compressors
+
+#endif  // FCBENCH_COMPRESSORS_GORILLA_H_

@@ -1,0 +1,38 @@
+#ifndef FCBENCH_COMPRESSORS_GORILLA_TIMESTAMPS_H_
+#define FCBENCH_COMPRESSORS_GORILLA_TIMESTAMPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace fcbench::compressors {
+
+/// Gorilla's timestamp half (paper §3.4 workflow step (1)): time series
+/// are (timestamp, value) pairs, and timestamps are compressed with
+/// delta-of-delta coding — with a fixed sampling interval "the majority of
+/// timestamps can be encoded as a single bit of 0".
+///
+/// Encoding per timestamp (after a raw 64-bit header value and a raw
+/// first delta):
+///   D = (t[i] - t[i-1]) - (t[i-1] - t[i-2])
+///   D == 0               -> '0'
+///   D in [-63, 64]       -> '10'   + 7 bits
+///   D in [-255, 256]     -> '110'  + 9 bits
+///   D in [-2047, 2048]   -> '1110' + 12 bits
+///   otherwise            -> '1111' + 32 bits (ZigZag; Gorilla's block
+///                           format bounds deltas to 32 bits)
+class GorillaTimestampCodec {
+ public:
+  /// Compresses a monotonically increasing (or arbitrary) timestamp
+  /// sequence, appending to `out`.
+  static void Compress(const std::vector<int64_t>& timestamps, Buffer* out);
+
+  /// Decompresses `count` timestamps produced by Compress.
+  static Result<std::vector<int64_t>> Decompress(ByteSpan in, size_t count);
+};
+
+}  // namespace fcbench::compressors
+
+#endif  // FCBENCH_COMPRESSORS_GORILLA_TIMESTAMPS_H_

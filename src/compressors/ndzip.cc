@@ -1,0 +1,384 @@
+#include "compressors/ndzip.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "compressors/transpose.h"
+#include "util/bitio.h"
+#include "util/float_bits.h"
+#include "util/thread_pool.h"
+
+namespace fcbench::compressors {
+
+namespace ndzip_detail {
+
+void HypercubeSides(int rank, size_t sides[3]) {
+  switch (rank) {
+    case 2:
+      sides[0] = 1;
+      sides[1] = 64;
+      sides[2] = 64;
+      break;
+    case 3:
+      sides[0] = 16;
+      sides[1] = 16;
+      sides[2] = 16;
+      break;
+    default:  // 1-D and anything above 3-D (flattened)
+      sides[0] = 1;
+      sides[1] = 1;
+      sides[2] = 4096;
+      break;
+  }
+}
+
+template <typename W>
+void LorenzoForward(W* x, const size_t sides[3]) {
+  const size_t s0 = sides[0], s1 = sides[1], s2 = sides[2];
+  const size_t stride1 = s2;
+  const size_t stride0 = s1 * s2;
+  // Differences along the fastest dimension first; order is irrelevant for
+  // correctness (the operators commute) but cache-friendly this way.
+  for (size_t i = 0; i < s0; ++i) {
+    for (size_t j = 0; j < s1; ++j) {
+      W* line = x + i * stride0 + j * stride1;
+      for (size_t k = s2 - 1; k > 0; --k) line[k] -= line[k - 1];
+    }
+  }
+  if (s1 > 1) {
+    for (size_t i = 0; i < s0; ++i) {
+      for (size_t j = s1 - 1; j > 0; --j) {
+        W* row = x + i * stride0 + j * stride1;
+        W* prev = row - stride1;
+        for (size_t k = 0; k < s2; ++k) row[k] -= prev[k];
+      }
+    }
+  }
+  if (s0 > 1) {
+    for (size_t i = s0 - 1; i > 0; --i) {
+      W* plane = x + i * stride0;
+      W* prev = plane - stride0;
+      for (size_t k = 0; k < stride0; ++k) plane[k] -= prev[k];
+    }
+  }
+}
+
+template <typename W>
+void LorenzoInverse(W* x, const size_t sides[3]) {
+  const size_t s0 = sides[0], s1 = sides[1], s2 = sides[2];
+  const size_t stride1 = s2;
+  const size_t stride0 = s1 * s2;
+  if (s0 > 1) {
+    for (size_t i = 1; i < s0; ++i) {
+      W* plane = x + i * stride0;
+      W* prev = plane - stride0;
+      for (size_t k = 0; k < stride0; ++k) plane[k] += prev[k];
+    }
+  }
+  if (s1 > 1) {
+    for (size_t i = 0; i < s0; ++i) {
+      for (size_t j = 1; j < s1; ++j) {
+        W* row = x + i * stride0 + j * stride1;
+        W* prev = row - stride1;
+        for (size_t k = 0; k < s2; ++k) row[k] += prev[k];
+      }
+    }
+  }
+  for (size_t i = 0; i < s0; ++i) {
+    for (size_t j = 0; j < s1; ++j) {
+      W* line = x + i * stride0 + j * stride1;
+      for (size_t k = 1; k < s2; ++k) line[k] += line[k - 1];
+    }
+  }
+}
+
+template void LorenzoForward<uint32_t>(uint32_t*, const size_t[3]);
+template void LorenzoForward<uint64_t>(uint64_t*, const size_t[3]);
+template void LorenzoInverse<uint32_t>(uint32_t*, const size_t[3]);
+template void LorenzoInverse<uint64_t>(uint64_t*, const size_t[3]);
+
+}  // namespace ndzip_detail
+
+namespace {
+
+using ndzip_detail::HypercubeSides;
+using ndzip_detail::LorenzoForward;
+using ndzip_detail::LorenzoInverse;
+
+constexpr size_t kBlockElems = 4096;
+
+template <typename W>
+W ZigZagW(W v) {
+  using S = std::make_signed_t<W>;
+  constexpr int kShift = sizeof(W) * 8 - 1;
+  return (v << 1) ^ static_cast<W>(static_cast<S>(v) >> kShift);
+}
+
+template <typename W>
+W UnZigZagW(W v) {
+  return (v >> 1) ^ (~(v & 1) + 1);
+}
+
+/// Geometry of the hypercube grid over a (padded to 3-D) extent.
+struct Grid {
+  size_t ext[3];    // data extent
+  size_t sides[3];  // hypercube sides
+  size_t nblk[3];   // number of full hypercubes per dim
+  size_t stride1, stride0;
+
+  static Grid Make(const DataDesc& desc) {
+    Grid g{};
+    int rank = desc.rank();
+    size_t e[3] = {1, 1, 1};
+    if (rank >= 1 && rank <= 3) {
+      for (int d = 0; d < rank; ++d) {
+        e[3 - rank + d] = desc.extent[d];
+      }
+    } else {
+      e[2] = desc.num_elements();
+    }
+    HypercubeSides(rank, g.sides);
+    for (int d = 0; d < 3; ++d) {
+      g.ext[d] = e[d];
+      g.nblk[d] = e[d] / g.sides[d];
+    }
+    g.stride1 = g.ext[2];
+    g.stride0 = g.ext[1] * g.ext[2];
+    return g;
+  }
+
+  size_t num_blocks() const { return nblk[0] * nblk[1] * nblk[2]; }
+
+  /// Element offset of the block origin for block index b.
+  size_t BlockOrigin(size_t b) const {
+    size_t b2 = b % nblk[2];
+    size_t b1 = (b / nblk[2]) % nblk[1];
+    size_t b0 = b / (nblk[2] * nblk[1]);
+    return b0 * sides[0] * stride0 + b1 * sides[1] * stride1 +
+           b2 * sides[2];
+  }
+
+  bool IsBorder(size_t i, size_t j, size_t k) const {
+    return i >= nblk[0] * sides[0] || j >= nblk[1] * sides[1] ||
+           k >= nblk[2] * sides[2];
+  }
+};
+
+template <typename W>
+void GatherBlock(const uint8_t* base, const Grid& g, size_t origin, W* blk) {
+  size_t idx = 0;
+  for (size_t i = 0; i < g.sides[0]; ++i) {
+    for (size_t j = 0; j < g.sides[1]; ++j) {
+      const uint8_t* line =
+          base + (origin + i * g.stride0 + j * g.stride1) * sizeof(W);
+      std::memcpy(blk + idx, line, g.sides[2] * sizeof(W));
+      idx += g.sides[2];
+    }
+  }
+}
+
+template <typename W>
+void ScatterBlock(uint8_t* base, const Grid& g, size_t origin, const W* blk) {
+  size_t idx = 0;
+  for (size_t i = 0; i < g.sides[0]; ++i) {
+    for (size_t j = 0; j < g.sides[1]; ++j) {
+      uint8_t* line =
+          base + (origin + i * g.stride0 + j * g.stride1) * sizeof(W);
+      std::memcpy(line, blk + idx, g.sides[2] * sizeof(W));
+      idx += g.sides[2];
+    }
+  }
+}
+
+/// Encodes one transformed hypercube: chunked bit-transpose + zero-word
+/// removal with bitmap headers.
+template <typename W>
+void EncodeBlockResiduals(const W* blk, Buffer* out) {
+  constexpr size_t kChunk = sizeof(W) * 8;  // 32 or 64 elements
+  static_assert(kBlockElems % kChunk == 0);
+  uint8_t transposed[kChunk * sizeof(W)];
+  for (size_t c = 0; c < kBlockElems; c += kChunk) {
+    BitTranspose(reinterpret_cast<const uint8_t*>(blk + c), transposed,
+                 kChunk, sizeof(W));
+    // kChunk planes, each sizeof(W)*8 bits = kChunk bits... each plane is
+    // kChunk/8 bytes = sizeof(W) bytes wide: one W word per plane.
+    W bitmap = 0;
+    W words[kChunk];
+    for (size_t p = 0; p < kChunk; ++p) {
+      W w;
+      std::memcpy(&w, transposed + p * sizeof(W), sizeof(W));
+      words[p] = w;
+      if (w != 0) bitmap |= W(1) << p;
+    }
+    out->Append(&bitmap, sizeof(W));
+    for (size_t p = 0; p < kChunk; ++p) {
+      if (words[p] != 0) out->Append(&words[p], sizeof(W));
+    }
+  }
+}
+
+template <typename W>
+Status DecodeBlockResiduals(ByteSpan in, size_t* pos, W* blk) {
+  constexpr size_t kChunk = sizeof(W) * 8;
+  uint8_t transposed[kChunk * sizeof(W)];
+  for (size_t c = 0; c < kBlockElems; c += kChunk) {
+    W bitmap;
+    if (!GetFixed(in, pos, &bitmap)) {
+      return Status::Corruption("ndzip: truncated bitmap");
+    }
+    for (size_t p = 0; p < kChunk; ++p) {
+      W w = 0;
+      if ((bitmap >> p) & 1) {
+        if (!GetFixed(in, pos, &w)) {
+          return Status::Corruption("ndzip: truncated words");
+        }
+      }
+      std::memcpy(transposed + p * sizeof(W), &w, sizeof(W));
+    }
+    BitUntranspose(transposed, reinterpret_cast<uint8_t*>(blk + c), kChunk,
+                   sizeof(W));
+  }
+  return Status::OK();
+}
+
+template <typename W>
+Status NdzipCompressImpl(ByteSpan input, const DataDesc& desc, int threads,
+                         Buffer* out) {
+  Grid g = Grid::Make(desc);
+  size_t nblocks = g.num_blocks();
+  const uint8_t* base = input.data();
+
+  std::vector<Buffer> parts(nblocks);
+  {
+    ThreadPool pool(threads);
+    pool.ParallelFor(nblocks, [&](size_t b) {
+      W blk[kBlockElems];
+      GatherBlock(base, g, g.BlockOrigin(b), blk);
+      for (auto& w : blk) w = SignedToOrdered(w);
+      LorenzoForward(blk, g.sides);
+      for (auto& w : blk) w = ZigZagW(w);
+      EncodeBlockResiduals(blk, &parts[b]);
+    });
+  }
+
+  PutVarint64(out, nblocks);
+  for (const auto& p : parts) PutVarint64(out, p.size());
+  for (const auto& p : parts) out->Append(p.span());
+
+  // Border elements (not covered by any full hypercube), verbatim, in
+  // row-major order.
+  const size_t cov0 = g.nblk[0] * g.sides[0];
+  const size_t cov1 = g.nblk[1] * g.sides[1];
+  const size_t cov2 = g.nblk[2] * g.sides[2];
+  for (size_t i = 0; i < g.ext[0]; ++i) {
+    for (size_t j = 0; j < g.ext[1]; ++j) {
+      size_t k0 = (i < cov0 && j < cov1) ? cov2 : 0;
+      for (size_t k = k0; k < g.ext[2]; ++k) {
+        size_t idx = i * g.stride0 + j * g.stride1 + k;
+        out->Append(base + idx * sizeof(W), sizeof(W));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+template <typename W>
+Status NdzipDecompressImpl(ByteSpan input, const DataDesc& desc, int threads,
+                           Buffer* out) {
+  Grid g = Grid::Make(desc);
+  size_t off = 0;
+  uint64_t nblocks = 0;
+  if (!GetVarint64(input, &off, &nblocks) || nblocks != g.num_blocks()) {
+    return Status::Corruption("ndzip: bad header");
+  }
+  std::vector<uint64_t> sizes(nblocks);
+  for (auto& s : sizes) {
+    if (!GetVarint64(input, &off, &s)) {
+      return Status::Corruption("ndzip: bad block sizes");
+    }
+  }
+  std::vector<size_t> starts(nblocks);
+  for (size_t b = 0; b < nblocks; ++b) {
+    starts[b] = off;
+    off += sizes[b];
+    if (off > input.size()) return Status::Corruption("ndzip: truncated");
+  }
+
+  size_t base_off = out->size();
+  out->Resize(base_off + desc.num_bytes());
+  uint8_t* base = out->data() + base_off;
+
+  std::vector<Status> stats(nblocks);
+  {
+    ThreadPool pool(threads);
+    pool.ParallelFor(nblocks, [&](size_t b) {
+      W blk[kBlockElems];
+      size_t pos = starts[b];
+      Status st = DecodeBlockResiduals(
+          ByteSpan(input.data(), starts[b] + sizes[b]), &pos, blk);
+      if (!st.ok()) {
+        stats[b] = st;
+        return;
+      }
+      for (auto& w : blk) w = UnZigZagW(w);
+      LorenzoInverse(blk, g.sides);
+      for (auto& w : blk) w = OrderedToSigned(w);
+      ScatterBlock(base, g, g.BlockOrigin(b), blk);
+    });
+  }
+  for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
+
+  // Border elements.
+  const size_t cov0 = g.nblk[0] * g.sides[0];
+  const size_t cov1 = g.nblk[1] * g.sides[1];
+  const size_t cov2 = g.nblk[2] * g.sides[2];
+  for (size_t i = 0; i < g.ext[0]; ++i) {
+    for (size_t j = 0; j < g.ext[1]; ++j) {
+      size_t k0 = (i < cov0 && j < cov1) ? cov2 : 0;
+      for (size_t k = k0; k < g.ext[2]; ++k) {
+        size_t idx = i * g.stride0 + j * g.stride1 + k;
+        if (off + sizeof(W) > input.size()) {
+          return Status::Corruption("ndzip: truncated border");
+        }
+        std::memcpy(base + idx * sizeof(W), input.data() + off, sizeof(W));
+        off += sizeof(W);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+NdzipCompressor::NdzipCompressor(const CompressorConfig& config)
+    : threads_(config.threads > 0 ? config.threads : 8) {
+  traits_.name = "ndzip_cpu";
+  traits_.year = 2021;
+  traits_.domain = "HPC";
+  traits_.arch = Arch::kCpu;
+  traits_.predictor = PredictorClass::kLorenzo;
+  traits_.parallel = true;
+  traits_.uses_dimensions = true;
+}
+
+Status NdzipCompressor::Compress(ByteSpan input, const DataDesc& desc,
+                                 Buffer* out) {
+  if (input.size() != desc.num_bytes()) {
+    return Status::InvalidArgument("ndzip: desc/input size mismatch");
+  }
+  if (desc.dtype == DType::kFloat64) {
+    return NdzipCompressImpl<uint64_t>(input, desc, threads_, out);
+  }
+  return NdzipCompressImpl<uint32_t>(input, desc, threads_, out);
+}
+
+Status NdzipCompressor::Decompress(ByteSpan input, const DataDesc& desc,
+                                   Buffer* out) {
+  if (desc.dtype == DType::kFloat64) {
+    return NdzipDecompressImpl<uint64_t>(input, desc, threads_, out);
+  }
+  return NdzipDecompressImpl<uint32_t>(input, desc, threads_, out);
+}
+
+}  // namespace fcbench::compressors

@@ -1,0 +1,62 @@
+#ifndef FCBENCH_COMPRESSORS_NDZIP_H_
+#define FCBENCH_COMPRESSORS_NDZIP_H_
+
+#include "core/compressor.h"
+
+namespace fcbench::compressors {
+
+/// ndzip (Knorr, Thoman & Fahringer, DCC 2021; paper §3.8).
+///
+/// Pipeline per 4096-element hypercube (4096 / 64x64 / 16x16x16 for
+/// 1/2/3-D data):
+///   1. map float bits to order-preserving integers
+///   2. multidimensional *integer Lorenzo transform* — realized, as in the
+///      original, by separable per-dimension differences (mod 2^w), then a
+///      zigzag step so residual magnitudes occupy the low bit planes
+///   3. bit-transpose chunks of 32 (f32) / 64 (f64) residuals
+///   4. remove zero words; positions kept in a 32/64-bit bitmap header
+/// Hypercubes compress independently (thread-level parallelism);
+/// border elements that do not fill a hypercube are stored verbatim.
+///
+/// This same kernel, re-hosted on the SIMT simulator, is the paper's
+/// ndzip-GPU (§4.4) — see gpusim/ndzip_gpu.h.
+class NdzipCompressor : public Compressor {
+ public:
+  explicit NdzipCompressor(const CompressorConfig& config);
+
+  const CompressorTraits& traits() const override { return traits_; }
+
+  Status Compress(ByteSpan input, const DataDesc& desc,
+                  Buffer* out) override;
+  Status Decompress(ByteSpan input, const DataDesc& desc,
+                    Buffer* out) override;
+
+  static std::unique_ptr<Compressor> Make(const CompressorConfig& config) {
+    return std::make_unique<NdzipCompressor>(config);
+  }
+
+ private:
+  CompressorTraits traits_;
+  int threads_;
+};
+
+namespace ndzip_detail {
+
+/// Hypercube side lengths for a given rank (padded to 3 dims, slowest
+/// first): rank 1 -> {1,1,4096}, rank 2 -> {1,64,64}, rank 3 -> {16,16,16}.
+void HypercubeSides(int rank, size_t sides[3]);
+
+/// Forward separable integer Lorenzo transform over a contiguous block of
+/// sides[0]*sides[1]*sides[2] words (in place, mod 2^w arithmetic).
+template <typename W>
+void LorenzoForward(W* x, const size_t sides[3]);
+
+/// Inverse transform.
+template <typename W>
+void LorenzoInverse(W* x, const size_t sides[3]);
+
+}  // namespace ndzip_detail
+
+}  // namespace fcbench::compressors
+
+#endif  // FCBENCH_COMPRESSORS_NDZIP_H_

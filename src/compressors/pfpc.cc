@@ -1,0 +1,244 @@
+#include "compressors/pfpc.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/bitio.h"
+#include "util/float_bits.h"
+
+namespace fcbench::compressors {
+
+namespace {
+
+/// FPC kernel over 64-bit words (FPC is double-oriented; single-precision
+/// input is processed as pairs of floats packed into 64-bit words plus a
+/// possible tail, matching how pFPC treats raw byte streams).
+class FpcKernel {
+ public:
+  explicit FpcKernel(int table_log)
+      : mask_((size_t(1) << table_log) - 1),
+        fcm_(size_t(1) << table_log, 0),
+        dfcm_(size_t(1) << table_log, 0) {}
+
+  /// Compresses n 64-bit words; emits a nibble code stream then residual
+  /// bytes (sizes via varint header).
+  void Compress(const uint8_t* bytes, size_t n, Buffer* out) {
+    Buffer codes;    // packed 4-bit codes, two per byte
+    Buffer residue;  // non-zero residual bytes
+    uint8_t pending_nibble = 0;
+    bool have_pending = false;
+
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t v;
+      std::memcpy(&v, bytes + i * 8, 8);
+      uint64_t pred_fcm = fcm_[fcm_hash_];
+      uint64_t pred_dfcm = last_ + dfcm_[dfcm_hash_];
+      uint64_t x_fcm = v ^ pred_fcm;
+      uint64_t x_dfcm = v ^ pred_dfcm;
+
+      UpdateTables(v);
+
+      bool use_dfcm = CountLeadZeroBytes(x_dfcm) > CountLeadZeroBytes(x_fcm);
+      uint64_t x = use_dfcm ? x_dfcm : x_fcm;
+      int lzb = CountLeadZeroBytes(x);
+      // FPC code: 3 bits encode {0,1,2,3,4,5,6,8} leading zero bytes; a
+      // count of 7 is mapped down to 6 so that code 7 can mean "all 8".
+      int code;
+      if (lzb == 8) {
+        code = 7;
+      } else if (lzb == 7) {
+        code = 6;
+        lzb = 6;
+      } else {
+        code = lzb;
+      }
+      uint8_t nibble =
+          static_cast<uint8_t>((use_dfcm ? 8 : 0) | code);
+      if (have_pending) {
+        codes.PushBack(static_cast<uint8_t>((pending_nibble << 4) | nibble));
+        have_pending = false;
+      } else {
+        pending_nibble = nibble;
+        have_pending = true;
+      }
+      // Residual bytes, most significant first, skipping leading zeros.
+      int keep = 8 - lzb;
+      for (int b = keep - 1; b >= 0; --b) {
+        residue.PushBack(static_cast<uint8_t>(x >> (8 * b)));
+      }
+    }
+    if (have_pending) codes.PushBack(static_cast<uint8_t>(pending_nibble << 4));
+
+    PutVarint64(out, codes.size());
+    PutVarint64(out, residue.size());
+    out->Append(codes.span());
+    out->Append(residue.span());
+  }
+
+  Status Decompress(ByteSpan in, size_t n, Buffer* out) {
+    size_t off = 0;
+    uint64_t codes_size = 0, residue_size = 0;
+    if (!GetVarint64(in, &off, &codes_size) ||
+        !GetVarint64(in, &off, &residue_size) ||
+        off + codes_size + residue_size > in.size()) {
+      return Status::Corruption("pfpc: bad chunk header");
+    }
+    ByteSpan codes = in.subspan(off, codes_size);
+    ByteSpan residue = in.subspan(off + codes_size, residue_size);
+    size_t rpos = 0;
+
+    for (size_t i = 0; i < n; ++i) {
+      if (i / 2 >= codes.size()) {
+        return Status::Corruption("pfpc: truncated code stream");
+      }
+      uint8_t nibble = (i % 2 == 0) ? (codes[i / 2] >> 4)
+                                    : (codes[i / 2] & 0x0f);
+      bool use_dfcm = (nibble & 8) != 0;
+      int code = nibble & 7;
+      int lzb = (code == 7) ? 8 : code;
+      int keep = 8 - lzb;
+      if (rpos + keep > residue.size()) {
+        return Status::Corruption("pfpc: truncated residuals");
+      }
+      uint64_t x = 0;
+      for (int b = keep - 1; b >= 0; --b) {
+        x |= static_cast<uint64_t>(residue[rpos++]) << (8 * b);
+      }
+      uint64_t pred =
+          use_dfcm ? (last_ + dfcm_[dfcm_hash_]) : fcm_[fcm_hash_];
+      uint64_t v = x ^ pred;
+      UpdateTables(v);
+      out->Append(&v, 8);
+    }
+    return Status::OK();
+  }
+
+ private:
+  static int CountLeadZeroBytes(uint64_t x) { return LeadingZeros64(x) / 8; }
+
+  void UpdateTables(uint64_t v) {
+    fcm_[fcm_hash_] = v;
+    fcm_hash_ = ((fcm_hash_ << 6) ^ (v >> 48)) & mask_;
+    uint64_t delta = v - last_;
+    dfcm_[dfcm_hash_] = delta;
+    dfcm_hash_ = ((dfcm_hash_ << 2) ^ (delta >> 40)) & mask_;
+    last_ = v;
+  }
+
+  size_t mask_;
+  std::vector<uint64_t> fcm_;
+  std::vector<uint64_t> dfcm_;
+  size_t fcm_hash_ = 0;
+  size_t dfcm_hash_ = 0;
+  uint64_t last_ = 0;
+};
+
+}  // namespace
+
+PfpcCompressor::PfpcCompressor(const CompressorConfig& config)
+    : threads_(config.threads > 0 ? config.threads : 8) {
+  traits_.name = "pfpc";
+  traits_.year = 2009;
+  traits_.domain = "HPC";
+  traits_.arch = Arch::kCpu;
+  traits_.predictor = PredictorClass::kPrediction;
+  traits_.parallel = true;
+  traits_.supports_f32 = true;  // processed as packed 64-bit words
+  traits_.uses_dimensions = true;
+}
+
+Status PfpcCompressor::Compress(ByteSpan input, const DataDesc& desc,
+                                Buffer* out) {
+  (void)desc;
+  // Work in 64-bit words; a tail of < 8 bytes is stored raw.
+  size_t n_words = input.size() / 8;
+  size_t tail = input.size() - n_words * 8;
+
+  int nthreads = threads_;
+  size_t chunk_words = (n_words + nthreads - 1) / nthreads;
+  if (chunk_words == 0) chunk_words = 1;
+  size_t nchunks = (n_words + chunk_words - 1) / chunk_words;
+  if (n_words == 0) nchunks = 0;
+
+  std::vector<Buffer> parts(nchunks);
+  {
+    ThreadPool pool(nthreads);
+    pool.ParallelFor(nchunks, [&](size_t c) {
+      size_t begin = c * chunk_words;
+      size_t end = std::min(n_words, begin + chunk_words);
+      FpcKernel kernel(table_log_);
+      kernel.Compress(input.data() + begin * 8, end - begin, &parts[c]);
+    });
+  }
+
+  PutVarint64(out, nchunks);
+  PutVarint64(out, chunk_words);
+  PutVarint64(out, tail);
+  for (const auto& p : parts) PutVarint64(out, p.size());
+  for (const auto& p : parts) out->Append(p.span());
+  out->Append(input.data() + n_words * 8, tail);
+  return Status::OK();
+}
+
+Status PfpcCompressor::Decompress(ByteSpan input, const DataDesc& desc,
+                                  Buffer* out) {
+  size_t off = 0;
+  uint64_t nchunks = 0, chunk_words = 0, tail = 0;
+  if (!GetVarint64(input, &off, &nchunks) ||
+      !GetVarint64(input, &off, &chunk_words) ||
+      !GetVarint64(input, &off, &tail)) {
+    return Status::Corruption("pfpc: bad header");
+  }
+  if (nchunks > input.size() - off) {  // each chunk needs >= 1 header byte
+    return Status::Corruption("pfpc: implausible chunk count");
+  }
+  std::vector<uint64_t> sizes(nchunks);
+  for (auto& s : sizes) {
+    if (!GetVarint64(input, &off, &s)) {
+      return Status::Corruption("pfpc: bad chunk size");
+    }
+  }
+  uint64_t total_words = desc.num_bytes() / 8;
+  if (nchunks > 0 &&
+      (chunk_words == 0 || (nchunks - 1) * chunk_words >= total_words)) {
+    return Status::Corruption("pfpc: inconsistent chunk directory");
+  }
+
+  // Chunk start offsets for parallel decompression. Every offset is
+  // validated as it accumulates so corrupt sizes can neither wrap the
+  // offset nor push a subspan past the input.
+  std::vector<size_t> starts(nchunks);
+  {
+    size_t pos = off;
+    for (size_t c = 0; c < nchunks; ++c) {
+      starts[c] = pos;
+      if (sizes[c] > input.size() - pos) {
+        return Status::Corruption("pfpc: truncated chunks");
+      }
+      pos += sizes[c];
+    }
+    if (tail > input.size() - pos) {
+      return Status::Corruption("pfpc: truncated tail");
+    }
+    off = pos;
+  }
+
+  std::vector<Buffer> parts(nchunks);
+  std::vector<Status> stats(nchunks);
+  {
+    ThreadPool pool(threads_);
+    pool.ParallelFor(nchunks, [&](size_t c) {
+      size_t begin = c * chunk_words;
+      size_t end = std::min<uint64_t>(total_words, begin + chunk_words);
+      FpcKernel kernel(table_log_);
+      stats[c] = kernel.Decompress(input.subspan(starts[c], sizes[c]),
+                                   end - begin, &parts[c]);
+    });
+  }
+  for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
+  for (const auto& p : parts) out->Append(p.span());
+  out->Append(input.data() + off, tail);
+  return Status::OK();
+}
+
+}  // namespace fcbench::compressors

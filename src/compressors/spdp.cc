@@ -1,0 +1,150 @@
+#include "compressors/spdp.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "codecs/lz4.h"
+#include "compressors/transpose.h"
+#include "util/bitio.h"
+
+namespace fcbench::compressors {
+
+namespace {
+
+constexpr size_t kDefaultBlock = 1 << 20;  // 1 MiB, SPDP's buffered mode
+
+/// LNVs2 forward: r[i] = b[i] - b[i-2] (bytes; first two copied).
+void Lnv2Forward(ByteSpan in, std::vector<uint8_t>* out) {
+  out->resize(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    uint8_t prev = (i >= 2) ? in[i - 2] : 0;
+    (*out)[i] = static_cast<uint8_t>(in[i] - prev);
+  }
+}
+
+void Lnv2Inverse(const uint8_t* in, size_t n, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t prev = (i >= 2) ? out[i - 2] : 0;
+    out[i] = static_cast<uint8_t>(in[i] + prev);
+  }
+}
+
+/// LNVs1 forward on an arbitrary byte stream: r[i] = b[i] - b[i-1].
+void Lnv1Forward(const uint8_t* in, size_t n, uint8_t* out) {
+  uint8_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(in[i] - prev);
+    prev = in[i];
+  }
+}
+
+void Lnv1Inverse(const uint8_t* in, size_t n, uint8_t* out) {
+  uint8_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    prev = static_cast<uint8_t>(in[i] + prev);
+    out[i] = prev;
+  }
+}
+
+}  // namespace
+
+SpdpCompressor::SpdpCompressor(const CompressorConfig& config)
+    : block_size_(config.block_size ? config.block_size : kDefaultBlock),
+      level_(std::max(1, config.level)) {
+  traits_.name = "spdp";
+  traits_.year = 2018;
+  traits_.domain = "HPC";
+  traits_.arch = Arch::kCpu;
+  traits_.predictor = PredictorClass::kDictionary;
+  traits_.parallel = false;
+  traits_.uses_dimensions = false;
+}
+
+Status SpdpCompressor::Compress(ByteSpan input, const DataDesc& /*desc*/,
+                                Buffer* out) {
+  PutVarint64(out, input.size());
+  PutVarint64(out, block_size_);
+
+  std::vector<uint8_t> stage1, stage2, stage3;
+  codecs::Lz4Codec lz(codecs::Lz4Codec::Options{.max_attempts = 4 * level_});
+
+  for (size_t pos = 0; pos < input.size() || pos == 0; pos += block_size_) {
+    if (pos > 0 && pos >= input.size()) break;
+    size_t len = std::min(block_size_, input.size() - pos);
+    ByteSpan block = input.subspan(pos, len);
+
+    // 1. LNVs2
+    Lnv2Forward(block, &stage1);
+    // 2. DIM8: byte-plane shuffle with plane stride 8; the ragged tail
+    //    (len % 8 bytes) is appended unshuffled.
+    size_t whole = (len / 8) * 8;
+    stage2.resize(len);
+    ByteShuffle(stage1.data(), stage2.data(), len / 8, 8);
+    std::copy(stage1.begin() + whole, stage1.end(), stage2.begin() + whole);
+    // 3. LNVs1
+    stage3.resize(len);
+    Lnv1Forward(stage2.data(), len, stage3.data());
+    // 4. LZa6 (LZ4-format, chained matcher)
+    Buffer packed;
+    lz.Compress(ByteSpan(stage3.data(), len), &packed);
+    PutVarint64(out, packed.size());
+    out->Append(packed.span());
+    if (input.empty()) break;
+  }
+  return Status::OK();
+}
+
+Status SpdpCompressor::Decompress(ByteSpan input, const DataDesc& desc,
+                                  Buffer* out) {
+  size_t off = 0;
+  uint64_t total = 0, bs = 0;
+  if (!GetVarint64(input, &off, &total) || !GetVarint64(input, &off, &bs) ||
+      bs == 0) {
+    return Status::Corruption("spdp: bad header");
+  }
+  // Hostile-header guards: both fields size allocations below.
+  if (bs > (uint64_t(1) << 30)) {
+    return Status::Corruption("spdp: implausible block size");
+  }
+  const uint64_t expected =
+      desc.num_elements() > 0 ? desc.num_bytes() + 64 : (uint64_t(1) << 33);
+  if (total > expected) {
+    return Status::Corruption("spdp: declared size disagrees with desc");
+  }
+  codecs::Lz4Codec lz;
+  std::vector<uint8_t> stage2(std::min<uint64_t>(bs, total)),
+      stage1(std::min<uint64_t>(bs, total));
+
+  uint64_t remaining = total;
+  while (remaining > 0 || (total == 0 && off < input.size())) {
+    size_t len = static_cast<size_t>(std::min<uint64_t>(bs, remaining));
+    uint64_t packed_size = 0;
+    if (!GetVarint64(input, &off, &packed_size) ||
+        off + packed_size > input.size()) {
+      return Status::Corruption("spdp: truncated block");
+    }
+    Buffer stage3;
+    FCB_RETURN_IF_ERROR(
+        lz.Decompress(input.subspan(off, packed_size), len, &stage3));
+    off += packed_size;
+
+    // Inverse LNVs1.
+    stage2.resize(len);
+    Lnv1Inverse(stage3.data(), len, stage2.data());
+    // Inverse DIM8.
+    size_t whole = (len / 8) * 8;
+    stage1.resize(len);
+    ByteUnshuffle(stage2.data(), stage1.data(), len / 8, 8);
+    std::copy(stage2.begin() + whole, stage2.end(), stage1.begin() + whole);
+    // Inverse LNVs2 (in place into out).
+    size_t base = out->size();
+    out->Resize(base + len);
+    Lnv2Inverse(stage1.data(), len, out->data() + base);
+
+    remaining -= len;
+    if (total == 0) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace fcbench::compressors

@@ -1,0 +1,182 @@
+#include "compressors/timeseries_block.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "codecs/intcodec.h"
+#include "compressors/gorilla.h"
+#include "compressors/gorilla_timestamps.h"
+#include "util/bitio.h"
+
+namespace fcbench::compressors {
+
+namespace {
+
+/// Per-block directory entry parsed from the stream header.
+struct BlockMeta {
+  int64_t first_ts = 0;
+  int64_t last_ts = 0;
+  uint64_t ts_bytes = 0;
+  uint64_t val_bytes = 0;
+  size_t payload_off = 0;  // absolute offset of the block's ts payload
+  size_t count = 0;
+};
+
+struct StreamHeader {
+  uint64_t total_points = 0;
+  uint64_t points_per_block = 0;
+  std::vector<BlockMeta> blocks;
+};
+
+Status ParseHeader(ByteSpan in, StreamHeader* h) {
+  size_t off = 0;
+  uint64_t num_blocks = 0;
+  if (!GetVarint64(in, &off, &h->total_points) ||
+      !GetVarint64(in, &off, &h->points_per_block) ||
+      !GetVarint64(in, &off, &num_blocks)) {
+    return Status::Corruption("tsblock: bad header");
+  }
+  if (h->points_per_block == 0 && h->total_points > 0) {
+    return Status::Corruption("tsblock: zero block size");
+  }
+  uint64_t expected_blocks =
+      h->total_points == 0
+          ? 0
+          : (h->total_points + h->points_per_block - 1) / h->points_per_block;
+  if (num_blocks != expected_blocks || num_blocks > in.size()) {
+    return Status::Corruption("tsblock: inconsistent block count");
+  }
+  h->blocks.resize(num_blocks);
+  for (auto& b : h->blocks) {
+    uint64_t zf = 0, zl = 0;
+    if (!GetVarint64(in, &off, &zf) || !GetVarint64(in, &off, &zl) ||
+        !GetVarint64(in, &off, &b.ts_bytes) ||
+        !GetVarint64(in, &off, &b.val_bytes)) {
+      return Status::Corruption("tsblock: bad block directory");
+    }
+    b.first_ts = codecs::ZigZagDecode(zf);
+    b.last_ts = codecs::ZigZagDecode(zl);
+  }
+  uint64_t remaining = h->total_points;
+  for (auto& b : h->blocks) {
+    b.count = static_cast<size_t>(
+        std::min<uint64_t>(h->points_per_block, remaining));
+    remaining -= b.count;
+    b.payload_off = off;
+    if (b.ts_bytes > in.size() - off) {
+      return Status::Corruption("tsblock: truncated timestamps");
+    }
+    off += b.ts_bytes;
+    if (b.val_bytes > in.size() - off) {
+      return Status::Corruption("tsblock: truncated values");
+    }
+    off += b.val_bytes;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TsPoint>> DecodeBlock(ByteSpan in, const BlockMeta& b) {
+  auto ts = GorillaTimestampCodec::Decompress(
+      in.subspan(b.payload_off, b.ts_bytes), b.count);
+  if (!ts.ok()) return ts.status();
+
+  DataDesc desc;
+  desc.dtype = DType::kFloat64;
+  desc.extent = {b.count};
+  CompressorConfig cfg;
+  GorillaCompressor values(cfg);
+  Buffer raw;
+  FCB_RETURN_IF_ERROR(values.Decompress(
+      in.subspan(b.payload_off + b.ts_bytes, b.val_bytes), desc, &raw));
+  if (raw.size() != b.count * 8) {
+    return Status::Corruption("tsblock: value count mismatch");
+  }
+
+  std::vector<TsPoint> points(b.count);
+  const double* vals = reinterpret_cast<const double*>(raw.data());
+  for (size_t i = 0; i < b.count; ++i) {
+    points[i] = TsPoint{ts.value()[i], vals[i]};
+  }
+  return points;
+}
+
+}  // namespace
+
+Status TimeSeriesBlockCodec::Compress(std::span<const TsPoint> points,
+                                      Buffer* out) const {
+  if (opts_.points_per_block == 0) {
+    return Status::InvalidArgument("tsblock: points_per_block must be > 0");
+  }
+  const size_t n = points.size();
+  const size_t bs = opts_.points_per_block;
+  const size_t num_blocks = n == 0 ? 0 : (n + bs - 1) / bs;
+
+  std::vector<Buffer> ts_parts(num_blocks), val_parts(num_blocks);
+  CompressorConfig cfg;
+  GorillaCompressor values(cfg);
+  for (size_t blk = 0; blk < num_blocks; ++blk) {
+    const size_t begin = blk * bs;
+    const size_t count = std::min(bs, n - begin);
+    std::vector<int64_t> ts(count);
+    std::vector<double> vals(count);
+    for (size_t i = 0; i < count; ++i) {
+      ts[i] = points[begin + i].ts;
+      vals[i] = points[begin + i].value;
+    }
+    GorillaTimestampCodec::Compress(ts, &ts_parts[blk]);
+    DataDesc desc;
+    desc.dtype = DType::kFloat64;
+    desc.extent = {count};
+    FCB_RETURN_IF_ERROR(
+        values.Compress(AsBytes(vals), desc, &val_parts[blk]));
+  }
+
+  PutVarint64(out, n);
+  PutVarint64(out, bs);
+  PutVarint64(out, num_blocks);
+  for (size_t blk = 0; blk < num_blocks; ++blk) {
+    const size_t begin = blk * bs;
+    const size_t count = std::min(bs, n - begin);
+    PutVarint64(out, codecs::ZigZagEncode(points[begin].ts));
+    PutVarint64(out, codecs::ZigZagEncode(points[begin + count - 1].ts));
+    PutVarint64(out, ts_parts[blk].size());
+    PutVarint64(out, val_parts[blk].size());
+  }
+  for (size_t blk = 0; blk < num_blocks; ++blk) {
+    out->Append(ts_parts[blk].span());
+    out->Append(val_parts[blk].span());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TsPoint>> TimeSeriesBlockCodec::Decompress(ByteSpan in) {
+  StreamHeader h;
+  FCB_RETURN_IF_ERROR(ParseHeader(in, &h));
+  std::vector<TsPoint> points;
+  points.reserve(h.total_points);
+  for (const auto& b : h.blocks) {
+    FCB_ASSIGN_OR_RETURN(auto part, DecodeBlock(in, b));
+    points.insert(points.end(), part.begin(), part.end());
+  }
+  return points;
+}
+
+Result<std::vector<TsPoint>> TimeSeriesBlockCodec::QueryRange(
+    ByteSpan in, int64_t t0, int64_t t1, size_t* blocks_decoded) {
+  StreamHeader h;
+  FCB_RETURN_IF_ERROR(ParseHeader(in, &h));
+  std::vector<TsPoint> hits;
+  size_t decoded = 0;
+  for (const auto& b : h.blocks) {
+    if (b.last_ts < t0 || b.first_ts > t1) continue;  // directory pruning
+    FCB_ASSIGN_OR_RETURN(auto part, DecodeBlock(in, b));
+    ++decoded;
+    for (const TsPoint& p : part) {
+      if (p.ts >= t0 && p.ts <= t1) hits.push_back(p);
+    }
+  }
+  if (blocks_decoded != nullptr) *blocks_decoded = decoded;
+  return hits;
+}
+
+}  // namespace fcbench::compressors

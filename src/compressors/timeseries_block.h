@@ -1,0 +1,70 @@
+#ifndef FCBENCH_COMPRESSORS_TIMESERIES_BLOCK_H_
+#define FCBENCH_COMPRESSORS_TIMESERIES_BLOCK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace fcbench::compressors {
+
+/// One time-series sample.
+struct TsPoint {
+  int64_t ts = 0;
+  double value = 0;
+
+  bool operator==(const TsPoint&) const = default;
+};
+
+/// The complete Gorilla stream format of paper §3.4: time series are
+/// (timestamp, value) pairs; timestamps go through delta-of-delta coding
+/// (GorillaTimestampCodec) and values through XOR residual coding, packed
+/// into fixed-size blocks with a directory. Facebook's deployment used
+/// two-hour blocks; `points_per_block` parameterizes that.
+///
+/// The block directory stores each block's first/last timestamp and byte
+/// extent, so time-range queries decode only overlapping blocks — the
+/// property that makes the in-memory TSDB fast at dashboard queries.
+///
+/// Stream layout:
+///   varint total_points, varint points_per_block, varint num_blocks
+///   per block: varint first_ts (zigzag), varint last_ts (zigzag),
+///              varint ts_bytes, varint val_bytes
+///   concatenated per-block payloads (timestamps then values)
+class TimeSeriesBlockCodec {
+ public:
+  struct Options {
+    /// Points per block. 720 = two hours of 10-second samples, the
+    /// Gorilla paper's block size.
+    size_t points_per_block = 720;
+  };
+
+  TimeSeriesBlockCodec() = default;
+  explicit TimeSeriesBlockCodec(Options opts) : opts_(opts) {}
+
+  /// Compresses the series (timestamps need not be monotone, but range
+  /// queries skip blocks based on first/last ts, so monotone input gets
+  /// the intended pruning).
+  Status Compress(std::span<const TsPoint> points, Buffer* out) const;
+
+  /// Decompresses the full series.
+  static Result<std::vector<TsPoint>> Decompress(ByteSpan in);
+
+  /// Returns the points with ts in [t0, t1], decoding only blocks whose
+  /// [first_ts, last_ts] range overlaps. `blocks_decoded`, when non-null,
+  /// reports how many blocks were actually decompressed (tests use it to
+  /// prove the pruning).
+  static Result<std::vector<TsPoint>> QueryRange(ByteSpan in, int64_t t0,
+                                                 int64_t t1,
+                                                 size_t* blocks_decoded =
+                                                     nullptr);
+
+ private:
+  Options opts_;
+};
+
+}  // namespace fcbench::compressors
+
+#endif  // FCBENCH_COMPRESSORS_TIMESERIES_BLOCK_H_

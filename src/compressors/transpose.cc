@@ -1,0 +1,71 @@
+#include "compressors/transpose.h"
+
+#include <cstring>
+
+namespace fcbench::compressors {
+
+void BitTranspose(const uint8_t* src, uint8_t* dst, size_t count,
+                  size_t elem_size) {
+  const size_t groups = count / 8;  // 8 elements per transposed word
+  const size_t plane_bytes = groups;
+  for (size_t g = 0; g < groups; ++g) {
+    const uint8_t* base = src + g * 8 * elem_size;
+    for (size_t k = 0; k < elem_size; ++k) {
+      // Gather byte k of 8 consecutive elements into one 64-bit word:
+      // byte lane j holds element j's k-th byte.
+      uint64_t x = 0;
+      for (size_t j = 0; j < 8; ++j) {
+        x |= static_cast<uint64_t>(base[j * elem_size + k]) << (8 * j);
+      }
+      x = Transpose8x8(x);
+      // After transpose, byte lane i holds bit i (of byte k) across the 8
+      // elements. That byte belongs to plane k*8+i at group offset g.
+      for (size_t i = 0; i < 8; ++i) {
+        dst[(k * 8 + i) * plane_bytes + g] =
+            static_cast<uint8_t>(x >> (8 * i));
+      }
+    }
+  }
+}
+
+void BitUntranspose(const uint8_t* src, uint8_t* dst, size_t count,
+                    size_t elem_size) {
+  const size_t groups = count / 8;
+  const size_t plane_bytes = groups;
+  for (size_t g = 0; g < groups; ++g) {
+    uint8_t* base = dst + g * 8 * elem_size;
+    for (size_t k = 0; k < elem_size; ++k) {
+      uint64_t x = 0;
+      for (size_t i = 0; i < 8; ++i) {
+        x |= static_cast<uint64_t>(src[(k * 8 + i) * plane_bytes + g])
+             << (8 * i);
+      }
+      x = Transpose8x8(x);
+      for (size_t j = 0; j < 8; ++j) {
+        base[j * elem_size + k] = static_cast<uint8_t>(x >> (8 * j));
+      }
+    }
+  }
+}
+
+void ByteShuffle(const uint8_t* src, uint8_t* dst, size_t count,
+                 size_t elem_size) {
+  for (size_t k = 0; k < elem_size; ++k) {
+    uint8_t* plane = dst + k * count;
+    for (size_t j = 0; j < count; ++j) {
+      plane[j] = src[j * elem_size + k];
+    }
+  }
+}
+
+void ByteUnshuffle(const uint8_t* src, uint8_t* dst, size_t count,
+                   size_t elem_size) {
+  for (size_t k = 0; k < elem_size; ++k) {
+    const uint8_t* plane = src + k * count;
+    for (size_t j = 0; j < count; ++j) {
+      dst[j * elem_size + k] = plane[j];
+    }
+  }
+}
+
+}  // namespace fcbench::compressors

@@ -1,0 +1,126 @@
+#include "core/container.h"
+
+#include "util/bitio.h"
+#include "util/hash.h"
+
+namespace fcbench {
+
+namespace {
+
+constexpr uint64_t kMaxRank = 8;
+
+Status ParseHeader(ByteSpan in, size_t* off, ContainerInfo* info,
+                   uint64_t* raw_hash, uint64_t* payload_hash) {
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  if (!GetFixed(in, off, &magic) || magic != FczContainer::kMagic ||
+      !GetFixed(in, off, &version) || version != FczContainer::kVersion) {
+    return Status::Corruption("fcz: bad magic or version");
+  }
+  uint64_t name_len = 0;
+  if (!GetVarint64(in, off, &name_len) || name_len > 64 ||
+      *off + name_len > in.size()) {
+    return Status::Corruption("fcz: bad method name");
+  }
+  info->method.assign(reinterpret_cast<const char*>(in.data() + *off),
+                      name_len);
+  *off += name_len;
+
+  uint8_t dtype = 0, digits = 0;
+  uint64_t rank = 0;
+  if (!GetFixed(in, off, &dtype) || dtype > 1 ||
+      !GetFixed(in, off, &digits) || !GetVarint64(in, off, &rank) ||
+      rank > kMaxRank) {
+    return Status::Corruption("fcz: bad descriptor");
+  }
+  info->desc.dtype = dtype ? DType::kFloat64 : DType::kFloat32;
+  info->desc.precision_digits = digits;
+  info->desc.extent.resize(rank);
+  for (auto& e : info->desc.extent) {
+    if (!GetVarint64(in, off, &e)) {
+      return Status::Corruption("fcz: bad extent");
+    }
+  }
+
+  if (!GetVarint64(in, off, &info->raw_bytes) ||
+      !GetFixed(in, off, raw_hash) ||
+      !GetVarint64(in, off, &info->payload_bytes) ||
+      !GetFixed(in, off, payload_hash)) {
+    return Status::Corruption("fcz: truncated header");
+  }
+  if (info->raw_bytes != info->desc.num_bytes()) {
+    return Status::Corruption("fcz: descriptor/raw size mismatch");
+  }
+  if (info->payload_bytes > in.size() - *off) {
+    return Status::Corruption("fcz: truncated payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FczContainer::Pack(std::string_view method, const DataDesc& desc,
+                          ByteSpan raw, const CompressorConfig& config,
+                          Buffer* out) {
+  if (raw.size() != desc.num_bytes()) {
+    return Status::InvalidArgument("fcz: raw size disagrees with desc");
+  }
+  if (method.size() > 64) {
+    return Status::InvalidArgument("fcz: method name too long");
+  }
+  FCB_ASSIGN_OR_RETURN(auto comp,
+                       CompressorRegistry::Global().Create(method, config));
+  Buffer payload;
+  FCB_RETURN_IF_ERROR(comp->Compress(raw, desc, &payload));
+
+  PutFixed(out, kMagic);
+  out->PushBack(kVersion);
+  PutVarint64(out, method.size());
+  out->Append(method.data(), method.size());
+  out->PushBack(desc.dtype == DType::kFloat64 ? 1 : 0);
+  out->PushBack(static_cast<uint8_t>(desc.precision_digits));
+  PutVarint64(out, desc.extent.size());
+  for (uint64_t e : desc.extent) PutVarint64(out, e);
+  PutVarint64(out, raw.size());
+  PutFixed(out, XxHash64(raw));
+  PutVarint64(out, payload.size());
+  PutFixed(out, XxHash64(payload.span()));
+  out->Append(payload.span());
+  return Status::OK();
+}
+
+Result<ContainerInfo> FczContainer::Inspect(ByteSpan container) {
+  ContainerInfo info;
+  size_t off = 0;
+  uint64_t raw_hash = 0, payload_hash = 0;
+  FCB_RETURN_IF_ERROR(
+      ParseHeader(container, &off, &info, &raw_hash, &payload_hash));
+  return info;
+}
+
+Result<Buffer> FczContainer::Unpack(ByteSpan container, ContainerInfo* info) {
+  ContainerInfo local;
+  size_t off = 0;
+  uint64_t raw_hash = 0, payload_hash = 0;
+  FCB_RETURN_IF_ERROR(
+      ParseHeader(container, &off, &local, &raw_hash, &payload_hash));
+  ByteSpan payload = container.subspan(off, local.payload_bytes);
+  if (XxHash64(payload) != payload_hash) {
+    return Status::Corruption("fcz: payload checksum mismatch");
+  }
+
+  FCB_ASSIGN_OR_RETURN(auto comp,
+                       CompressorRegistry::Global().Create(local.method));
+  Buffer raw;
+  FCB_RETURN_IF_ERROR(comp->Decompress(payload, local.desc, &raw));
+  if (raw.size() != local.raw_bytes) {
+    return Status::Corruption("fcz: decompressed size mismatch");
+  }
+  if (XxHash64(raw.span()) != raw_hash) {
+    return Status::Corruption("fcz: raw checksum mismatch");
+  }
+  if (info != nullptr) *info = local;
+  return raw;
+}
+
+}  // namespace fcbench

@@ -1,0 +1,63 @@
+#ifndef FCBENCH_CORE_CONTAINER_H_
+#define FCBENCH_CORE_CONTAINER_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/compressor.h"
+#include "core/format.h"
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace fcbench {
+
+/// Metadata of a .fcz container, readable without decompressing.
+struct ContainerInfo {
+  std::string method;
+  DataDesc desc;
+  uint64_t raw_bytes = 0;
+  uint64_t payload_bytes = 0;
+};
+
+/// Self-describing compressed container (the `.fcz` format the CLI
+/// produces). A container records which registry method compressed the
+/// payload and the full DataDesc, so decompression needs no side channel,
+/// plus xxHash64 checksums of both the compressed payload and the raw
+/// data: bit flips anywhere in the file are *guaranteed* to be reported
+/// as corruption, independent of each codec's own (best-effort) checks.
+///
+/// Layout (little endian):
+///   u32   magic "FCZ2"
+///   u8    version (1)
+///   varint method_len, method bytes
+///   u8    dtype (0=f32, 1=f64)
+///   u8    precision_digits
+///   varint rank, rank x varint extent
+///   varint raw_bytes
+///   u64   xxh64(raw)
+///   varint payload_bytes
+///   u64   xxh64(payload)
+///   payload
+class FczContainer {
+ public:
+  static constexpr uint32_t kMagic = 0x3246435Au;  // "ZCF2" LE -> "FCZ2"
+  static constexpr uint8_t kVersion = 1;
+
+  /// Compresses `raw` with registry method `method` and appends a full
+  /// container to `out`.
+  static Status Pack(std::string_view method, const DataDesc& desc,
+                     ByteSpan raw, const CompressorConfig& config,
+                     Buffer* out);
+
+  /// Parses the header only (no payload decode, no checksum of payload).
+  static Result<ContainerInfo> Inspect(ByteSpan container);
+
+  /// Verifies checksums, decompresses, and returns the raw bytes. `info`
+  /// receives the header metadata when non-null.
+  static Result<Buffer> Unpack(ByteSpan container,
+                               ContainerInfo* info = nullptr);
+};
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_CORE_CONTAINER_H_

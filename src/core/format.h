@@ -1,0 +1,66 @@
+#ifndef FCBENCH_CORE_FORMAT_H_
+#define FCBENCH_CORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcbench {
+
+/// Element type of a floating-point dataset (Table 1 "precision": S or D).
+enum class DType { kFloat32, kFloat64 };
+
+inline size_t DTypeSize(DType t) { return t == DType::kFloat32 ? 4 : 8; }
+inline const char* DTypeName(DType t) {
+  return t == DType::kFloat32 ? "f32" : "f64";
+}
+
+/// Describes the logical layout of a buffer of floating-point values.
+///
+/// Prediction-based compressors (fpzip, ndzip, pFPC, GFC, MPC) consume the
+/// dimensional extent to build their hypercube/chunk structure; the paper's
+/// §6.1.5 studies what happens when this metadata is withheld (the data is
+/// then treated as one 1-D array, as a column store would).
+struct DataDesc {
+  DType dtype = DType::kFloat64;
+  /// Extent per dimension, slowest-varying first (e.g. {130, 514, 1026}).
+  /// Empty means unknown; treated as 1-D.
+  std::vector<uint64_t> extent;
+  /// Decimal digits to preserve; only BUFF consumes this (its lossless
+  /// bound). 0 means "full precision requested".
+  int precision_digits = 0;
+
+  int rank() const { return static_cast<int>(extent.size()); }
+
+  uint64_t num_elements() const {
+    if (extent.empty()) return 0;
+    uint64_t n = 1;
+    for (uint64_t e : extent) n *= e;
+    return n;
+  }
+
+  uint64_t num_bytes() const { return num_elements() * DTypeSize(dtype); }
+
+  /// The same data reinterpreted as a flat 1-D array (column-store view).
+  DataDesc As1D() const {
+    DataDesc d = *this;
+    d.extent = {num_elements()};
+    return d;
+  }
+
+  static DataDesc Make(DType t, std::vector<uint64_t> ext,
+                       int precision_digits = 0) {
+    DataDesc d;
+    d.dtype = t;
+    d.extent = std::move(ext);
+    d.precision_digits = precision_digits;
+    return d;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_CORE_FORMAT_H_

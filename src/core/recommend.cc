@@ -1,0 +1,151 @@
+#include "core/recommend.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/entropy.h"
+
+namespace fcbench {
+
+namespace {
+
+/// Groups results by method over a dataset filter.
+struct MethodAgg {
+  std::vector<double> crs;
+  std::vector<double> walls;
+};
+
+std::map<std::string, MethodAgg> Aggregate(
+    const std::vector<RunResult>& results,
+    const std::function<bool(const RunResult&)>& keep) {
+  std::map<std::string, MethodAgg> agg;
+  for (const auto& r : results) {
+    if (!r.ok || !keep(r)) continue;
+    auto& a = agg[r.method];
+    a.crs.push_back(r.cr);
+    a.walls.push_back(r.comp_wall_ms + r.decomp_wall_ms);
+  }
+  return agg;
+}
+
+data::Domain DatasetDomain(const std::string& name) {
+  const data::DatasetInfo* info = data::FindDataset(name);
+  return info != nullptr ? info->domain : data::Domain::kDatabase;
+}
+
+}  // namespace
+
+RecommendationEngine::RecommendationEngine(std::vector<RunResult> results)
+    : results_(std::move(results)) {}
+
+Recommendation RecommendationEngine::Recommend(data::Domain domain,
+                                               Objective objective) const {
+  auto agg = Aggregate(results_, [&](const RunResult& r) {
+    return DatasetDomain(r.dataset) == domain;
+  });
+  Recommendation best;
+  double best_score = 0;
+  bool first = true;
+  for (const auto& [method, a] : agg) {
+    double hcr = HarmonicMean(a.crs.data(), a.crs.size());
+    double wall = ArithmeticMean(a.walls.data(), a.walls.size());
+    double score = 0;
+    switch (objective) {
+      case Objective::kStorageReduction:
+        score = hcr;
+        break;
+      case Objective::kSpeed:
+        score = wall > 0 ? 1.0 / wall : 0;
+        break;
+      case Objective::kBalanced:
+        score = (wall > 0 && hcr > 1.0) ? (hcr - 1.0) / wall : 0;
+        break;
+    }
+    if (first || score > best_score) {
+      first = false;
+      best_score = score;
+      best.method = method;
+      best.harmonic_cr = hcr;
+      best.mean_wall_ms = wall;
+    }
+  }
+  std::ostringstream os;
+  os << "best "
+     << (objective == Objective::kStorageReduction
+             ? "harmonic-mean CR"
+             : objective == Objective::kSpeed ? "end-to-end time"
+                                              : "ratio/time balance")
+     << " on " << data::DomainName(domain) << " datasets";
+  best.rationale = os.str();
+  return best;
+}
+
+Recommendation RecommendationEngine::RecommendGeneral() const {
+  // Rank-sum over harmonic CR (descending) and wall time (ascending),
+  // mirroring the paper's "balanced performance" criterion for
+  // bitshuffle::zstd / MPC.
+  auto agg = Aggregate(results_, [](const RunResult&) { return true; });
+  struct Row {
+    std::string method;
+    double hcr, wall;
+  };
+  std::vector<Row> rows;
+  for (const auto& [method, a] : agg) {
+    rows.push_back({method, HarmonicMean(a.crs.data(), a.crs.size()),
+                    ArithmeticMean(a.walls.data(), a.walls.size())});
+  }
+  std::vector<double> rank_sum(rows.size(), 0);
+  {
+    std::vector<size_t> idx(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      return rows[a].hcr > rows[b].hcr;
+    });
+    for (size_t pos = 0; pos < idx.size(); ++pos) {
+      rank_sum[idx[pos]] += static_cast<double>(pos);
+    }
+    std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      return rows[a].wall < rows[b].wall;
+    });
+    for (size_t pos = 0; pos < idx.size(); ++pos) {
+      rank_sum[idx[pos]] += static_cast<double>(pos);
+    }
+  }
+  Recommendation best;
+  double best_rank = 1e300;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rank_sum[i] < best_rank) {
+      best_rank = rank_sum[i];
+      best.method = rows[i].method;
+      best.harmonic_cr = rows[i].hcr;
+      best.mean_wall_ms = rows[i].wall;
+    }
+  }
+  best.rationale = "lowest rank-sum of harmonic CR and end-to-end time";
+  return best;
+}
+
+std::string RecommendationEngine::RenderMap() const {
+  std::ostringstream os;
+  os << "Recommendation map (paper §7.3):\n";
+  for (data::Domain d :
+       {data::Domain::kHpc, data::Domain::kTimeSeries,
+        data::Domain::kObservation, data::Domain::kDatabase}) {
+    auto rec = Recommend(d, Objective::kStorageReduction);
+    os << "  storage/" << data::DomainName(d) << ": " << rec.method
+       << " (harmonic CR " << rec.harmonic_cr << ")\n";
+  }
+  for (data::Domain d :
+       {data::Domain::kHpc, data::Domain::kTimeSeries,
+        data::Domain::kObservation, data::Domain::kDatabase}) {
+    auto rec = Recommend(d, Objective::kSpeed);
+    os << "  speed/" << data::DomainName(d) << ": " << rec.method << " ("
+       << rec.mean_wall_ms << " ms end-to-end)\n";
+  }
+  auto g = RecommendGeneral();
+  os << "  general: " << g.method << " (" << g.rationale << ")\n";
+  return os.str();
+}
+
+}  // namespace fcbench

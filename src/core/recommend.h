@@ -1,0 +1,50 @@
+#ifndef FCBENCH_CORE_RECOMMEND_H_
+#define FCBENCH_CORE_RECOMMEND_H_
+
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "data/dataset.h"
+
+namespace fcbench {
+
+/// What the user optimizes for (paper §7.3's three recommendation rows).
+enum class Objective {
+  kStorageReduction,  // best compression ratio
+  kSpeed,             // shortest end-to-end wall time
+  kBalanced,          // rank-sum of ratio and wall time
+};
+
+/// One recommendation with its supporting evidence.
+struct Recommendation {
+  std::string method;
+  double harmonic_cr = 0;
+  double mean_wall_ms = 0;
+  std::string rationale;
+};
+
+/// The §7.3 recommendation map, computed from actual benchmark results
+/// rather than hard-coded: e.g. "for users focused on storage reduction we
+/// recommend <best-CR method per domain>".
+class RecommendationEngine {
+ public:
+  explicit RecommendationEngine(std::vector<RunResult> results);
+
+  /// Best method for `objective` restricted to datasets of `domain`.
+  Recommendation Recommend(data::Domain domain, Objective objective) const;
+
+  /// Best all-round method across every domain (the paper's "general
+  /// users" row; rank-sum over CR and end-to-end time).
+  Recommendation RecommendGeneral() const;
+
+  /// Renders the full recommendation map as text.
+  std::string RenderMap() const;
+
+ private:
+  std::vector<RunResult> results_;
+};
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_CORE_RECOMMEND_H_

@@ -1,0 +1,122 @@
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include "compressors/bitshuffle.h"
+#include "compressors/buff.h"
+#include "compressors/chimp.h"
+#include "compressors/fpzip.h"
+#include "compressors/gorilla.h"
+#include "compressors/ndzip.h"
+#include "compressors/pfpc.h"
+#include "compressors/spdp.h"
+#include "core/compressor.h"
+#include "gpusim/gfc.h"
+#include "gpusim/mpc.h"
+#include "gpusim/ndzip_gpu.h"
+#include "gpusim/nvcomp_sim.h"
+#include "nn/nn_coder.h"
+
+namespace fcbench {
+
+std::string_view PredictorClassName(PredictorClass p) {
+  switch (p) {
+    case PredictorClass::kLorenzo:
+      return "LORENZO";
+    case PredictorClass::kDelta:
+      return "DELTA";
+    case PredictorClass::kDictionary:
+      return "DICTIONARY";
+    case PredictorClass::kPrediction:
+      return "PREDICTION";
+    case PredictorClass::kNeural:
+      return "NEURAL";
+  }
+  return "?";
+}
+
+std::string DataDesc::ToString() const {
+  std::ostringstream os;
+  os << DTypeName(dtype) << "[";
+  for (size_t i = 0; i < extent.size(); ++i) {
+    if (i) os << "x";
+    os << extent[i];
+  }
+  os << "]";
+  if (precision_digits > 0) os << " p=" << precision_digits;
+  return os.str();
+}
+
+namespace {
+/// Runs the suite registration exactly once. Register() itself does not
+/// call this, so RegisterAllCompressors can use Global() freely.
+void EnsureRegistered() {
+  static const bool done = [] {
+    RegisterAllCompressors();
+    return true;
+  }();
+  (void)done;
+}
+}  // namespace
+
+CompressorRegistry& CompressorRegistry::Global() {
+  static CompressorRegistry* registry = new CompressorRegistry();
+  return *registry;
+}
+
+void CompressorRegistry::Register(std::string name,
+                                  CompressorFactory factory) {
+  for (auto& [n, f] : entries_) {
+    if (n == name) {
+      f = factory;  // idempotent re-registration
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), factory);
+}
+
+Result<std::unique_ptr<Compressor>> CompressorRegistry::Create(
+    std::string_view name, const CompressorConfig& config) const {
+  EnsureRegistered();
+  for (const auto& [n, f] : entries_) {
+    if (n == name) return f(config);
+  }
+  return Status::InvalidArgument("unknown compressor: " + std::string(name));
+}
+
+std::vector<std::string> CompressorRegistry::Names() const {
+  EnsureRegistered();
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [n, f] : entries_) names.push_back(n);
+  return names;
+}
+
+bool CompressorRegistry::Contains(std::string_view name) const {
+  EnsureRegistered();
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& e) { return e.first == name; });
+}
+
+void RegisterAllCompressors() {
+  // Table 4 column order (CPU methods, then GPU methods), plus the NN
+  // coder the paper surveys but excludes from the main tables.
+  auto& r = CompressorRegistry::Global();
+  r.Register("pfpc", &compressors::PfpcCompressor::Make);
+  r.Register("spdp", &compressors::SpdpCompressor::Make);
+  r.Register("fpzip", &compressors::FpzipCompressor::Make);
+  r.Register("bitshuffle_lz4", &compressors::BitshuffleCompressor::MakeLz4);
+  r.Register("bitshuffle_zstd", &compressors::BitshuffleCompressor::MakeZstd);
+  r.Register("ndzip_cpu", &compressors::NdzipCompressor::Make);
+  r.Register("buff", &compressors::BuffCompressor::Make);
+  r.Register("gorilla", &compressors::GorillaCompressor::Make);
+  r.Register("chimp128", &compressors::ChimpCompressor::Make);
+  r.Register("gfc", &gpusim::GfcCompressor::Make);
+  r.Register("mpc", &gpusim::MpcCompressor::Make);
+  r.Register("nv_lz4", &gpusim::NvLz4SimCompressor::Make);
+  r.Register("nv_bitcomp", &gpusim::NvBitcompSimCompressor::Make);
+  r.Register("ndzip_gpu", &gpusim::NdzipGpuCompressor::Make);
+  r.Register("dzip_nn", &nn::DzipNnCompressor::Make);
+}
+
+}  // namespace fcbench

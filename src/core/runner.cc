@@ -1,0 +1,180 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "util/entropy.h"
+#include "util/mem_tracker.h"
+#include "util/timer.h"
+
+namespace fcbench {
+
+RunResult BenchmarkRunner::RunOne(Compressor* comp,
+                                  const data::Dataset& ds) const {
+  RunResult r;
+  r.method = comp->traits().name;
+  r.dataset = ds.info->name;
+  r.orig_bytes = ds.bytes.size();
+
+  const CompressorTraits& traits = comp->traits();
+  if ((ds.desc.dtype == DType::kFloat32 && !traits.supports_f32) ||
+      (ds.desc.dtype == DType::kFloat64 && !traits.supports_f64)) {
+    r.error = "precision not supported";
+    return r;
+  }
+
+  double comp_s = 0, decomp_s = 0, comp_wall = 0, decomp_wall = 0;
+  Buffer compressed;
+  for (int rep = 0; rep < options_.repeats; ++rep) {
+    compressed.Clear();
+    MemTracker::Global().ResetPeak();
+    Timer t;
+    Status st = comp->Compress(ds.bytes.span(), ds.desc, &compressed);
+    double wall = t.ElapsedSeconds();
+    if (!st.ok()) {
+      r.error = st.ToString();
+      return r;
+    }
+    r.peak_mem_bytes =
+        std::max<uint64_t>(r.peak_mem_bytes, MemTracker::Global().peak());
+    if (const gpusim::GpuTiming* gt = comp->last_gpu_timing()) {
+      comp_s += gt->kernel_seconds;
+      comp_wall += gt->total_seconds();
+    } else {
+      comp_s += wall;
+      comp_wall += wall;
+    }
+  }
+
+  Buffer decompressed;
+  for (int rep = 0; rep < options_.repeats; ++rep) {
+    decompressed.Clear();
+    Timer t;
+    Status st = comp->Decompress(compressed.span(), ds.desc, &decompressed);
+    double wall = t.ElapsedSeconds();
+    if (!st.ok()) {
+      r.error = "decompress: " + st.ToString();
+      return r;
+    }
+    if (const gpusim::GpuTiming* gt = comp->last_gpu_timing()) {
+      decomp_s += gt->kernel_seconds;
+      decomp_wall += gt->total_seconds();
+    } else {
+      decomp_s += wall;
+      decomp_wall += wall;
+    }
+  }
+
+  r.ok = true;
+  r.comp_bytes = compressed.size();
+  r.cr = compressed.empty()
+             ? 0.0
+             : static_cast<double>(r.orig_bytes) / compressed.size();
+  double reps = options_.repeats;
+  r.ct_gbps = ThroughputGBps(r.orig_bytes, comp_s / reps);
+  r.dt_gbps = ThroughputGBps(r.orig_bytes, decomp_s / reps);
+  r.comp_wall_ms = comp_wall / reps * 1e3;
+  r.decomp_wall_ms = decomp_wall / reps * 1e3;
+
+  if (options_.verify) {
+    r.round_trip_exact =
+        decompressed.size() == ds.bytes.size() &&
+        std::memcmp(decompressed.data(), ds.bytes.data(), ds.bytes.size()) ==
+            0;
+  }
+  return r;
+}
+
+RunResult BenchmarkRunner::RunOne(const std::string& method,
+                                  const data::Dataset& ds) const {
+  auto cr = CompressorRegistry::Global().Create(method, options_.config);
+  if (!cr.ok()) {
+    RunResult r;
+    r.method = method;
+    r.dataset = ds.info->name;
+    r.error = cr.status().ToString();
+    return r;
+  }
+  return RunOne(cr.value().get(), ds);
+}
+
+std::vector<RunResult> BenchmarkRunner::RunAll(
+    const std::vector<std::string>& methods,
+    const std::vector<data::DatasetInfo>& datasets) const {
+  std::vector<RunResult> results;
+  for (const auto& info : datasets) {
+    auto ds = data::GenerateDataset(info, options_.dataset_bytes,
+                                    options_.seed);
+    if (!ds.ok()) {
+      for (const auto& m : methods) {
+        RunResult r;
+        r.method = m;
+        r.dataset = info.name;
+        r.error = ds.status().ToString();
+        results.push_back(r);
+      }
+      continue;
+    }
+    for (const auto& m : methods) {
+      results.push_back(RunOne(m, ds.value()));
+    }
+  }
+  return results;
+}
+
+std::vector<MethodSummary> Summarize(const std::vector<RunResult>& results) {
+  std::map<std::string, std::vector<const RunResult*>> by_method;
+  std::vector<std::string> order;
+  for (const auto& r : results) {
+    if (by_method.find(r.method) == by_method.end()) order.push_back(r.method);
+    by_method[r.method].push_back(&r);
+  }
+  std::vector<MethodSummary> out;
+  for (const auto& m : order) {
+    MethodSummary s;
+    s.method = m;
+    std::vector<double> crs, cts, dts, cw, dw;
+    for (const RunResult* r : by_method[m]) {
+      ++s.runs;
+      if (!r->ok) {
+        ++s.failures;
+        continue;
+      }
+      crs.push_back(r->cr);
+      cts.push_back(r->ct_gbps);
+      dts.push_back(r->dt_gbps);
+      cw.push_back(r->comp_wall_ms);
+      dw.push_back(r->decomp_wall_ms);
+    }
+    s.harmonic_cr = HarmonicMean(crs.data(), crs.size());
+    s.mean_ct_gbps = ArithmeticMean(cts.data(), cts.size());
+    s.mean_dt_gbps = ArithmeticMean(dts.data(), dts.size());
+    s.mean_comp_wall_ms = ArithmeticMean(cw.data(), cw.size());
+    s.mean_decomp_wall_ms = ArithmeticMean(dw.data(), dw.size());
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> CrMatrix(
+    const std::vector<RunResult>& results,
+    const std::vector<std::string>& methods,
+    const std::vector<std::string>& datasets) {
+  std::map<std::pair<std::string, std::string>, double> lookup;
+  for (const auto& r : results) {
+    lookup[{r.dataset, r.method}] = r.ok ? r.cr : 0.0;
+  }
+  std::vector<std::vector<double>> m;
+  for (const auto& d : datasets) {
+    std::vector<double> row;
+    for (const auto& meth : methods) {
+      auto it = lookup.find({d, meth});
+      row.push_back(it != lookup.end() ? it->second : 0.0);
+    }
+    m.push_back(row);
+  }
+  return m;
+}
+
+}  // namespace fcbench

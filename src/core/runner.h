@@ -1,0 +1,97 @@
+#ifndef FCBENCH_CORE_RUNNER_H_
+#define FCBENCH_CORE_RUNNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/compressor.h"
+#include "data/dataset.h"
+
+namespace fcbench {
+
+/// One (method, dataset) measurement, following the §5.2 protocol:
+/// repeated runs, averaged, timing instrumented around the
+/// compress/decompress calls only (I/O excluded); for GPU-simulated
+/// methods the device cost model supplies CT/DT and the end-to-end wall
+/// time additionally charges the host-to-device/device-to-host copies
+/// (Table 6's definition).
+struct RunResult {
+  std::string method;
+  std::string dataset;
+  bool ok = false;
+  std::string error;
+
+  uint64_t orig_bytes = 0;
+  uint64_t comp_bytes = 0;
+  double cr = 0;        // compression ratio = orig / comp
+  double ct_gbps = 0;   // compression throughput
+  double dt_gbps = 0;   // decompression throughput
+  double comp_wall_ms = 0;    // end-to-end compress time (incl. transfers)
+  double decomp_wall_ms = 0;  // end-to-end decompress time
+  uint64_t peak_mem_bytes = 0;  // compression working-set high water mark
+  bool round_trip_exact = false;
+};
+
+/// Runs the benchmark protocol over methods x datasets.
+class BenchmarkRunner {
+ public:
+  struct Options {
+    /// Repetitions per measurement (the paper uses 10; scaled default 3).
+    int repeats = 3;
+    /// Approximate per-dataset payload size to generate.
+    uint64_t dataset_bytes = 4ull << 20;
+    /// Verify round trips (skipped for BUFF on full-precision data, which
+    /// is lossy by design; the result records exactness regardless).
+    bool verify = true;
+    uint64_t seed = 42;
+    CompressorConfig config;
+  };
+
+  BenchmarkRunner() = default;
+  explicit BenchmarkRunner(Options options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  /// Runs one method on one generated dataset.
+  RunResult RunOne(Compressor* comp, const data::Dataset& ds) const;
+
+  /// Runs a method by registry name.
+  RunResult RunOne(const std::string& method, const data::Dataset& ds) const;
+
+  /// Full sweep: every method name x every dataset in `datasets`.
+  /// Datasets are generated once and reused across methods.
+  std::vector<RunResult> RunAll(
+      const std::vector<std::string>& methods,
+      const std::vector<data::DatasetInfo>& datasets) const;
+
+ private:
+  Options options_ = {};
+};
+
+/// Aggregations used throughout §6: harmonic-mean CR and arithmetic-mean
+/// throughput per method (paper §5.2), with failed runs skipped.
+struct MethodSummary {
+  std::string method;
+  double harmonic_cr = 0;
+  double mean_ct_gbps = 0;
+  double mean_dt_gbps = 0;
+  double mean_comp_wall_ms = 0;
+  double mean_decomp_wall_ms = 0;
+  int failures = 0;
+  int runs = 0;
+};
+
+std::vector<MethodSummary> Summarize(const std::vector<RunResult>& results);
+
+/// Builds the N x k score matrix (datasets x methods) of compression
+/// ratios for the Friedman/Nemenyi analysis. Failed entries score 0
+/// (ranked last, like the paper's "-" cells).
+std::vector<std::vector<double>> CrMatrix(
+    const std::vector<RunResult>& results,
+    const std::vector<std::string>& methods,
+    const std::vector<std::string>& datasets);
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_CORE_RUNNER_H_

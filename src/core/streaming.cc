@@ -1,0 +1,85 @@
+#include "core/streaming.h"
+
+#include "util/bitio.h"
+#include "util/hash.h"
+
+namespace fcbench {
+
+Result<StreamWriter> StreamWriter::Open(std::string_view method,
+                                        const CompressorConfig& config) {
+  StreamWriter w;
+  FCB_ASSIGN_OR_RETURN(w.compressor_,
+                       CompressorRegistry::Global().Create(method, config));
+  return w;
+}
+
+Status StreamWriter::Append(ByteSpan chunk, DType dtype, Buffer* out) {
+  const size_t esize = DTypeSize(dtype);
+  if (chunk.size() % esize != 0) {
+    return Status::InvalidArgument(
+        "stream: chunk is not a whole element count");
+  }
+  DataDesc desc;
+  desc.dtype = dtype;
+  desc.extent = {chunk.size() / esize};
+
+  Buffer payload;
+  FCB_RETURN_IF_ERROR(compressor_->Compress(chunk, desc, &payload));
+
+  size_t frame_start = out->size();
+  PutVarint64(out, chunk.size());
+  out->PushBack(dtype == DType::kFloat64 ? 1 : 0);
+  PutVarint64(out, payload.size());
+  PutFixed(out, XxHash64(payload.span()));
+  out->Append(payload.span());
+
+  raw_bytes_ += chunk.size();
+  frame_bytes_ += out->size() - frame_start;
+  return Status::OK();
+}
+
+Result<StreamReader> StreamReader::Open(std::string_view method,
+                                        const CompressorConfig& config) {
+  StreamReader r;
+  FCB_ASSIGN_OR_RETURN(r.compressor_,
+                       CompressorRegistry::Global().Create(method, config));
+  return r;
+}
+
+Status StreamReader::Next(ByteSpan stream, Buffer* out) {
+  size_t off = offset_;
+  uint64_t raw_bytes = 0, payload_bytes = 0, hash = 0;
+  uint8_t dtype_byte = 0;
+  if (!GetVarint64(stream, &off, &raw_bytes) ||
+      !GetFixed(stream, &off, &dtype_byte) || dtype_byte > 1 ||
+      !GetVarint64(stream, &off, &payload_bytes) ||
+      !GetFixed(stream, &off, &hash)) {
+    return Status::Corruption("stream: bad frame header");
+  }
+  if (payload_bytes > stream.size() - off) {
+    return Status::Corruption("stream: truncated frame payload");
+  }
+  const DType dtype = dtype_byte ? DType::kFloat64 : DType::kFloat32;
+  const size_t esize = DTypeSize(dtype);
+  if (raw_bytes % esize != 0) {
+    return Status::Corruption("stream: frame size not a whole element");
+  }
+
+  ByteSpan payload = stream.subspan(off, payload_bytes);
+  if (XxHash64(payload) != hash) {
+    return Status::Corruption("stream: frame checksum mismatch");
+  }
+
+  DataDesc desc;
+  desc.dtype = dtype;
+  desc.extent = {raw_bytes / esize};
+  size_t before = out->size();
+  FCB_RETURN_IF_ERROR(compressor_->Decompress(payload, desc, out));
+  if (out->size() - before != raw_bytes) {
+    return Status::Corruption("stream: frame size mismatch after decode");
+  }
+  offset_ = off + payload_bytes;
+  return Status::OK();
+}
+
+}  // namespace fcbench

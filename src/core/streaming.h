@@ -1,0 +1,74 @@
+#ifndef FCBENCH_CORE_STREAMING_H_
+#define FCBENCH_CORE_STREAMING_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/compressor.h"
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace fcbench {
+
+/// Frame-based streaming compression for in-situ pipelines (§1.1: one
+/// simulation time step arrives at a time and must be compressed and
+/// shipped before the next). Each Append() call becomes one
+/// self-contained frame — compressed independently with the configured
+/// method and checksummed — so a reader can decode frames as they arrive
+/// and a corrupted frame does not poison the rest of the stream.
+///
+/// Frame layout: varint raw_bytes, u8 dtype, varint payload_bytes,
+/// u64 xxh64(payload), payload. The writer emits frames into any Buffer
+/// (append-only); the reader walks them forward.
+class StreamWriter {
+ public:
+  /// Creates a writer producing frames compressed by registry method
+  /// `method`. Fails if the method is unknown.
+  static Result<StreamWriter> Open(std::string_view method,
+                                   const CompressorConfig& config = {});
+
+  /// Compresses one chunk (a whole number of `dtype` elements) into a
+  /// frame appended to `out`.
+  Status Append(ByteSpan chunk, DType dtype, Buffer* out);
+
+  /// Total raw bytes accepted and frame bytes emitted so far.
+  uint64_t raw_bytes() const { return raw_bytes_; }
+  uint64_t frame_bytes() const { return frame_bytes_; }
+
+ private:
+  StreamWriter() = default;
+  std::unique_ptr<Compressor> compressor_;
+  uint64_t raw_bytes_ = 0;
+  uint64_t frame_bytes_ = 0;
+};
+
+/// Forward reader over a stream of frames produced by StreamWriter.
+class StreamReader {
+ public:
+  /// Creates a reader decoding with registry method `method` (the same
+  /// one the writer used; streams are method-tagged at a higher layer,
+  /// e.g. the .fcz container or the ColumnStore manifest).
+  static Result<StreamReader> Open(std::string_view method,
+                                   const CompressorConfig& config = {});
+
+  /// True when at least one more frame starts at the current position.
+  bool HasNext(ByteSpan stream) const { return offset_ < stream.size(); }
+
+  /// Decodes the next frame, appending the raw chunk bytes to `out` and
+  /// advancing the internal offset. Frame checksums are verified before
+  /// decoding.
+  Status Next(ByteSpan stream, Buffer* out);
+
+  /// Byte offset of the next frame.
+  size_t offset() const { return offset_; }
+
+ private:
+  StreamReader() = default;
+  std::unique_ptr<Compressor> compressor_;
+  size_t offset_ = 0;
+};
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_CORE_STREAMING_H_

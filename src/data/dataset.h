@@ -1,0 +1,74 @@
+#ifndef FCBENCH_DATA_DATASET_H_
+#define FCBENCH_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/format.h"
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace fcbench::data {
+
+/// Data domain (paper Table 3 groups).
+enum class Domain { kHpc, kTimeSeries, kObservation, kDatabase };
+
+std::string_view DomainName(Domain d);
+
+/// Synthetic generator kinds; each reproduces the statistical character of
+/// one family of Table 3 datasets (see generators.cc for the knobs).
+enum class GenKind {
+  kSmoothField,   // low-frequency multidimensional field + mantissa noise
+  kNoisyField,    // structured field dominated by noise (hard to compress)
+  kSparseField,   // near-constant background with a small active region
+  kSensorWalk,    // multi-column random-walk sensor streams
+  kQuantizedTs,   // decimal-quantized time series (weather/prices)
+  kMarketData,    // heavy-tailed anonymized features (very hard)
+  kSkyImage,      // telescope image: noise floor + point sources
+  kHdrImage,      // HDR photo: dark background + bright structure
+  kTpcColumns,    // TPC-style transaction columns (prices/quantities)
+};
+
+/// Registry row describing one of the 33 evaluated datasets.
+struct DatasetInfo {
+  std::string name;
+  Domain domain;
+  DType dtype;
+  /// Full-scale extent from Table 3 (slowest-varying first).
+  std::vector<uint64_t> extent;
+  /// Byte-level word entropy reported in Table 3 (bits / element).
+  double table_entropy_bits;
+  /// Decimal digits the values carry (BUFF's precision input; 0 = full
+  /// binary precision).
+  int precision_digits;
+  GenKind gen;
+  /// Generator shape parameter (meaning depends on gen; see generators.cc).
+  double gen_param;
+};
+
+/// A generated (scaled) instance of a dataset.
+struct Dataset {
+  const DatasetInfo* info;
+  DataDesc desc;
+  Buffer bytes;
+
+  uint64_t num_elements() const { return desc.num_elements(); }
+};
+
+/// All 33 datasets of Table 3, in paper order.
+const std::vector<DatasetInfo>& AllDatasets();
+
+/// Lookup by name; nullptr if unknown.
+const DatasetInfo* FindDataset(std::string_view name);
+
+/// Generates a scaled instance of `info` with approximately `target_bytes`
+/// of payload (extent scaled proportionally, dimensionality preserved).
+/// Deterministic in (info, target_bytes, seed).
+Result<Dataset> GenerateDataset(const DatasetInfo& info,
+                                uint64_t target_bytes, uint64_t seed = 42);
+
+}  // namespace fcbench::data
+
+#endif  // FCBENCH_DATA_DATASET_H_

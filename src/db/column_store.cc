@@ -1,0 +1,201 @@
+#include "db/column_store.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/bitio.h"
+#include "util/hash.h"
+
+namespace fcbench::db {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x534D4346u;  // "FCMS"
+
+std::string ColumnPath(const std::string& prefix, size_t index) {
+  return prefix + "." + std::to_string(index) + ".col";
+}
+
+std::string ManifestPath(const std::string& prefix) {
+  return prefix + ".manifest";
+}
+
+Status WriteWholeFile(const std::string& path, ByteSpan data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  size_t put = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (put != data.size()) return Status::IoError("short write " + path);
+  return Status::OK();
+}
+
+Result<Buffer> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  Buffer buf(static_cast<size_t>(size));
+  size_t got = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (got != buf.size()) return Status::IoError("short read " + path);
+  return buf;
+}
+
+struct Manifest {
+  std::vector<std::string> names;
+};
+
+Result<Manifest> ReadManifest(const std::string& prefix) {
+  FCB_ASSIGN_OR_RETURN(Buffer raw, ReadWholeFile(ManifestPath(prefix)));
+  ByteSpan in = raw.span();
+  size_t off = 0;
+  uint32_t magic = 0;
+  uint64_t ncols = 0, hash = 0;
+  if (!GetFixed(in, &off, &magic) || magic != kManifestMagic ||
+      !GetVarint64(in, &off, &ncols) || ncols > 4096) {
+    return Status::Corruption("column_store: bad manifest header");
+  }
+  Manifest m;
+  for (uint64_t c = 0; c < ncols; ++c) {
+    uint64_t len = 0;
+    if (!GetVarint64(in, &off, &len) || len > 256 ||
+        off + len > in.size()) {
+      return Status::Corruption("column_store: bad column name");
+    }
+    m.names.emplace_back(reinterpret_cast<const char*>(in.data() + off),
+                         len);
+    off += len;
+  }
+  if (!GetFixed(in, &off, &hash) ||
+      hash != XxHash64(in.subspan(0, off - sizeof(uint64_t)))) {
+    return Status::Corruption("column_store: manifest checksum mismatch");
+  }
+  return m;
+}
+
+}  // namespace
+
+Status ColumnStore::Write(const std::string& prefix,
+                          const std::vector<ColumnSpec>& columns,
+                          size_t page_size) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("column_store: no columns");
+  }
+  const size_t rows = columns[0].values.size();
+  for (const auto& c : columns) {
+    if (c.values.size() != rows) {
+      return Status::InvalidArgument("column_store: ragged columns");
+    }
+    if (c.name.empty() || c.name.size() > 256) {
+      return Status::InvalidArgument("column_store: bad column name");
+    }
+  }
+
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const ColumnSpec& c = columns[i];
+    DataDesc desc;
+    desc.dtype = c.dtype;
+    desc.extent = {rows};
+    desc.precision_digits = c.precision_digits;
+
+    Buffer bytes(rows * DTypeSize(c.dtype));
+    if (c.dtype == DType::kFloat32) {
+      float* dst = reinterpret_cast<float*>(bytes.data());
+      for (size_t r = 0; r < rows; ++r) {
+        dst[r] = static_cast<float>(c.values[r]);
+      }
+    } else {
+      std::memcpy(bytes.data(), c.values.data(), rows * 8);
+    }
+
+    PagedFile::Options opt;
+    opt.page_size = page_size;
+    opt.compressor = c.compressor;
+    FCB_RETURN_IF_ERROR(
+        PagedFile::Write(ColumnPath(prefix, i), bytes.span(), desc, opt));
+  }
+
+  Buffer manifest;
+  PutFixed(&manifest, kManifestMagic);
+  PutVarint64(&manifest, columns.size());
+  for (const auto& c : columns) {
+    PutVarint64(&manifest, c.name.size());
+    manifest.Append(c.name.data(), c.name.size());
+  }
+  PutFixed(&manifest, XxHash64(manifest.span()));
+  return WriteWholeFile(ManifestPath(prefix), manifest.span());
+}
+
+Result<std::vector<std::string>> ColumnStore::ListColumns(
+    const std::string& prefix) {
+  FCB_ASSIGN_OR_RETURN(Manifest m, ReadManifest(prefix));
+  return m.names;
+}
+
+Result<DataFrame> ColumnStore::Read(const std::string& prefix,
+                                    const std::vector<std::string>& names,
+                                    ReadStats* stats) {
+  FCB_ASSIGN_OR_RETURN(Manifest m, ReadManifest(prefix));
+
+  std::vector<size_t> wanted;
+  if (names.empty()) {
+    for (size_t i = 0; i < m.names.size(); ++i) wanted.push_back(i);
+  } else {
+    for (const auto& n : names) {
+      size_t idx = m.names.size();
+      for (size_t i = 0; i < m.names.size(); ++i) {
+        if (m.names[i] == n) {
+          idx = i;
+          break;
+        }
+      }
+      if (idx == m.names.size()) {
+        return Status::InvalidArgument("column_store: no column '" + n +
+                                       "'");
+      }
+      wanted.push_back(idx);
+    }
+  }
+
+  std::vector<std::string> out_names;
+  std::vector<std::vector<double>> out_cols;
+  for (size_t idx : wanted) {
+    const std::string path = ColumnPath(prefix, idx);
+    PagedFile::ReadTiming timing;
+    FCB_ASSIGN_OR_RETURN(Buffer bytes, PagedFile::Read(path, &timing));
+    FCB_ASSIGN_OR_RETURN(DataDesc desc, PagedFile::ReadDesc(path));
+    if (stats != nullptr) {
+      stats->io_seconds += timing.io_seconds;
+      stats->decode_seconds += timing.decode_seconds;
+      stats->bytes_decoded += bytes.size();
+      auto fs = PagedFile::FileSize(path);
+      if (fs.ok()) stats->bytes_on_disk += fs.value();
+    }
+
+    const size_t rows = bytes.size() / DTypeSize(desc.dtype);
+    std::vector<double> col(rows);
+    if (desc.dtype == DType::kFloat32) {
+      const float* src = reinterpret_cast<const float*>(bytes.data());
+      for (size_t r = 0; r < rows; ++r) col[r] = src[r];
+    } else {
+      std::memcpy(col.data(), bytes.data(), rows * 8);
+    }
+    out_names.push_back(m.names[idx]);
+    out_cols.push_back(std::move(col));
+  }
+  return DataFrame::FromColumns(std::move(out_names), std::move(out_cols));
+}
+
+Status ColumnStore::Drop(const std::string& prefix) {
+  auto m = ReadManifest(prefix);
+  if (m.ok()) {
+    for (size_t i = 0; i < m.value().names.size(); ++i) {
+      std::remove(ColumnPath(prefix, i).c_str());
+    }
+  }
+  std::remove(ManifestPath(prefix).c_str());
+  return Status::OK();
+}
+
+}  // namespace fcbench::db

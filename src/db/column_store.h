@@ -1,0 +1,68 @@
+#ifndef FCBENCH_DB_COLUMN_STORE_H_
+#define FCBENCH_DB_COLUMN_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "db/dataframe.h"
+#include "db/paged_file.h"
+#include "util/status.h"
+
+namespace fcbench::db {
+
+/// Multi-column table persisted as one PagedFile per column plus a
+/// manifest — the column-store layout of the paper's takeaway for
+/// database designers (§7.2: "many algorithms ... can compress 1-D
+/// arrays for column-based databases without degrading compression
+/// ratio"). Each column picks its own compression method, so a table can
+/// mix, say, Gorilla for a slowly-drifting sensor column with
+/// bitshuffle::zstd for a noisy one.
+///
+/// On disk:
+///   <prefix>.manifest          column directory (names, methods, dtypes)
+///   <prefix>.<index>.col       one PagedFile per column
+class ColumnStore {
+ public:
+  /// Write-side description of one column.
+  struct ColumnSpec {
+    std::string name;
+    /// Registry name of the compression filter ("none" = raw pages).
+    std::string compressor = "none";
+    DType dtype = DType::kFloat64;
+    /// Decimal digits for BUFF's lossless bound; 0 = full precision.
+    int precision_digits = 0;
+    /// Values, converted to the column dtype on write.
+    std::vector<double> values;
+  };
+
+  /// Read-side timing, aggregated over the touched columns.
+  struct ReadStats {
+    double io_seconds = 0;
+    double decode_seconds = 0;
+    uint64_t bytes_on_disk = 0;
+    uint64_t bytes_decoded = 0;
+  };
+
+  /// Writes `columns` (all the same length) under `prefix`.
+  static Status Write(const std::string& prefix,
+                      const std::vector<ColumnSpec>& columns,
+                      size_t page_size = 64 << 10);
+
+  /// Lists the column names recorded in the manifest.
+  static Result<std::vector<std::string>> ListColumns(
+      const std::string& prefix);
+
+  /// Reads the named columns (projection pushdown: unrequested columns
+  /// are never opened) into a DataFrame whose column order matches
+  /// `names`. Empty `names` reads every column.
+  static Result<DataFrame> Read(const std::string& prefix,
+                                const std::vector<std::string>& names = {},
+                                ReadStats* stats = nullptr);
+
+  /// Removes all files written under `prefix`.
+  static Status Drop(const std::string& prefix);
+};
+
+}  // namespace fcbench::db
+
+#endif  // FCBENCH_DB_COLUMN_STORE_H_

@@ -1,0 +1,95 @@
+#include "db/dataframe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace fcbench::db {
+
+Result<DataFrame> DataFrame::FromBytes(ByteSpan data, const DataDesc& desc) {
+  const size_t esize = DTypeSize(desc.dtype);
+  if (data.size() != desc.num_bytes()) {
+    return Status::InvalidArgument("dataframe: size mismatch");
+  }
+  size_t cols = 1;
+  size_t rows = desc.num_elements();
+  if (desc.rank() == 2) {
+    rows = desc.extent[0];
+    cols = desc.extent[1];
+  }
+  DataFrame df;
+  df.rows_ = rows;
+  df.columns_.assign(cols, {});
+  for (size_t c = 0; c < cols; ++c) {
+    df.names_.push_back("c" + std::to_string(c));
+    df.columns_[c].resize(rows);
+  }
+  // Row-major on disk -> column vectors in memory.
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      size_t idx = r * cols + c;
+      double v;
+      if (desc.dtype == DType::kFloat32) {
+        float f;
+        std::memcpy(&f, data.data() + idx * 4, 4);
+        v = f;
+      } else {
+        std::memcpy(&v, data.data() + idx * 8, 8);
+      }
+      df.columns_[c][r] = v;
+    }
+  }
+  return df;
+}
+
+Result<DataFrame> DataFrame::FromColumns(
+    std::vector<std::string> names, std::vector<std::vector<double>> cols) {
+  if (names.size() != cols.size()) {
+    return Status::InvalidArgument("dataframe: names/columns count mismatch");
+  }
+  DataFrame df;
+  df.rows_ = cols.empty() ? 0 : cols[0].size();
+  for (const auto& c : cols) {
+    if (c.size() != df.rows_) {
+      return Status::InvalidArgument("dataframe: ragged columns");
+    }
+  }
+  df.names_ = std::move(names);
+  df.columns_ = std::move(cols);
+  return df;
+}
+
+uint64_t DataFrame::CountLessEqual(size_t col, double threshold) const {
+  const auto& v = columns_[col];
+  uint64_t count = 0;
+  for (double x : v) {
+    if (x <= threshold) ++count;
+  }
+  return count;
+}
+
+double DataFrame::SumLessEqual(size_t col, double threshold) const {
+  const auto& v = columns_[col];
+  double sum = 0;
+  for (double x : v) {
+    if (x <= threshold) sum += x;
+  }
+  return sum;
+}
+
+std::vector<double> DataFrame::HistogramEdges(size_t col, int bins) const {
+  const auto& v = columns_[col];
+  std::vector<double> edges;
+  if (v.empty() || bins <= 0) return edges;
+  double mn = v[0], mx = v[0];
+  for (double x : v) {
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+  }
+  for (int b = 1; b <= bins; ++b) {
+    edges.push_back(mn + (mx - mn) * b / bins);
+  }
+  return edges;
+}
+
+}  // namespace fcbench::db

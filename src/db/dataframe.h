@@ -1,0 +1,56 @@
+#ifndef FCBENCH_DB_DATAFRAME_H_
+#define FCBENCH_DB_DATAFRAME_H_
+
+#include <string>
+#include <vector>
+
+#include "core/format.h"
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace fcbench::db {
+
+/// Minimal in-memory columnar dataframe — the Pandas stand-in of the
+/// paper's simulated database (§5.1.2). Values are held as doubles
+/// regardless of on-disk precision, mirroring how Pandas materializes
+/// float columns.
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  /// Builds a dataframe from raw element bytes. A rank-2 extent
+  /// {rows, cols} produces `cols` named columns (c0, c1, ...); rank 1
+  /// produces a single column "c0".
+  static Result<DataFrame> FromBytes(ByteSpan data, const DataDesc& desc);
+
+  /// Builds a dataframe from named, equally-sized column vectors (the
+  /// ColumnStore read path).
+  static Result<DataFrame> FromColumns(std::vector<std::string> names,
+                                       std::vector<std::vector<double>> cols);
+
+  size_t num_rows() const { return rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<double>& column(size_t i) const { return columns_[i]; }
+  const std::string& column_name(size_t i) const { return names_[i]; }
+
+  /// Full-table-scan filter: counts rows where column `col` <= threshold
+  /// (the paper's df.loc[df.A <= v] micro-query, footnote 14).
+  uint64_t CountLessEqual(size_t col, double threshold) const;
+
+  /// Sum of column `col` over rows where it is <= threshold (aggregation
+  /// variant of the scan).
+  double SumLessEqual(size_t col, double threshold) const;
+
+  /// Equal-width histogram bin edges of column `col` (the paper derives
+  /// its query constants from a 10-bin histogram of df.A).
+  std::vector<double> HistogramEdges(size_t col, int bins) const;
+
+ private:
+  size_t rows_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+};
+
+}  // namespace fcbench::db
+
+#endif  // FCBENCH_DB_DATAFRAME_H_

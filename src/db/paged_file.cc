@@ -1,0 +1,238 @@
+#include "db/paged_file.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "util/bitio.h"
+#include "util/timer.h"
+
+namespace fcbench::db {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x46434246;  // "FCBF"
+
+/// Per-page descriptor: pages are independent 1-D arrays (column-store
+/// view), so dimension-hungry methods fall back to their 1-D mode exactly
+/// as §6.1.5 describes for column stores.
+DataDesc PageDesc(const DataDesc& file_desc, size_t page_bytes) {
+  DataDesc d;
+  d.dtype = file_desc.dtype;
+  d.extent = {page_bytes / DTypeSize(file_desc.dtype)};
+  d.precision_digits = file_desc.precision_digits;
+  return d;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void AppendHeaderVarint(Buffer* header, uint64_t v) {
+  PutVarint64(header, v);
+}
+
+}  // namespace
+
+Status PagedFile::Write(const std::string& path, ByteSpan data,
+                        const DataDesc& desc, const Options& options) {
+  const bool raw = options.compressor == "none";
+  std::unique_ptr<Compressor> comp;
+  if (!raw) {
+    auto r = CompressorRegistry::Global().Create(options.compressor,
+                                                 options.config);
+    if (!r.ok()) return r.status();
+    comp = std::move(r).TakeValue();
+  }
+
+  const size_t esize = DTypeSize(desc.dtype);
+  size_t page = options.page_size / esize * esize;
+  if (page == 0) page = esize;
+  size_t npages = (data.size() + page - 1) / page;
+  if (data.empty()) npages = 0;
+
+  // Header: magic, compressor name, page size, desc, page directory.
+  Buffer header;
+  PutFixed(&header, kMagic);
+  AppendHeaderVarint(&header, options.compressor.size());
+  header.Append(options.compressor.data(), options.compressor.size());
+  AppendHeaderVarint(&header, page);
+  header.PushBack(desc.dtype == DType::kFloat64 ? 1 : 0);
+  header.PushBack(static_cast<uint8_t>(desc.precision_digits));
+  AppendHeaderVarint(&header, desc.extent.size());
+  for (uint64_t e : desc.extent) AppendHeaderVarint(&header, e);
+  AppendHeaderVarint(&header, npages);
+
+  std::vector<Buffer> pages(npages);
+  for (size_t p = 0; p < npages; ++p) {
+    size_t begin = p * page;
+    size_t len = std::min(page, data.size() - begin);
+    ByteSpan chunk = data.subspan(begin, len);
+    if (raw) {
+      pages[p].Append(chunk);
+    } else {
+      FCB_RETURN_IF_ERROR(
+          comp->Compress(chunk, PageDesc(desc, len), &pages[p]));
+    }
+  }
+  for (const auto& pg : pages) AppendHeaderVarint(&header, pg.size());
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  if (std::fwrite(header.data(), 1, header.size(), f.get()) !=
+      header.size()) {
+    return Status::IoError("short header write: " + path);
+  }
+  for (const auto& pg : pages) {
+    if (std::fwrite(pg.data(), 1, pg.size(), f.get()) != pg.size()) {
+      return Status::IoError("short page write: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct ParsedHeader {
+  std::string compressor;
+  size_t page = 0;
+  DataDesc desc;
+  std::vector<uint64_t> page_sizes;
+  size_t payload_offset = 0;
+};
+
+Result<ParsedHeader> ParseHeader(ByteSpan file) {
+  ParsedHeader h;
+  size_t off = 0;
+  uint32_t magic = 0;
+  if (!GetFixed(file, &off, &magic) || magic != kMagic) {
+    return Status::Corruption("paged file: bad magic");
+  }
+  uint64_t name_len = 0;
+  if (!GetVarint64(file, &off, &name_len) || off + name_len > file.size()) {
+    return Status::Corruption("paged file: bad compressor name");
+  }
+  h.compressor.assign(reinterpret_cast<const char*>(file.data() + off),
+                      name_len);
+  off += name_len;
+  uint64_t page = 0;
+  if (!GetVarint64(file, &off, &page) || page == 0) {
+    return Status::Corruption("paged file: bad page size");
+  }
+  h.page = page;
+  uint8_t dtype = 0, digits = 0;
+  if (!GetFixed(file, &off, &dtype) || !GetFixed(file, &off, &digits)) {
+    return Status::Corruption("paged file: bad dtype");
+  }
+  h.desc.dtype = dtype ? DType::kFloat64 : DType::kFloat32;
+  h.desc.precision_digits = digits;
+  uint64_t rank = 0;
+  if (!GetVarint64(file, &off, &rank) || rank > 8) {
+    return Status::Corruption("paged file: bad rank");
+  }
+  h.desc.extent.resize(rank);
+  for (auto& e : h.desc.extent) {
+    if (!GetVarint64(file, &off, &e)) {
+      return Status::Corruption("paged file: bad extent");
+    }
+  }
+  uint64_t npages = 0;
+  if (!GetVarint64(file, &off, &npages)) {
+    return Status::Corruption("paged file: bad page count");
+  }
+  h.page_sizes.resize(npages);
+  for (auto& s : h.page_sizes) {
+    if (!GetVarint64(file, &off, &s)) {
+      return Status::Corruption("paged file: bad page directory");
+    }
+  }
+  h.payload_offset = off;
+  return h;
+}
+
+Result<Buffer> ReadWholeFile(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open: " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (size < 0) return Status::IoError("cannot stat: " + path);
+  Buffer buf(static_cast<size_t>(size));
+  if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    return Status::IoError("short read: " + path);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Result<Buffer> PagedFile::Read(const std::string& path, ReadTiming* timing) {
+  Timer io_timer;
+  auto file_r = ReadWholeFile(path);
+  if (!file_r.ok()) return file_r.status();
+  Buffer file = std::move(file_r).TakeValue();
+  if (timing != nullptr) timing->io_seconds = io_timer.ElapsedSeconds();
+
+  auto hr = ParseHeader(file.span());
+  if (!hr.ok()) return hr.status();
+  const ParsedHeader& h = hr.value();
+
+  const bool raw = h.compressor == "none";
+  std::unique_ptr<Compressor> comp;
+  if (!raw) {
+    auto cr = CompressorRegistry::Global().Create(h.compressor);
+    if (!cr.ok()) return cr.status();
+    comp = std::move(cr).TakeValue();
+  }
+
+  Timer decode_timer;
+  Buffer out;
+  uint64_t total_bytes = h.desc.num_bytes();
+  out.Reserve(total_bytes);
+  size_t off = h.payload_offset;
+  uint64_t remaining = total_bytes;
+  for (size_t p = 0; p < h.page_sizes.size(); ++p) {
+    if (off + h.page_sizes[p] > file.size()) {
+      return Status::Corruption("paged file: truncated pages");
+    }
+    ByteSpan page_bytes = file.span().subspan(off, h.page_sizes[p]);
+    off += h.page_sizes[p];
+    size_t logical = static_cast<size_t>(
+        std::min<uint64_t>(h.page, remaining));
+    if (raw) {
+      out.Append(page_bytes);
+    } else {
+      FCB_RETURN_IF_ERROR(
+          comp->Decompress(page_bytes, PageDesc(h.desc, logical), &out));
+    }
+    remaining -= logical;
+  }
+  if (timing != nullptr) {
+    timing->decode_seconds = decode_timer.ElapsedSeconds();
+  }
+  if (out.size() != total_bytes) {
+    return Status::Corruption("paged file: size mismatch after decode");
+  }
+  return out;
+}
+
+Result<DataDesc> PagedFile::ReadDesc(const std::string& path) {
+  auto file_r = ReadWholeFile(path);
+  if (!file_r.ok()) return file_r.status();
+  auto hr = ParseHeader(file_r.value().span());
+  if (!hr.ok()) return hr.status();
+  return hr.value().desc;
+}
+
+Result<uint64_t> PagedFile::FileSize(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open: " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  long size = std::ftell(f.get());
+  if (size < 0) return Status::IoError("cannot stat: " + path);
+  return static_cast<uint64_t>(size);
+}
+
+}  // namespace fcbench::db

@@ -1,0 +1,55 @@
+#ifndef FCBENCH_DB_PAGED_FILE_H_
+#define FCBENCH_DB_PAGED_FILE_H_
+
+#include <string>
+
+#include "core/compressor.h"
+#include "core/format.h"
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace fcbench::db {
+
+/// HDF5-style chunked dataset container (paper §5.1.2 / Figure 4).
+///
+/// One floating-point array is stored as a sequence of fixed-size pages
+/// ("chunks" in HDF5 terms), each independently compressed by a pluggable
+/// compression filter. This is the on-disk half of the simulated
+/// in-memory database: the Table 10 block-size sweep and the Table 11
+/// read/decode/query breakdown both run through it.
+class PagedFile {
+ public:
+  struct Options {
+    /// Page (chunk) size in bytes of raw data per page; the paper sweeps
+    /// 4 KiB / 64 KiB / 8 MiB.
+    size_t page_size = 64 << 10;
+    /// Registry name of the compression filter ("none" = raw pages).
+    std::string compressor = "none";
+    CompressorConfig config;
+  };
+
+  /// Timing breakdown of a read, matching the paper's file I/O vs. data
+  /// decoding split (§6.2.2).
+  struct ReadTiming {
+    double io_seconds = 0;
+    double decode_seconds = 0;
+  };
+
+  /// Compresses `data` page by page and writes the container to `path`.
+  static Status Write(const std::string& path, ByteSpan data,
+                      const DataDesc& desc, const Options& options);
+
+  /// Reads the container back: file I/O and per-page decompression are
+  /// timed separately. Returns the raw little-endian element bytes.
+  static Result<Buffer> Read(const std::string& path, ReadTiming* timing);
+
+  /// Reads only the stored metadata (no page decode).
+  static Result<DataDesc> ReadDesc(const std::string& path);
+
+  /// Total on-disk size of the container, or error.
+  static Result<uint64_t> FileSize(const std::string& path);
+};
+
+}  // namespace fcbench::db
+
+#endif  // FCBENCH_DB_PAGED_FILE_H_

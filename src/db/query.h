@@ -1,0 +1,75 @@
+#ifndef FCBENCH_DB_QUERY_H_
+#define FCBENCH_DB_QUERY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "db/dataframe.h"
+#include "util/status.h"
+
+namespace fcbench::db {
+
+/// Comparison operators for scan predicates. The paper's micro-benchmark
+/// (§6.2.2, footnote 14) uses `df.A <= v`; the engine generalizes to the
+/// operator set BUFF's sub-column scan supports plus range predicates, so
+/// the pushdown comparison bench can run identical queries against both
+/// execution paths.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBetween,  // value in [low, high]
+};
+
+/// A single-column scan predicate.
+struct ScanPredicate {
+  size_t column = 0;
+  CompareOp op = CompareOp::kLe;
+  /// Comparison constant (lower bound for kBetween).
+  double value = 0;
+  /// Upper bound, used by kBetween only.
+  double upper = 0;
+
+  /// Evaluates the predicate against one value.
+  bool Matches(double v) const;
+};
+
+/// Row-id selection vector produced by filters (sorted, unique).
+using Selection = std::vector<uint32_t>;
+
+/// Full-table-scan filter: returns the row ids matching `pred`.
+Result<Selection> Filter(const DataFrame& df, const ScanPredicate& pred);
+
+/// Conjunctive filter: rows matching *all* predicates. Evaluates the
+/// first predicate as a scan and refines the selection with the rest,
+/// which mirrors how a real engine would order a predicate pipeline.
+Result<Selection> FilterAll(const DataFrame& df,
+                            std::span<const ScanPredicate> preds);
+
+/// Aggregate functions over a (possibly filtered) column scan.
+enum class AggregateOp { kCount, kSum, kMin, kMax, kMean };
+
+/// Computes `op` over column `column` of `df`, restricted to `selection`
+/// when non-null. kMin/kMax of an empty selection return +/-infinity;
+/// kMean returns 0.
+Result<double> Aggregate(const DataFrame& df, size_t column, AggregateOp op,
+                         const Selection* selection = nullptr);
+
+/// Materializes the selected rows of one column (projection).
+Result<std::vector<double>> Gather(const DataFrame& df, size_t column,
+                                   const Selection& selection);
+
+/// The paper's query workload (footnote 14): thresholds drawn from a
+/// 10-bin histogram of the scanned column, one CountLessEqual scan per
+/// bin edge. Returns total matching rows across the workload, so callers
+/// can both time the workload and sanity-check the result.
+uint64_t RunHistogramScanWorkload(const DataFrame& df, size_t column,
+                                  int bins = 10);
+
+}  // namespace fcbench::db
+
+#endif  // FCBENCH_DB_QUERY_H_

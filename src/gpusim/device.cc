@@ -1,0 +1,47 @@
+#include "gpusim/device.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+namespace fcbench::gpusim {
+
+KernelStats SimtDevice::Launch(
+    size_t num_warps, const std::function<void(WarpCtx&)>& warp_fn) const {
+  if (num_warps == 0) return {};
+  size_t parts = std::min<size_t>(num_warps, host_threads_);
+  std::vector<KernelStats> partials(parts);
+  ThreadPool pool(parts);
+  size_t chunk = (num_warps + parts - 1) / parts;
+  for (size_t p = 0; p < parts; ++p) {
+    size_t begin = p * chunk;
+    size_t end = std::min(num_warps, begin + chunk);
+    if (begin >= end) break;
+    pool.Submit([&, p, begin, end] {
+      for (size_t w = begin; w < end; ++w) {
+        WarpCtx ctx(w, &partials[p]);
+        warp_fn(ctx);
+      }
+    });
+  }
+  pool.Wait();
+  KernelStats total;
+  for (const auto& s : partials) total += s;
+  return total;
+}
+
+double SimtDevice::ModelKernelSeconds(const KernelStats& stats) const {
+  double instr =
+      static_cast<double>(stats.warp_instructions + stats.divergent_instructions);
+  double compute_s =
+      instr / (spec_.sm_count * spec_.warp_ipc * spec_.clock_ghz * 1e9);
+  double mem_s = static_cast<double>(stats.bytes_read + stats.bytes_written) /
+                 (spec_.mem_bw_gbps * 1e9);
+  return std::max(compute_s, mem_s) + spec_.launch_overhead_s;
+}
+
+double SimtDevice::ModelTransferSeconds(uint64_t bytes) const {
+  return static_cast<double>(bytes) / (spec_.pcie_gbps * 1e9) + 2e-5;
+}
+
+}  // namespace fcbench::gpusim

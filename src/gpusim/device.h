@@ -1,0 +1,146 @@
+#ifndef FCBENCH_GPUSIM_DEVICE_H_
+#define FCBENCH_GPUSIM_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/thread_pool.h"
+
+namespace fcbench::gpusim {
+
+/// Static description of the modeled GPU. Defaults approximate the Quadro
+/// RTX 6000 used by the paper (§5.5): 72 SMs @ ~1.77 GHz, 24 GB GDDR6 at
+/// ~672 GB/s, PCIe 3.0 x16 host link (~12 GB/s effective).
+struct DeviceSpec {
+  std::string name = "rtx6000-sim";
+  int sm_count = 72;
+  double clock_ghz = 1.77;
+  /// Warp instructions retired per SM per cycle (issue width).
+  double warp_ipc = 1.0;
+  double mem_bw_gbps = 672.0;
+  double pcie_gbps = 12.0;
+  /// Fixed kernel-launch overhead, seconds.
+  double launch_overhead_s = 8e-6;
+  /// Device memory capacity; GFC historically rejected inputs > 512 MB.
+  uint64_t memory_bytes = 24ull << 30;
+};
+
+/// Counters accumulated while simulated warps execute. These drive both
+/// the throughput model (Tables 5/6) and the GPU roofline (Figure 11b).
+struct KernelStats {
+  /// Warp-level instructions (one per lock-step step of a 32-lane warp).
+  uint64_t warp_instructions = 0;
+  /// Extra serialized instructions caused by intra-warp branch divergence
+  /// (the paper's recurring GPU bottleneck for dictionary methods).
+  uint64_t divergent_instructions = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  KernelStats& operator+=(const KernelStats& o) {
+    warp_instructions += o.warp_instructions;
+    divergent_instructions += o.divergent_instructions;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+};
+
+/// Modeled timing of one compression/decompression call on the device.
+struct GpuTiming {
+  double kernel_seconds = 0;
+  double h2d_seconds = 0;  // host-to-device copy
+  double d2h_seconds = 0;  // device-to-host copy
+
+  double total_seconds() const {
+    return kernel_seconds + h2d_seconds + d2h_seconds;
+  }
+};
+
+/// Per-warp execution context handed to simulated kernels. Lanes run in
+/// lock step; kernels account their work through the Count* methods and
+/// may use the warp-wide primitives (ballot/shuffle/prefix sum) that the
+/// real implementations rely on.
+class WarpCtx {
+ public:
+  static constexpr int kWarpSize = 32;
+
+  WarpCtx(size_t warp_id, KernelStats* stats)
+      : warp_id_(warp_id), stats_(stats) {}
+
+  size_t warp_id() const { return warp_id_; }
+
+  /// One warp instruction covering all 32 lanes.
+  void CountInstr(uint64_t n = 1) { stats_->warp_instructions += n; }
+  /// Instructions serialized by divergence (counted on top of CountInstr).
+  void CountDivergent(uint64_t n) { stats_->divergent_instructions += n; }
+  void CountRead(uint64_t bytes) { stats_->bytes_read += bytes; }
+  void CountWrite(uint64_t bytes) { stats_->bytes_written += bytes; }
+
+  /// __ballot_sync: bit i set iff pred[i].
+  uint32_t Ballot(const bool pred[kWarpSize]) {
+    CountInstr();
+    uint32_t mask = 0;
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (pred[i]) mask |= 1u << i;
+    }
+    return mask;
+  }
+
+  /// Exclusive warp prefix sum (as used for output offsets).
+  void PrefixSumExclusive(const uint32_t in[kWarpSize],
+                          uint32_t out[kWarpSize]) {
+    CountInstr(5);  // log2(32) butterfly steps
+    uint32_t acc = 0;
+    for (int i = 0; i < kWarpSize; ++i) {
+      out[i] = acc;
+      acc += in[i];
+    }
+  }
+
+  /// __shfl_sync: value held by lane src_lane.
+  template <typename T>
+  T Shfl(const T vals[kWarpSize], int src_lane) {
+    CountInstr();
+    return vals[src_lane & (kWarpSize - 1)];
+  }
+
+ private:
+  size_t warp_id_;
+  KernelStats* stats_;
+};
+
+/// The SIMT device simulator: executes warps on host threads (functional
+/// behaviour is bit-exact; the real algorithm runs per lane) and converts
+/// the accumulated KernelStats into modeled device time via a roofline-
+/// style cost model.
+class SimtDevice {
+ public:
+  explicit SimtDevice(DeviceSpec spec = {}, int host_threads = 8)
+      : spec_(std::move(spec)), host_threads_(host_threads) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Runs `warp_fn(ctx)` for every warp id in [0, num_warps); returns the
+  /// summed stats. Warps execute concurrently on host threads, mirroring
+  /// independent warp scheduling.
+  KernelStats Launch(size_t num_warps,
+                     const std::function<void(WarpCtx&)>& warp_fn) const;
+
+  /// Modeled device execution time: the larger of the compute and memory
+  /// rooflines plus launch overhead (divergent instructions are pure
+  /// serialization and always add compute time).
+  double ModelKernelSeconds(const KernelStats& stats) const;
+
+  /// Modeled PCIe transfer time for `bytes` in one direction.
+  double ModelTransferSeconds(uint64_t bytes) const;
+
+ private:
+  DeviceSpec spec_;
+  int host_threads_;
+};
+
+}  // namespace fcbench::gpusim
+
+#endif  // FCBENCH_GPUSIM_DEVICE_H_

@@ -1,0 +1,239 @@
+#include "gpusim/gfc.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/bitio.h"
+#include "util/float_bits.h"
+
+namespace fcbench::gpusim {
+
+namespace {
+
+constexpr size_t kSubchunk = 32;  // doubles per warp step (one per lane)
+constexpr uint64_t kMaxInput = 512ull << 20;  // historical GFC limit
+
+/// Non-coalesced byte-granular stores waste GDDR transactions; model them
+/// as 4x effective traffic (documented in EXPERIMENTS.md).
+constexpr int kScatterPenalty = 4;
+
+struct LaneCode {
+  uint8_t nibble;
+  int keep;
+  uint64_t mag;
+};
+
+/// Encodes one warp's chunk of doubles. Bit-exact serial implementation of
+/// the lane-parallel algorithm; `ctx` accounts the SIMT cost.
+void CompressWarpChunk(WarpCtx& ctx, const uint8_t* base, size_t count,
+                       Buffer* out) {
+  uint64_t prev_last = 0;
+  for (size_t s = 0; s < count; s += kSubchunk) {
+    size_t lanes = std::min(kSubchunk, count - s);
+    ctx.CountRead(lanes * 8);
+    ctx.CountInstr(12);  // load, sub, sign/abs, clz, nibble pack (lock-step)
+
+    LaneCode codes[kSubchunk];
+    uint64_t last_value = prev_last;
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      uint64_t v;
+      std::memcpy(&v, base + (s + lane) * 8, 8);
+      uint64_t r = v - prev_last;  // two's-complement wraparound
+      bool neg = (r >> 63) != 0;
+      uint64_t mag = neg ? (0 - r) : r;
+      int lzb = LeadingZeros64(mag) / 8;
+      int code = (lzb == 8) ? 7 : (lzb == 7 ? 6 : lzb);
+      int keep = 8 - ((code == 7) ? 8 : code);
+      codes[lane] = {static_cast<uint8_t>((neg ? 8 : 0) | code), keep, mag};
+      if (lane == lanes - 1) last_value = v;
+    }
+    prev_last = last_value;
+
+    // Warp-coordinated output: nibbles, then compacted residual bytes at
+    // prefix-sum offsets.
+    uint32_t keeps[kSubchunk] = {0};
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      keeps[lane] = static_cast<uint32_t>(codes[lane].keep);
+    }
+    uint32_t offsets[kSubchunk];
+    ctx.PrefixSumExclusive(keeps, offsets);
+
+    uint8_t packed[kSubchunk / 2] = {0};
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      if (lane % 2 == 0) {
+        packed[lane / 2] = static_cast<uint8_t>(codes[lane].nibble << 4);
+      } else {
+        packed[lane / 2] |= codes[lane].nibble;
+      }
+    }
+    out->Append(packed, (lanes + 1) / 2);
+    ctx.CountWrite((lanes + 1) / 2);
+
+    uint64_t total_keep = 0;
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      const auto& c = codes[lane];
+      for (int b = c.keep - 1; b >= 0; --b) {
+        out->PushBack(static_cast<uint8_t>(c.mag >> (8 * b)));
+      }
+      total_keep += c.keep;
+    }
+    // Byte-granular scattered stores: divergent and non-coalesced.
+    ctx.CountDivergent(total_keep / 4 + 1);
+    ctx.CountWrite(total_keep * kScatterPenalty);
+  }
+}
+
+Status DecompressWarpChunk(WarpCtx& ctx, ByteSpan in, size_t count,
+                           uint8_t* dst) {
+  uint64_t prev_last = 0;
+  size_t pos = 0;
+  for (size_t s = 0; s < count; s += kSubchunk) {
+    size_t lanes = std::min(kSubchunk, count - s);
+    size_t nibble_bytes = (lanes + 1) / 2;
+    if (pos + nibble_bytes > in.size()) {
+      return Status::Corruption("gfc: truncated nibbles");
+    }
+    ctx.CountRead(nibble_bytes);
+    ctx.CountInstr(12);
+    const uint8_t* packed = in.data() + pos;
+    pos += nibble_bytes;
+
+    uint64_t last_value = prev_last;
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      uint8_t nibble = (lane % 2 == 0) ? (packed[lane / 2] >> 4)
+                                       : (packed[lane / 2] & 0x0f);
+      bool neg = (nibble & 8) != 0;
+      int code = nibble & 7;
+      int keep = 8 - ((code == 7) ? 8 : code);
+      if (pos + keep > in.size()) {
+        return Status::Corruption("gfc: truncated residual");
+      }
+      uint64_t mag = 0;
+      for (int b = keep - 1; b >= 0; --b) {
+        mag |= static_cast<uint64_t>(in[pos++]) << (8 * b);
+      }
+      uint64_t v = neg ? (prev_last - mag) : (prev_last + mag);
+      std::memcpy(dst + (s + lane) * 8, &v, 8);
+      if (lane == lanes - 1) last_value = v;
+    }
+    prev_last = last_value;
+    ctx.CountDivergent(lanes / 4 + 1);
+    ctx.CountRead(lanes * 2 * kScatterPenalty);  // scattered byte loads
+    ctx.CountWrite(lanes * 8);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+GfcCompressor::GfcCompressor(const CompressorConfig& config)
+    : device_(DeviceSpec{}, config.threads > 0 ? config.threads : 8) {
+  traits_.name = "gfc";
+  traits_.year = 2011;
+  traits_.domain = "HPC";
+  traits_.arch = Arch::kGpu;
+  traits_.predictor = PredictorClass::kDelta;
+  traits_.parallel = true;
+  traits_.supports_f32 = false;  // double-precision only (Table 1)
+  traits_.uses_dimensions = true;
+}
+
+Status GfcCompressor::Compress(ByteSpan input, const DataDesc& desc,
+                               Buffer* out) {
+  if (desc.dtype != DType::kFloat64) {
+    return Status::NotSupported("gfc: double-precision only");
+  }
+  if (input.size() > kMaxInput) {
+    return Status::ResourceExhausted("gfc: input exceeds 512 MB limit");
+  }
+  size_t n = input.size() / 8;
+
+  // One chunk per warp; the real GFC sizes the grid to fill the device.
+  size_t num_warps = std::max<size_t>(
+      1, std::min<size_t>(n / (kSubchunk * 8), 2048));
+  size_t chunk = ((n + num_warps - 1) / num_warps + kSubchunk - 1) /
+                 kSubchunk * kSubchunk;
+  num_warps = chunk ? (n + chunk - 1) / chunk : 0;
+  if (n == 0) num_warps = 0;
+
+  std::vector<Buffer> parts(num_warps);
+  KernelStats stats = device_.Launch(num_warps, [&](WarpCtx& ctx) {
+    size_t w = ctx.warp_id();
+    size_t begin = w * chunk;
+    size_t cnt = std::min(chunk, n - begin);
+    CompressWarpChunk(ctx, input.data() + begin * 8, cnt, &parts[w]);
+  });
+
+  PutVarint64(out, n);
+  PutVarint64(out, num_warps);
+  PutVarint64(out, chunk);
+  for (const auto& p : parts) PutVarint64(out, p.size());
+  for (const auto& p : parts) out->Append(p.span());
+
+  timing_.h2d_seconds = device_.ModelTransferSeconds(input.size());
+  timing_.kernel_seconds = device_.ModelKernelSeconds(stats);
+  timing_.d2h_seconds = device_.ModelTransferSeconds(out->size());
+  return Status::OK();
+}
+
+Status GfcCompressor::Decompress(ByteSpan input, const DataDesc& desc,
+                                 Buffer* out) {
+  if (desc.dtype != DType::kFloat64) {
+    return Status::NotSupported("gfc: double-precision only");
+  }
+  size_t off = 0;
+  uint64_t n = 0, num_warps = 0, chunk = 0;
+  if (!GetVarint64(input, &off, &n) || !GetVarint64(input, &off, &num_warps) ||
+      !GetVarint64(input, &off, &chunk)) {
+    return Status::Corruption("gfc: bad header");
+  }
+  // Hostile-header guards: n sizes the output allocation, num_warps the
+  // directory allocation, and chunk the per-warp offsets (w * chunk must
+  // never pass n, or `n - begin` underflows into out-of-bounds writes).
+  if (n > kMaxInput / 8) {
+    return Status::Corruption("gfc: declared count beyond 512 MB limit");
+  }
+  if (desc.num_elements() > 0 && n * 8 > desc.num_bytes() + 64) {
+    return Status::Corruption("gfc: declared size disagrees with desc");
+  }
+  uint64_t expected_warps =
+      (n == 0 || chunk == 0) ? 0 : (n + chunk - 1) / chunk;
+  if (num_warps != expected_warps || (n > 0 && chunk == 0)) {
+    return Status::Corruption("gfc: inconsistent chunk directory");
+  }
+  if (num_warps > input.size() - off) {  // each warp needs >= 1 header byte
+    return Status::Corruption("gfc: implausible warp count");
+  }
+  std::vector<uint64_t> sizes(num_warps);
+  for (auto& s : sizes) {
+    if (!GetVarint64(input, &off, &s)) {
+      return Status::Corruption("gfc: bad warp sizes");
+    }
+  }
+  std::vector<size_t> starts(num_warps);
+  for (size_t w = 0; w < num_warps; ++w) {
+    starts[w] = off;
+    off += sizes[w];
+    if (off > input.size()) return Status::Corruption("gfc: truncated");
+  }
+
+  size_t base = out->size();
+  out->Resize(base + n * 8);
+  uint8_t* dst = out->data() + base;
+  std::vector<Status> stats_per(num_warps);
+  KernelStats stats = device_.Launch(num_warps, [&](WarpCtx& ctx) {
+    size_t w = ctx.warp_id();
+    size_t begin = w * chunk;
+    size_t cnt = std::min<size_t>(chunk, n - begin);
+    stats_per[w] = DecompressWarpChunk(
+        ctx, input.subspan(starts[w], sizes[w]), cnt, dst + begin * 8);
+  });
+  for (const auto& st : stats_per) FCB_RETURN_IF_ERROR(st);
+
+  timing_.h2d_seconds = device_.ModelTransferSeconds(input.size());
+  timing_.kernel_seconds = device_.ModelKernelSeconds(stats);
+  timing_.d2h_seconds = device_.ModelTransferSeconds(n * 8);
+  return Status::OK();
+}
+
+}  // namespace fcbench::gpusim

@@ -1,0 +1,46 @@
+#ifndef FCBENCH_GPUSIM_GFC_H_
+#define FCBENCH_GPUSIM_GFC_H_
+
+#include "core/compressor.h"
+#include "gpusim/device.h"
+
+namespace fcbench::gpusim {
+
+/// GFC (O'Neil & Burtscher 2011; paper §4.1), run on the SIMT simulator.
+///
+/// The input is divided into chunks, one per warp; each chunk is processed
+/// in subchunks of 32 doubles (one per lane). Residuals subtract the
+/// corresponding value of the *previous subchunk's last value* — the
+/// deliberately cheap predictor whose inaccuracy the paper blames for
+/// GFC's bottom ranking (§6.1.1 analysis (3), §6.1.5 analysis (2)).
+/// Each residual is encoded as 4 bits (sign + leading-zero-byte count)
+/// plus its non-zero bytes.
+///
+/// Historical limitation preserved: inputs larger than 512 MB are
+/// rejected (§4.1 insights).
+class GfcCompressor : public Compressor {
+ public:
+  explicit GfcCompressor(const CompressorConfig& config);
+
+  const CompressorTraits& traits() const override { return traits_; }
+
+  Status Compress(ByteSpan input, const DataDesc& desc,
+                  Buffer* out) override;
+  Status Decompress(ByteSpan input, const DataDesc& desc,
+                    Buffer* out) override;
+
+  const GpuTiming* last_gpu_timing() const override { return &timing_; }
+
+  static std::unique_ptr<Compressor> Make(const CompressorConfig& config) {
+    return std::make_unique<GfcCompressor>(config);
+  }
+
+ private:
+  CompressorTraits traits_;
+  SimtDevice device_;
+  GpuTiming timing_;
+};
+
+}  // namespace fcbench::gpusim
+
+#endif  // FCBENCH_GPUSIM_GFC_H_

@@ -1,0 +1,243 @@
+#include "gpusim/mpc.h"
+
+#include <cstring>
+#include <vector>
+
+#include "compressors/transpose.h"
+#include "util/bitio.h"
+
+namespace fcbench::gpusim {
+
+namespace {
+
+constexpr size_t kChunkElems = 1024;
+constexpr int kLnvStride = 6;
+constexpr int kTransposePenalty = 4;  // non-coalesced gather/scatter
+
+/// One 1024-element chunk through LNV6s -> BIT -> LNV1s -> ZE.
+template <typename W>
+void MpcEncodeChunk(WarpCtx& ctx, const uint8_t* src, Buffer* out) {
+  constexpr size_t kBytes = kChunkElems * sizeof(W);
+  constexpr int kWidth = sizeof(W) * 8;
+  W x[kChunkElems];
+  std::memcpy(x, src, kBytes);
+
+  // LNV6s.
+  ctx.CountRead(kBytes);
+  ctx.CountInstr(kChunkElems / 32 * 2);
+  ctx.CountWrite(kBytes);
+  for (size_t i = kChunkElems - 1; i >= kLnvStride; --i) {
+    x[i] -= x[i - kLnvStride];
+  }
+
+  // BIT: transpose the whole chunk (non-coalesced access pattern). The
+  // transposed words are emitted plane-interleaved — word k of every bit
+  // plane before word k+1 — so that the following LNV1s cancels the
+  // sign-extension planes, which are bit-identical for small residuals
+  // (this is what lets ZE remove them; without it MPC's ratio collapses
+  // toward 1.0).
+  ctx.CountRead(kBytes * kTransposePenalty);
+  ctx.CountInstr(kChunkElems / 32 * 8);
+  ctx.CountWrite(kBytes * kTransposePenalty);
+  constexpr size_t kPlanes = kWidth;                  // bit planes
+  constexpr size_t kWordsPerPlane = kChunkElems / kWidth;
+  W raw[kChunkElems];
+  compressors::BitTranspose(reinterpret_cast<const uint8_t*>(x),
+                            reinterpret_cast<uint8_t*>(raw), kChunkElems,
+                            sizeof(W));
+  W t[kChunkElems];
+  for (size_t pl = 0; pl < kPlanes; ++pl) {
+    for (size_t k = 0; k < kWordsPerPlane; ++k) {
+      t[k * kPlanes + pl] = raw[pl * kWordsPerPlane + k];
+    }
+  }
+
+  // LNV1s over the transposed words.
+  ctx.CountRead(kBytes);
+  ctx.CountInstr(kChunkElems / 32 * 2);
+  ctx.CountWrite(kBytes);
+  for (size_t i = kChunkElems - 1; i >= 1; --i) t[i] -= t[i - 1];
+
+  // ZE: bitmap per kWidth-word group, then the non-zero words.
+  ctx.CountRead(kBytes);
+  ctx.CountInstr(kChunkElems / 32 * 4);
+  for (size_t g = 0; g < kChunkElems; g += kWidth) {
+    W bitmap = 0;
+    for (int i = 0; i < kWidth; ++i) {
+      if (t[g + i] != 0) bitmap |= W(1) << i;
+    }
+    out->Append(&bitmap, sizeof(W));
+    uint64_t kept = 0;
+    for (int i = 0; i < kWidth; ++i) {
+      if (t[g + i] != 0) {
+        out->Append(&t[g + i], sizeof(W));
+        ++kept;
+      }
+    }
+    ctx.CountWrite(sizeof(W) * (1 + kept));
+    ctx.CountDivergent(kept / 8 + 1);
+  }
+}
+
+template <typename W>
+Status MpcDecodeChunk(WarpCtx& ctx, ByteSpan in, size_t* pos, uint8_t* dst) {
+  constexpr size_t kBytes = kChunkElems * sizeof(W);
+  constexpr int kWidth = sizeof(W) * 8;
+  W t[kChunkElems];
+
+  for (size_t g = 0; g < kChunkElems; g += kWidth) {
+    W bitmap;
+    if (!GetFixed(in, pos, &bitmap)) {
+      return Status::Corruption("mpc: truncated bitmap");
+    }
+    for (int i = 0; i < kWidth; ++i) {
+      W w = 0;
+      if ((bitmap >> i) & 1) {
+        if (!GetFixed(in, pos, &w)) {
+          return Status::Corruption("mpc: truncated words");
+        }
+      }
+      t[g + i] = w;
+    }
+  }
+  ctx.CountRead(kBytes);
+  ctx.CountInstr(kChunkElems / 32 * 6);
+
+  for (size_t i = 1; i < kChunkElems; ++i) t[i] += t[i - 1];
+  ctx.CountRead(kBytes);
+  ctx.CountWrite(kBytes);
+
+  // Undo the plane interleave, then the bit transpose.
+  constexpr size_t kPlanes = kWidth;
+  constexpr size_t kWordsPerPlane = kChunkElems / kWidth;
+  W raw[kChunkElems];
+  for (size_t pl = 0; pl < kPlanes; ++pl) {
+    for (size_t k = 0; k < kWordsPerPlane; ++k) {
+      raw[pl * kWordsPerPlane + k] = t[k * kPlanes + pl];
+    }
+  }
+  W x[kChunkElems];
+  compressors::BitUntranspose(reinterpret_cast<const uint8_t*>(raw),
+                              reinterpret_cast<uint8_t*>(x), kChunkElems,
+                              sizeof(W));
+  ctx.CountRead(kBytes * kTransposePenalty);
+  ctx.CountWrite(kBytes * kTransposePenalty);
+  ctx.CountInstr(kChunkElems / 32 * 8);
+
+  for (size_t i = kLnvStride; i < kChunkElems; ++i) x[i] += x[i - kLnvStride];
+  ctx.CountWrite(kBytes);
+  std::memcpy(dst, x, kBytes);
+  return Status::OK();
+}
+
+}  // namespace
+
+MpcCompressor::MpcCompressor(const CompressorConfig& config)
+    : device_(DeviceSpec{}, config.threads > 0 ? config.threads : 8) {
+  traits_.name = "mpc";
+  traits_.year = 2015;
+  traits_.domain = "HPC";
+  traits_.arch = Arch::kGpu;
+  traits_.predictor = PredictorClass::kDelta;
+  traits_.parallel = true;
+  traits_.uses_dimensions = false;
+}
+
+Status MpcCompressor::Compress(ByteSpan input, const DataDesc& desc,
+                               Buffer* out) {
+  const size_t esize = DTypeSize(desc.dtype);
+  const size_t chunk_bytes = kChunkElems * esize;
+  const size_t nchunks = input.size() / chunk_bytes;
+  const size_t tail = input.size() - nchunks * chunk_bytes;
+
+  std::vector<Buffer> parts(nchunks);
+  KernelStats stats = device_.Launch(nchunks, [&](WarpCtx& ctx) {
+    size_t c = ctx.warp_id();
+    if (esize == 8) {
+      MpcEncodeChunk<uint64_t>(ctx, input.data() + c * chunk_bytes,
+                               &parts[c]);
+    } else {
+      MpcEncodeChunk<uint32_t>(ctx, input.data() + c * chunk_bytes,
+                               &parts[c]);
+    }
+  });
+
+  PutVarint64(out, input.size());
+  PutVarint64(out, nchunks);
+  for (const auto& p : parts) PutVarint64(out, p.size());
+  for (const auto& p : parts) out->Append(p.span());
+  out->Append(input.data() + nchunks * chunk_bytes, tail);
+
+  timing_.h2d_seconds = device_.ModelTransferSeconds(input.size());
+  timing_.kernel_seconds = device_.ModelKernelSeconds(stats);
+  timing_.d2h_seconds = device_.ModelTransferSeconds(out->size());
+  return Status::OK();
+}
+
+Status MpcCompressor::Decompress(ByteSpan input, const DataDesc& desc,
+                                 Buffer* out) {
+  const size_t esize = DTypeSize(desc.dtype);
+  size_t off = 0;
+  uint64_t total = 0, nchunks = 0;
+  if (!GetVarint64(input, &off, &total) ||
+      !GetVarint64(input, &off, &nchunks)) {
+    return Status::Corruption("mpc: bad header");
+  }
+  // Hostile-header guards: total sizes the output allocation, nchunks the
+  // directory allocation.
+  const uint64_t expected =
+      desc.num_elements() > 0 ? desc.num_bytes() + 64 : (uint64_t(1) << 33);
+  if (total > expected) {
+    return Status::Corruption("mpc: declared size disagrees with desc");
+  }
+  if (nchunks > input.size() - off) {  // each chunk needs >= 1 header byte
+    return Status::Corruption("mpc: implausible chunk count");
+  }
+  std::vector<uint64_t> sizes(nchunks);
+  for (auto& s : sizes) {
+    if (!GetVarint64(input, &off, &s)) {
+      return Status::Corruption("mpc: bad chunk sizes");
+    }
+  }
+  std::vector<size_t> starts(nchunks);
+  for (size_t c = 0; c < nchunks; ++c) {
+    starts[c] = off;
+    off += sizes[c];
+    if (off > input.size()) return Status::Corruption("mpc: truncated");
+  }
+  const size_t chunk_bytes = kChunkElems * esize;
+  if (nchunks * chunk_bytes > total) {
+    return Status::Corruption("mpc: inconsistent header");
+  }
+
+  size_t base = out->size();
+  out->Resize(base + total);
+  uint8_t* dst = out->data() + base;
+  std::vector<Status> stats_per(nchunks);
+  KernelStats stats = device_.Launch(nchunks, [&](WarpCtx& ctx) {
+    size_t c = ctx.warp_id();
+    size_t pos = starts[c];
+    ByteSpan view(input.data(), starts[c] + sizes[c]);
+    if (esize == 8) {
+      stats_per[c] =
+          MpcDecodeChunk<uint64_t>(ctx, view, &pos, dst + c * chunk_bytes);
+    } else {
+      stats_per[c] =
+          MpcDecodeChunk<uint32_t>(ctx, view, &pos, dst + c * chunk_bytes);
+    }
+  });
+  for (const auto& st : stats_per) FCB_RETURN_IF_ERROR(st);
+
+  size_t tail = total - nchunks * chunk_bytes;
+  if (off + tail > input.size()) {
+    return Status::Corruption("mpc: truncated tail");
+  }
+  std::memcpy(dst + nchunks * chunk_bytes, input.data() + off, tail);
+
+  timing_.h2d_seconds = device_.ModelTransferSeconds(input.size());
+  timing_.kernel_seconds = device_.ModelKernelSeconds(stats);
+  timing_.d2h_seconds = device_.ModelTransferSeconds(total);
+  return Status::OK();
+}
+
+}  // namespace fcbench::gpusim

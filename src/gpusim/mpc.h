@@ -1,0 +1,44 @@
+#ifndef FCBENCH_GPUSIM_MPC_H_
+#define FCBENCH_GPUSIM_MPC_H_
+
+#include "core/compressor.h"
+#include "gpusim/device.h"
+
+namespace fcbench::gpusim {
+
+/// MPC — Massively Parallel Compression (Yang et al. 2015; paper §4.2).
+///
+/// Auto-synthesized four-component pipeline over 1024-element chunks:
+///   1. LNV6s — subtract the 6th prior value in the chunk
+///   2. BIT   — bit transpose (same operation as Bitshuffle)
+///   3. LNV1s — delta between consecutive words of the transposed chunk
+///   4. ZE    — zero-word bitmap + copied non-zero words
+/// Requires the word size (single/double) so LNV6s computes the right
+/// residuals (§4.2 insights). Chunks are processed by independent
+/// simulated thread blocks.
+class MpcCompressor : public Compressor {
+ public:
+  explicit MpcCompressor(const CompressorConfig& config);
+
+  const CompressorTraits& traits() const override { return traits_; }
+
+  Status Compress(ByteSpan input, const DataDesc& desc,
+                  Buffer* out) override;
+  Status Decompress(ByteSpan input, const DataDesc& desc,
+                    Buffer* out) override;
+
+  const GpuTiming* last_gpu_timing() const override { return &timing_; }
+
+  static std::unique_ptr<Compressor> Make(const CompressorConfig& config) {
+    return std::make_unique<MpcCompressor>(config);
+  }
+
+ private:
+  CompressorTraits traits_;
+  SimtDevice device_;
+  GpuTiming timing_;
+};
+
+}  // namespace fcbench::gpusim
+
+#endif  // FCBENCH_GPUSIM_MPC_H_

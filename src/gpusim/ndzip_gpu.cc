@@ -1,0 +1,57 @@
+#include "gpusim/ndzip_gpu.h"
+
+namespace fcbench::gpusim {
+
+namespace {
+
+/// Memory-traffic model of the ndzip-GPU pipeline (§4.4): read input,
+/// write encoded chunks to scratch, read scratch back, write the compacted
+/// stream. The shared-memory transform/transpose adds compute but little
+/// global traffic.
+KernelStats ModelStats(uint64_t input_bytes, uint64_t output_bytes) {
+  KernelStats s;
+  s.bytes_read = input_bytes + output_bytes;       // input + scratch re-read
+  s.bytes_written = output_bytes + output_bytes;   // scratch + final stream
+  // ~10 lock-step instructions per 32-element chunk step per stage.
+  s.warp_instructions = input_bytes / 4 / 32 * 10;
+  return s;
+}
+
+}  // namespace
+
+NdzipGpuCompressor::NdzipGpuCompressor(const CompressorConfig& config)
+    : cpu_kernel_(config),
+      device_(DeviceSpec{}, config.threads > 0 ? config.threads : 8) {
+  traits_ = cpu_kernel_.traits();
+  traits_.name = "ndzip_gpu";
+  traits_.arch = Arch::kGpu;
+}
+
+Status NdzipGpuCompressor::Compress(ByteSpan input, const DataDesc& desc,
+                                    Buffer* out) {
+  size_t before = out->size();
+  FCB_RETURN_IF_ERROR(cpu_kernel_.Compress(input, desc, out));
+  KernelStats stats = ModelStats(input.size(), out->size() - before);
+  timing_.h2d_seconds = device_.ModelTransferSeconds(input.size());
+  timing_.kernel_seconds = device_.ModelKernelSeconds(stats);
+  timing_.d2h_seconds = device_.ModelTransferSeconds(out->size() - before);
+  return Status::OK();
+}
+
+Status NdzipGpuCompressor::Decompress(ByteSpan input, const DataDesc& desc,
+                                      Buffer* out) {
+  size_t before = out->size();
+  FCB_RETURN_IF_ERROR(cpu_kernel_.Decompress(input, desc, out));
+  // Decompression is fully block-parallel without synchronization (§4.4):
+  // one read of the stream, one write of the output.
+  KernelStats stats;
+  stats.bytes_read = input.size();
+  stats.bytes_written = out->size() - before;
+  stats.warp_instructions = (out->size() - before) / 4 / 32 * 8;
+  timing_.h2d_seconds = device_.ModelTransferSeconds(input.size());
+  timing_.kernel_seconds = device_.ModelKernelSeconds(stats);
+  timing_.d2h_seconds = device_.ModelTransferSeconds(out->size() - before);
+  return Status::OK();
+}
+
+}  // namespace fcbench::gpusim

@@ -1,0 +1,157 @@
+#include "nn/nn_coder.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "codecs/arith.h"
+#include "util/bitio.h"
+
+namespace fcbench::nn {
+
+namespace {
+
+/// Bit-level context-mixing model. Three context families feed one
+/// logistic neuron:
+///   0: bit-position within the element + partial byte (order-0)
+///   1: previous byte + partial byte (order-1)
+///   2: hash of previous two bytes + partial byte (order-2)
+/// All state updates are exactly replayed at decode time.
+class MixerModel {
+ public:
+  MixerModel()
+      : t0_(1 << 12, 32768),
+        t1_(1 << 16, 32768),
+        t2_(1 << 18, 32768),
+        w_{0.4f, 0.4f, 0.4f} {}
+
+  /// Probability of the next bit being 1, in [1/65536, 65535/65536] units.
+  uint32_t Predict(int bit_index, uint32_t partial, uint8_t prev1,
+                   uint8_t prev2) {
+    idx_[0] = ((bit_index & 7) << 9 | (partial & 0x1ff)) & (t0_.size() - 1);
+    idx_[1] = (static_cast<uint32_t>(prev1) << 8 | partial) & (t1_.size() - 1);
+    uint32_t h = (static_cast<uint32_t>(prev1) * 2654435761u) ^
+                 (static_cast<uint32_t>(prev2) * 40503u) ^ (partial << 1);
+    idx_[2] = h & (t2_.size() - 1);
+
+    st_[0] = Stretch(t0_[idx_[0]]);
+    st_[1] = Stretch(t1_[idx_[1]]);
+    st_[2] = Stretch(t2_[idx_[2]]);
+    float mixed = w_[0] * st_[0] + w_[1] * st_[1] + w_[2] * st_[2];
+    p_ = Squash(mixed);
+    uint32_t pi = static_cast<uint32_t>(p_ * 65536.0f);
+    if (pi < 1) pi = 1;
+    if (pi > 65535) pi = 65535;
+    return pi;
+  }
+
+  /// Online update: counter states + one SGD step on the mixer neuron.
+  void Update(int bit) {
+    float err = static_cast<float>(bit) - p_;
+    for (int i = 0; i < 3; ++i) {
+      w_[i] += kLearnRate * err * st_[i];
+    }
+    UpdateCounter(&t0_[idx_[0]], bit);
+    UpdateCounter(&t1_[idx_[1]], bit);
+    UpdateCounter(&t2_[idx_[2]], bit);
+  }
+
+ private:
+  static constexpr float kLearnRate = 0.02f;
+
+  static float Stretch(uint16_t p16) {
+    float p = (static_cast<float>(p16) + 0.5f) / 65536.0f;
+    return std::log(p / (1.0f - p));
+  }
+
+  static float Squash(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+  static void UpdateCounter(uint16_t* p, int bit) {
+    if (bit) {
+      *p += (65535 - *p) >> 5;
+    } else {
+      *p -= *p >> 5;
+    }
+  }
+
+  std::vector<uint16_t> t0_, t1_, t2_;
+  float w_[3];
+  size_t idx_[3] = {0, 0, 0};
+  float st_[3] = {0, 0, 0};
+  float p_ = 0.5f;
+};
+
+}  // namespace
+
+DzipNnCompressor::DzipNnCompressor(const CompressorConfig& /*config*/) {
+  traits_.name = "dzip_nn";
+  traits_.year = 2021;
+  traits_.domain = "general";
+  traits_.arch = Arch::kGpu;  // the original trains on GPU (PyTorch)
+  traits_.predictor = PredictorClass::kNeural;
+  traits_.parallel = false;
+  traits_.uses_dimensions = false;
+}
+
+Status DzipNnCompressor::Compress(ByteSpan input, const DataDesc& /*desc*/,
+                                  Buffer* out) {
+  PutVarint64(out, input.size());
+  Buffer coded;
+  codecs::BinaryArithEncoder enc(&coded);
+  MixerModel model;
+  uint8_t prev1 = 0, prev2 = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    uint8_t byte = input[i];
+    uint32_t partial = 1;  // leading sentinel bit
+    for (int b = 7; b >= 0; --b) {
+      int bit = (byte >> b) & 1;
+      uint32_t p1 = model.Predict(b, partial, prev1, prev2);
+      enc.Encode(bit, p1);
+      model.Update(bit);
+      partial = (partial << 1) | static_cast<uint32_t>(bit);
+    }
+    prev2 = prev1;
+    prev1 = byte;
+  }
+  enc.Finish();
+  out->Append(coded.span());
+  return Status::OK();
+}
+
+Status DzipNnCompressor::Decompress(ByteSpan input, const DataDesc& desc,
+                                    Buffer* out) {
+  size_t off = 0;
+  uint64_t n = 0;
+  if (!GetVarint64(input, &off, &n)) {
+    return Status::Corruption("dzip_nn: bad header");
+  }
+  // The arithmetic decoder will happily synthesize bytes forever from a
+  // corrupt stream, so the declared count must be validated against the
+  // caller's descriptor before any allocation.
+  if (desc.num_elements() > 0 && n != desc.num_bytes()) {
+    return Status::Corruption("dzip_nn: declared size disagrees with desc");
+  }
+  codecs::BinaryArithDecoder dec(input.subspan(off));
+  MixerModel model;
+  uint8_t prev1 = 0, prev2 = 0;
+  size_t base = out->size();
+  out->Resize(base + n);
+  uint8_t* dst = out->data() + base;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t partial = 1;
+    uint8_t byte = 0;
+    for (int b = 7; b >= 0; --b) {
+      uint32_t p1 = model.Predict(b, partial, prev1, prev2);
+      int bit = dec.Decode(p1);
+      model.Update(bit);
+      partial = (partial << 1) | static_cast<uint32_t>(bit);
+      byte = static_cast<uint8_t>((byte << 1) | bit);
+    }
+    dst[i] = byte;
+    prev2 = prev1;
+    prev1 = byte;
+  }
+  return Status::OK();
+}
+
+}  // namespace fcbench::nn

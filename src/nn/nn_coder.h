@@ -1,0 +1,43 @@
+#ifndef FCBENCH_NN_NN_CODER_H_
+#define FCBENCH_NN_NN_CODER_H_
+
+#include "core/compressor.h"
+
+namespace fcbench::nn {
+
+/// Dzip-style neural lossless coder (Goyal et al., DCC 2021; paper §4.5).
+///
+/// The original trains RNN models (bootstrap + supporter) to estimate the
+/// conditional distribution of each symbol, encoded arithmetically; its
+/// defining property in the study is that NN coders achieve competitive
+/// ratios at throughputs orders of magnitude below every other method
+/// ("about several KB/s... still not practical", §4.5 insights).
+///
+/// Our substitution (DESIGN.md): an online-trained logistic-mixing network
+/// — per bit, the probabilities of several context models are mixed by a
+/// single neuron whose weights follow online gradient descent (exactly the
+/// supporter-model idea, minus the recurrence), driving a binary
+/// arithmetic coder. Like Dzip, the model trains during encoding and
+/// retrains identically during decoding, so no weights are stored.
+class DzipNnCompressor : public Compressor {
+ public:
+  explicit DzipNnCompressor(const CompressorConfig& config);
+
+  const CompressorTraits& traits() const override { return traits_; }
+
+  Status Compress(ByteSpan input, const DataDesc& desc,
+                  Buffer* out) override;
+  Status Decompress(ByteSpan input, const DataDesc& desc,
+                    Buffer* out) override;
+
+  static std::unique_ptr<Compressor> Make(const CompressorConfig& config) {
+    return std::make_unique<DzipNnCompressor>(config);
+  }
+
+ private:
+  CompressorTraits traits_;
+};
+
+}  // namespace fcbench::nn
+
+#endif  // FCBENCH_NN_NN_CODER_H_

@@ -1,0 +1,131 @@
+#include "roofline/roofline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fcbench::roofline {
+
+MachineRoofline CpuRoofline() {
+  // Figure 11a's measured ceilings for the dual Xeon Gold 6126 node.
+  return {"Xeon Gold 6126",
+          191.0,  // Int-Scalar GINTOP/s
+          {{"L1", 11000.0}, {"L2", 5508.8}, {"L3", 640.1}, {"DRAM", 214.5}}};
+}
+
+MachineRoofline GpuRoofline() {
+  // Figure 11b: double-precision peak and device DRAM bandwidth.
+  return {"RTX 6000", 416.4, {{"DRAM", 621.5}}};
+}
+
+double AttainableGops(const MachineRoofline& m, double intensity) {
+  double bw = m.roofs.empty() ? 0.0 : m.roofs.back().gbps;
+  return std::min(m.peak_gops, intensity * bw);
+}
+
+Bound Classify(const MachineRoofline& m, const KernelPoint& p,
+               double margin) {
+  double attainable = AttainableGops(m, p.intensity);
+  double bw = m.roofs.empty() ? 0.0 : m.roofs.back().gbps;
+  bool under_mem_roof = p.intensity * bw <= m.peak_gops;
+  if (p.achieved_gops >= attainable * margin) {
+    return under_mem_roof ? Bound::kMemoryBound : Bound::kComputeBound;
+  }
+  return Bound::kLatencyBound;
+}
+
+std::string_view BoundName(Bound b) {
+  switch (b) {
+    case Bound::kMemoryBound:
+      return "memory-bound";
+    case Bound::kComputeBound:
+      return "compute-bound";
+    case Bound::kLatencyBound:
+      return "latency/serialization-bound";
+  }
+  return "?";
+}
+
+KernelPoint PointFromThroughput(const std::string& name, double ops_per_byte,
+                                double bytes_per_second) {
+  return {name, ops_per_byte, ops_per_byte * bytes_per_second / 1e9};
+}
+
+KernelPoint PointFromKernelStats(const std::string& name,
+                                 const gpusim::KernelStats& stats,
+                                 double kernel_seconds) {
+  double bytes = static_cast<double>(stats.bytes_read + stats.bytes_written);
+  double ops = static_cast<double>(stats.warp_instructions +
+                                   stats.divergent_instructions) *
+               gpusim::WarpCtx::kWarpSize;
+  double intensity = bytes > 0 ? ops / bytes : 0.0;
+  double achieved = kernel_seconds > 0 ? ops / kernel_seconds / 1e9 : 0.0;
+  return {name, intensity, achieved};
+}
+
+double CpuMethodOpsPerByte(std::string_view method) {
+  // Analytic counts of the hottest loop, integer ops per byte processed:
+  //   gorilla/chimp: xor + clz/ctz + window compare + bit emit per 8 bytes
+  //   pfpc: 2 hash lookups + xor + table update per 8 bytes
+  //   fpzip: Lorenzo corners (7 add) + map + residual + range-coder update
+  //   spdp: 3 byte-transform passes + LZ match loop
+  //   bitshuffle: 8x8 transpose amortized (~3 ops / 8 bytes) + LZ scan
+  //   ndzip: separable delta (3 ops/word) + transpose + bitmap pack
+  //   buff: quantize (mul, round, shift) per 8 bytes
+  if (method == "gorilla") return 1.5;
+  if (method == "chimp128") return 2.5;
+  if (method == "pfpc") return 1.25;
+  if (method == "fpzip") return 4.0;
+  if (method == "spdp") return 2.2;
+  if (method == "bitshuffle_lz4") return 0.8;
+  if (method == "bitshuffle_zstd") return 1.1;
+  if (method == "ndzip_cpu") return 1.6;
+  if (method == "buff") return 0.9;
+  if (method == "dzip_nn") return 60.0;
+  return 1.0;
+}
+
+std::string RenderAscii(const MachineRoofline& m,
+                        const std::vector<KernelPoint>& points, int width,
+                        int height) {
+  // Log-log canvas: x = intensity in [2^-7, 2^7], y = GOPS in [2^-4, peak*4].
+  const double x_lo = std::log2(1.0 / 128), x_hi = std::log2(128.0);
+  double y_hi = std::log2(m.peak_gops * 4);
+  const double y_lo = y_hi - height * 0.75;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  auto plot = [&](double lx, double ly, char ch) {
+    int cx = static_cast<int>((lx - x_lo) / (x_hi - x_lo) * (width - 1));
+    int cy = static_cast<int>((y_hi - ly) / (y_hi - y_lo) * (height - 1));
+    if (cx >= 0 && cx < width && cy >= 0 && cy < height) canvas[cy][cx] = ch;
+  };
+
+  // Roofs: each memory roof is a diagonal until it hits the compute peak.
+  for (int cx = 0; cx < width; ++cx) {
+    double lx = x_lo + (x_hi - x_lo) * cx / (width - 1);
+    double intensity = std::pow(2.0, lx);
+    for (const auto& roof : m.roofs) {
+      double g = std::min(m.peak_gops, intensity * roof.gbps);
+      plot(lx, std::log2(g), '-');
+    }
+  }
+  for (const auto& p : points) {
+    if (p.intensity <= 0 || p.achieved_gops <= 0) continue;
+    plot(std::log2(p.intensity), std::log2(p.achieved_gops), '*');
+  }
+
+  std::ostringstream os;
+  os << "roofline: " << m.name << " (peak " << m.peak_gops << " GOP/s";
+  for (const auto& r : m.roofs) os << ", " << r.name << " " << r.gbps << " GB/s";
+  os << ")\n";
+  for (const auto& row : canvas) os << "|" << row << "\n";
+  os << "+" << std::string(width, '-') << "  (x: ops/byte 2^-7..2^7, log2)\n";
+  for (const auto& p : points) {
+    os << "  * " << p.name << ": AI=" << p.intensity
+       << " ops/B, achieved=" << p.achieved_gops << " GOP/s, "
+       << BoundName(Classify(m, p)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fcbench::roofline

@@ -1,0 +1,78 @@
+#ifndef FCBENCH_ROOFLINE_ROOFLINE_H_
+#define FCBENCH_ROOFLINE_ROOFLINE_H_
+
+#include <string>
+#include <vector>
+
+#include "gpusim/device.h"
+
+namespace fcbench::roofline {
+
+/// One memory roof (bandwidth ceiling) of the machine.
+struct MemoryRoof {
+  std::string name;  // "DRAM", "L1", ...
+  double gbps;
+};
+
+/// Machine description for the roofline model (Williams et al. 2009;
+/// paper §6.3 / Figure 11).
+struct MachineRoofline {
+  std::string name;
+  /// Peak compute, giga-operations per second (integer ops for the CPU
+  /// plot, FLOPs for the GPU plot — matching Figure 11's axes).
+  double peak_gops;
+  std::vector<MemoryRoof> roofs;  // ordered fastest to slowest
+};
+
+/// The Xeon Gold 6126 rooflines used in Figure 11a.
+MachineRoofline CpuRoofline();
+
+/// The Quadro RTX 6000 rooflines used in Figure 11b (double precision).
+MachineRoofline GpuRoofline();
+
+/// A profiled kernel: its hottest loop's arithmetic intensity and achieved
+/// performance (the dot under the roof).
+struct KernelPoint {
+  std::string name;
+  double intensity;      // ops per byte of memory traffic
+  double achieved_gops;  // measured/modeled operation throughput
+};
+
+/// Attainable performance at a given arithmetic intensity under the
+/// slowest (DRAM) roof: min(peak, intensity * bw).
+double AttainableGops(const MachineRoofline& m, double intensity);
+
+/// Classification of a kernel point, driving the §6.3 observations.
+enum class Bound { kMemoryBound, kComputeBound, kLatencyBound };
+
+/// A point is memory/compute bound when it sits within `margin` (e.g. 0.5
+/// = within 50%) of the corresponding roof; otherwise it is latency/
+/// serialization bound ("far below the roof", §6.3 analysis (1)).
+Bound Classify(const MachineRoofline& m, const KernelPoint& p,
+               double margin = 0.5);
+
+std::string_view BoundName(Bound b);
+
+/// Builds a kernel point from a method's measured byte throughput and its
+/// analytic ops-per-byte estimate.
+KernelPoint PointFromThroughput(const std::string& name, double ops_per_byte,
+                                double bytes_per_second);
+
+/// Builds a kernel point from SIMT simulator stats (GPU methods): lane
+/// operations / device bytes, achieved = ops / modeled kernel time.
+KernelPoint PointFromKernelStats(const std::string& name,
+                                 const gpusim::KernelStats& stats,
+                                 double kernel_seconds);
+
+/// Analytic ops-per-byte of each CPU method's hottest loop (documented
+/// instruction counts of the transform/coding kernels; see roofline.cc).
+double CpuMethodOpsPerByte(std::string_view method);
+
+/// ASCII rendering of the roofline with the kernel dots (log-log grid).
+std::string RenderAscii(const MachineRoofline& m,
+                        const std::vector<KernelPoint>& points, int width = 70,
+                        int height = 22);
+
+}  // namespace fcbench::roofline
+
+#endif  // FCBENCH_ROOFLINE_ROOFLINE_H_

@@ -1,0 +1,281 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace fcbench::stats {
+
+namespace {
+
+/// q_{0.05} critical values of the Nemenyi test for k = 2..20 treatments
+/// (studentized range statistic / sqrt(2); Demsar 2006, Table 5a).
+constexpr double kNemenyiQ05[] = {
+    0,     0,     1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031,
+    3.102, 3.164, 3.219, 3.268, 3.313, 3.354, 3.391, 3.426, 3.458,
+    3.489, 3.517, 3.544};
+
+/// Ranks one row (higher score = rank 1), averaging ties.
+std::vector<double> RankRow(const std::vector<double>& row) {
+  size_t k = row.size();
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return row[a] > row[b]; });
+  std::vector<double> ranks(k);
+  size_t i = 0;
+  while (i < k) {
+    size_t j = i;
+    while (j + 1 < k && row[order[j + 1]] == row[order[i]]) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& scores) {
+  if (scores.empty()) return {};
+  size_t k = scores[0].size();
+  std::vector<double> sum(k, 0.0);
+  for (const auto& row : scores) {
+    auto ranks = RankRow(row);
+    for (size_t j = 0; j < k; ++j) sum[j] += ranks[j];
+  }
+  for (auto& s : sum) s /= static_cast<double>(scores.size());
+  return sum;
+}
+
+double GammaP(double a, double x) {
+  if (x < 0 || a <= 0) return 0;
+  if (x == 0) return 0;
+  if (x < a + 1.0) {
+    // Series representation.
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int n = 0; n < 500; ++n) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  }
+  // Continued fraction for Q, then P = 1 - Q.
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  double q = std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return 1.0 - q;
+}
+
+double ChiSquareSf(double x, int df) {
+  if (x <= 0) return 1.0;
+  return 1.0 - GammaP(df / 2.0, x / 2.0);
+}
+
+double NormalSf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+Result<FriedmanResult> FriedmanTest(
+    const std::vector<std::vector<double>>& scores, double alpha) {
+  if (scores.empty()) {
+    return Status::InvalidArgument("friedman: no datasets");
+  }
+  size_t k = scores[0].size();
+  if (k < 2) return Status::InvalidArgument("friedman: need >= 2 methods");
+  for (const auto& row : scores) {
+    if (row.size() != k) {
+      return Status::InvalidArgument("friedman: ragged score matrix");
+    }
+  }
+  FriedmanResult r;
+  r.k = static_cast<int>(k);
+  r.n = static_cast<int>(scores.size());
+  r.avg_ranks = AverageRanks(scores);
+
+  double sum_sq = 0;
+  for (double rj : r.avg_ranks) sum_sq += rj * rj;
+  double n = r.n, kk = r.k;
+  r.chi2 = 12.0 * n / (kk * (kk + 1.0)) *
+           (sum_sq - kk * (kk + 1.0) * (kk + 1.0) / 4.0);
+  r.p_value = ChiSquareSf(r.chi2, r.k - 1);
+  r.reject_h0 = r.p_value < alpha;
+  return r;
+}
+
+double NemenyiCriticalDifference(int k, int n) {
+  if (k < 2 || n < 1) return 0;
+  double q = (k <= 20) ? kNemenyiQ05[k] : kNemenyiQ05[20];
+  return q * std::sqrt(k * (k + 1.0) / (6.0 * n));
+}
+
+CdDiagram BuildCdDiagram(const std::vector<std::string>& names,
+                         const std::vector<double>& avg_ranks,
+                         int n_datasets) {
+  CdDiagram d;
+  d.critical_difference =
+      NemenyiCriticalDifference(static_cast<int>(names.size()), n_datasets);
+  for (size_t i = 0; i < names.size(); ++i) {
+    d.ordered.push_back({names[i], avg_ranks[i]});
+  }
+  std::sort(d.ordered.begin(), d.ordered.end(),
+            [](const CdEntry& a, const CdEntry& b) {
+              return a.avg_rank < b.avg_rank;
+            });
+  // Maximal cliques of adjacent methods within one CD.
+  size_t k = d.ordered.size();
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i;
+    while (j + 1 < k && d.ordered[j + 1].avg_rank - d.ordered[i].avg_rank <=
+                            d.critical_difference) {
+      ++j;
+    }
+    if (j > i) {
+      // Keep only maximal cliques (skip if contained in the previous one).
+      if (d.cliques.empty() ||
+          d.cliques.back().second < static_cast<int>(j)) {
+        d.cliques.push_back({static_cast<int>(i), static_cast<int>(j)});
+      }
+    }
+  }
+  return d;
+}
+
+std::string CdDiagram::Render() const {
+  std::ostringstream os;
+  os << "critical difference (Nemenyi, alpha=0.05): " << critical_difference
+     << "\n";
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    os << "  " << (i + 1) << ". " << ordered[i].name << "  (avg rank "
+       << ordered[i].avg_rank << ")\n";
+  }
+  for (const auto& [a, b] : cliques) {
+    os << "  no significant difference: [" << ordered[a].name << " .. "
+       << ordered[b].name << "]\n";
+  }
+  return os.str();
+}
+
+MannWhitneyResult MannWhitneyUTest(const std::vector<double>& a,
+                                   const std::vector<double>& b,
+                                   double alpha) {
+  MannWhitneyResult r;
+  size_t na = a.size(), nb = b.size();
+  if (na == 0 || nb == 0) return r;
+
+  // Rank the pooled sample with tie averaging.
+  std::vector<std::pair<double, int>> pooled;  // (value, sample id)
+  pooled.reserve(na + nb);
+  for (double v : a) pooled.push_back({v, 0});
+  for (double v : b) pooled.push_back({v, 1});
+  std::sort(pooled.begin(), pooled.end());
+  size_t n = pooled.size();
+  std::vector<double> ranks(n);
+  double tie_correction = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && pooled[j + 1].first == pooled[i].first) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    size_t t = j - i + 1;
+    if (t > 1) {
+      tie_correction += static_cast<double>(t) * t * t - t;
+    }
+    for (size_t q = i; q <= j; ++q) ranks[q] = avg;
+    i = j + 1;
+  }
+  double ra = 0;
+  for (size_t q = 0; q < n; ++q) {
+    if (pooled[q].second == 0) ra += ranks[q];
+  }
+  double u1 = ra - static_cast<double>(na) * (na + 1) / 2.0;
+  double u2 = static_cast<double>(na) * nb - u1;
+  r.u = std::min(u1, u2);
+
+  double mean_u = static_cast<double>(na) * nb / 2.0;
+  double nn = static_cast<double>(n);
+  double var_u = static_cast<double>(na) * nb / 12.0 *
+                 ((nn + 1.0) - tie_correction / (nn * (nn - 1.0)));
+  if (var_u <= 0) {
+    r.p_value = 1.0;
+    return r;
+  }
+  r.z = (r.u - mean_u) / std::sqrt(var_u);
+  r.p_value = 2.0 * NormalSf(std::fabs(r.z));
+  if (r.p_value > 1.0) r.p_value = 1.0;
+  r.significant = r.p_value < alpha;
+  return r;
+}
+
+WilcoxonResult WilcoxonSignedRankTest(const std::vector<double>& a,
+                                      const std::vector<double>& b,
+                                      double alpha) {
+  WilcoxonResult r;
+  if (a.size() != b.size() || a.empty()) return r;
+
+  // Non-zero paired differences, ranked by absolute magnitude with tie
+  // averaging.
+  std::vector<std::pair<double, double>> diffs;  // (|d|, sign)
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back({std::fabs(d), d > 0 ? 1.0 : -1.0});
+  }
+  r.n_effective = static_cast<int>(diffs.size());
+  if (diffs.empty()) return r;
+  std::sort(diffs.begin(), diffs.end());
+
+  const size_t n = diffs.size();
+  double w_plus = 0, w_minus = 0;
+  double tie_correction = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && diffs[j + 1].first == diffs[i].first) ++j;
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    size_t t = j - i + 1;
+    if (t > 1) tie_correction += static_cast<double>(t) * t * t - t;
+    for (size_t q = i; q <= j; ++q) {
+      if (diffs[q].second > 0) {
+        w_plus += avg;
+      } else {
+        w_minus += avg;
+      }
+    }
+    i = j + 1;
+  }
+  r.w = std::min(w_plus, w_minus);
+
+  double nn = static_cast<double>(n);
+  double mean_w = nn * (nn + 1.0) / 4.0;
+  double var_w =
+      nn * (nn + 1.0) * (2.0 * nn + 1.0) / 24.0 - tie_correction / 48.0;
+  if (var_w <= 0) {
+    r.p_value = 1.0;
+    return r;
+  }
+  r.z = (r.w - mean_w) / std::sqrt(var_w);
+  r.p_value = 2.0 * NormalSf(std::fabs(r.z));
+  if (r.p_value > 1.0) r.p_value = 1.0;
+  r.significant = r.p_value < alpha;
+  return r;
+}
+
+}  // namespace fcbench::stats

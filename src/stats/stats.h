@@ -1,0 +1,98 @@
+#ifndef FCBENCH_STATS_STATS_H_
+#define FCBENCH_STATS_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fcbench::stats {
+
+/// Average ranks of k treatments over N blocks (datasets). `scores[i][j]`
+/// is the metric of method j on dataset i; HIGHER is better (ties share
+/// averaged ranks, as in Demsar 2006). Returned ranks: 1 = best.
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& scores);
+
+/// Friedman test result (paper §2.4/§5.4).
+struct FriedmanResult {
+  double chi2 = 0;       // Friedman chi-square statistic
+  double p_value = 1;    // chi-square approximation, df = k-1
+  int k = 0;             // number of methods
+  int n = 0;             // number of datasets
+  std::vector<double> avg_ranks;
+  bool reject_h0 = false;  // true -> methods are NOT all equivalent
+};
+
+/// Runs the Friedman test on a complete N x k score matrix (higher =
+/// better). alpha is the significance level (paper uses 0.05).
+Result<FriedmanResult> FriedmanTest(
+    const std::vector<std::vector<double>>& scores, double alpha = 0.05);
+
+/// Critical difference of the post-hoc Nemenyi test at alpha = 0.05:
+/// CD = q_{0.05,k} * sqrt(k(k+1) / (6N)).
+double NemenyiCriticalDifference(int k, int n);
+
+/// One method entry of a critical-difference diagram.
+struct CdEntry {
+  std::string name;
+  double avg_rank;
+};
+
+/// Groups of methods whose average ranks differ by less than the CD
+/// (the "cliques" connected by a bar in Figure 7b).
+struct CdDiagram {
+  double critical_difference = 0;
+  std::vector<CdEntry> ordered;              // best (lowest rank) first
+  std::vector<std::pair<int, int>> cliques;  // [first, last] index ranges
+
+  /// Renders an ASCII version of the Figure 7b diagram.
+  std::string Render() const;
+};
+
+/// Builds the CD diagram from names + average ranks.
+CdDiagram BuildCdDiagram(const std::vector<std::string>& names,
+                         const std::vector<double>& avg_ranks, int n_datasets);
+
+/// Mann-Whitney U test (two-sided, normal approximation with tie
+/// correction) — used by the §6.1.5 dimensionality experiment (Table 9).
+struct MannWhitneyResult {
+  double u = 0;
+  double z = 0;
+  double p_value = 1;
+  bool significant = false;  // at the supplied alpha
+};
+
+MannWhitneyResult MannWhitneyUTest(const std::vector<double>& a,
+                                   const std::vector<double>& b,
+                                   double alpha = 0.05);
+
+/// Wilcoxon signed-rank test (two-sided, normal approximation with tie
+/// correction) over paired samples — Demsar's recommended test for
+/// comparing *two* classifiers over multiple datasets, complementing the
+/// k-method Friedman test. Zero differences are dropped (Wilcoxon's
+/// original treatment).
+struct WilcoxonResult {
+  double w = 0;        // min(W+, W-)
+  double z = 0;        // normal approximation
+  double p_value = 1;  // two-sided
+  int n_effective = 0;  // pairs with non-zero difference
+  bool significant = false;  // at the supplied alpha
+};
+
+WilcoxonResult WilcoxonSignedRankTest(const std::vector<double>& a,
+                                      const std::vector<double>& b,
+                                      double alpha = 0.05);
+
+/// Regularized lower incomplete gamma P(a, x); exposed for tests.
+double GammaP(double a, double x);
+
+/// Chi-square survival function (1 - CDF) with df degrees of freedom.
+double ChiSquareSf(double x, int df);
+
+/// Standard normal survival function.
+double NormalSf(double z);
+
+}  // namespace fcbench::stats
+
+#endif  // FCBENCH_STATS_STATS_H_

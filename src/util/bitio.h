@@ -1,0 +1,122 @@
+#ifndef FCBENCH_UTIL_BITIO_H_
+#define FCBENCH_UTIL_BITIO_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/buffer.h"
+
+namespace fcbench {
+
+/// MSB-first bit writer, as used by Gorilla/Chimp-style XOR coders where
+/// variable-length control codes are concatenated most-significant-bit
+/// first.
+class BitWriter {
+ public:
+  explicit BitWriter(Buffer* out) : out_(out) {}
+
+  /// Writes the low `nbits` bits of `value`, most significant first.
+  /// nbits must be in [0, 64].
+  void WriteBits(uint64_t value, int nbits) {
+    for (int i = nbits - 1; i >= 0; --i) {
+      WriteBit((value >> i) & 1u);
+    }
+  }
+
+  /// Writes a single bit (0 or 1).
+  void WriteBit(uint32_t bit) {
+    acc_ = static_cast<uint8_t>((acc_ << 1) | (bit & 1u));
+    ++nacc_;
+    if (nacc_ == 8) {
+      out_->PushBack(acc_);
+      acc_ = 0;
+      nacc_ = 0;
+    }
+  }
+
+  /// Pads the final partial byte with zero bits and flushes it.
+  void Flush() {
+    if (nacc_ > 0) {
+      out_->PushBack(static_cast<uint8_t>(acc_ << (8 - nacc_)));
+      acc_ = 0;
+      nacc_ = 0;
+    }
+  }
+
+  /// Total number of bits written so far (excluding flush padding).
+  size_t bit_count() const { return out_->size() * 8 + nacc_; }
+
+ private:
+  Buffer* out_;
+  uint8_t acc_ = 0;
+  int nacc_ = 0;
+};
+
+/// MSB-first bit reader matching BitWriter.
+class BitReader {
+ public:
+  explicit BitReader(ByteSpan in) : in_(in) {}
+
+  /// Reads one bit; returns 0 past the end (callers detect overruns via
+  /// exhausted()).
+  uint32_t ReadBit() {
+    if (byte_ >= in_.size()) {
+      overrun_ = true;
+      return 0;
+    }
+    uint32_t bit = (in_[byte_] >> (7 - nbit_)) & 1u;
+    ++nbit_;
+    if (nbit_ == 8) {
+      nbit_ = 0;
+      ++byte_;
+    }
+    return bit;
+  }
+
+  /// Reads `nbits` bits MSB-first into the low bits of the result.
+  uint64_t ReadBits(int nbits) {
+    uint64_t v = 0;
+    for (int i = 0; i < nbits; ++i) {
+      v = (v << 1) | ReadBit();
+    }
+    return v;
+  }
+
+  /// True once a read went past the end of input.
+  bool overrun() const { return overrun_; }
+
+  /// Number of whole bits consumed.
+  size_t bits_consumed() const { return byte_ * 8 + nbit_; }
+
+ private:
+  ByteSpan in_;
+  size_t byte_ = 0;
+  int nbit_ = 0;
+  bool overrun_ = false;
+};
+
+/// Appends a little-endian fixed-width integer to a buffer.
+template <typename T>
+inline void PutFixed(Buffer* out, T v) {
+  out->Append(&v, sizeof(T));
+}
+
+/// Reads a little-endian fixed-width integer; advances *offset.
+/// Returns false if the input is too short.
+template <typename T>
+inline bool GetFixed(ByteSpan in, size_t* offset, T* v) {
+  if (*offset + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+/// Appends a varint-encoded unsigned 64-bit value (LEB128).
+void PutVarint64(Buffer* out, uint64_t v);
+
+/// Decodes a varint; returns false on truncation.
+bool GetVarint64(ByteSpan in, size_t* offset, uint64_t* v);
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_UTIL_BITIO_H_

@@ -1,0 +1,74 @@
+#include "util/entropy.h"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace fcbench {
+
+namespace {
+
+double EntropyFromCounts(const std::unordered_map<uint64_t, uint64_t>& counts,
+                         uint64_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  double inv = 1.0 / static_cast<double>(total);
+  for (const auto& [sym, c] : counts) {
+    double p = static_cast<double>(c) * inv;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double ShannonEntropyBits(ByteSpan data, int word_size) {
+  if (word_size <= 0) return 0.0;
+  size_t n = data.size() / static_cast<size_t>(word_size);
+  if (n == 0) return 0.0;
+  std::unordered_map<uint64_t, uint64_t> counts;
+  counts.reserve(1024);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t w = 0;
+    std::memcpy(&w, data.data() + i * word_size, word_size);
+    ++counts[w];
+  }
+  return EntropyFromCounts(counts, n);
+}
+
+double ByteEntropyBits(ByteSpan data) {
+  if (data.empty()) return 0.0;
+  uint64_t hist[256] = {0};
+  for (uint8_t b : data) ++hist[b];
+  double h = 0.0;
+  double inv = 1.0 / static_cast<double>(data.size());
+  for (uint64_t c : hist) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) * inv;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double HarmonicMean(const double* values, size_t n) {
+  if (n == 0) return 0.0;
+  double denom = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (values[i] <= 0.0) continue;
+    denom += 1.0 / values[i];
+    ++used;
+  }
+  if (used == 0 || denom == 0.0) return 0.0;
+  return static_cast<double>(used) / denom;
+}
+
+double ArithmeticMean(const double* values, size_t n) {
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += values[i];
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace fcbench

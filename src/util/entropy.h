@@ -1,0 +1,32 @@
+#ifndef FCBENCH_UTIL_ENTROPY_H_
+#define FCBENCH_UTIL_ENTROPY_H_
+
+#include <cstdint>
+
+#include "util/buffer.h"
+
+namespace fcbench {
+
+/// Shannon entropy, in bits per element, of the stream of fixed-width words
+/// in `data` (word_size in {1, 2, 4, 8}). Table 3 of the paper reports this
+/// per-dataset statistic; the synthetic dataset generators are calibrated
+/// against it.
+///
+/// For word sizes above 2 bytes, an exact histogram over 2^32/2^64 symbols
+/// is infeasible; like common practice we estimate via a hash-based
+/// distinct-value histogram over sampled words.
+double ShannonEntropyBits(ByteSpan data, int word_size);
+
+/// Byte-level entropy (bits per byte, in [0, 8]).
+double ByteEntropyBits(ByteSpan data);
+
+/// Harmonic mean of positive values; the paper aggregates compression
+/// ratios with the harmonic mean (§5.2). Returns 0 for an empty range.
+double HarmonicMean(const double* values, size_t n);
+
+/// Arithmetic mean; used for throughput aggregation. Returns 0 when empty.
+double ArithmeticMean(const double* values, size_t n);
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_UTIL_ENTROPY_H_

@@ -1,0 +1,92 @@
+#ifndef FCBENCH_UTIL_FLOAT_BITS_H_
+#define FCBENCH_UTIL_FLOAT_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace fcbench {
+
+/// IEEE-754 helpers used by the prediction-based compressors: bit casting,
+/// sign-magnitude <-> two's-complement style mappings, and leading/trailing
+/// zero counting on residuals.
+
+/// Unsigned integer type of the same width as the float type.
+template <typename F>
+struct FloatTraits;
+
+template <>
+struct FloatTraits<float> {
+  using Bits = uint32_t;
+  static constexpr int kBits = 32;
+  static constexpr int kMantissaBits = 23;
+  static constexpr int kExponentBits = 8;
+};
+
+template <>
+struct FloatTraits<double> {
+  using Bits = uint64_t;
+  static constexpr int kBits = 64;
+  static constexpr int kMantissaBits = 52;
+  static constexpr int kExponentBits = 11;
+};
+
+template <typename F>
+using FloatBitsT = typename FloatTraits<F>::Bits;
+
+/// Raw IEEE bits of a float value.
+template <typename F>
+inline FloatBitsT<F> ToBits(F v) {
+  return std::bit_cast<FloatBitsT<F>>(v);
+}
+
+/// Float value from raw IEEE bits.
+template <typename F>
+inline F FromBits(FloatBitsT<F> b) {
+  return std::bit_cast<F>(b);
+}
+
+/// Maps IEEE bits to an order-preserving unsigned key: negative floats are
+/// bit-complemented, positives get the sign bit set. After this mapping,
+/// unsigned integer comparison matches floating-point ordering (total order
+/// on non-NaN values). Used by fpzip-style integer residual computation.
+template <typename B>
+inline B SignedToOrdered(B bits) {
+  constexpr B kSign = B(1) << (sizeof(B) * 8 - 1);
+  return (bits & kSign) ? ~bits : (bits | kSign);
+}
+
+/// Inverse of SignedToOrdered.
+template <typename B>
+inline B OrderedToSigned(B key) {
+  constexpr B kSign = B(1) << (sizeof(B) * 8 - 1);
+  return (key & kSign) ? (key & ~kSign) : ~key;
+}
+
+/// ZigZag encoding: maps signed to unsigned so small magnitudes stay small.
+inline uint64_t ZigZagEncode64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode64(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+inline uint32_t ZigZagEncode32(int32_t v) {
+  return (static_cast<uint32_t>(v) << 1) ^ static_cast<uint32_t>(v >> 31);
+}
+
+inline int32_t ZigZagDecode32(uint32_t v) {
+  return static_cast<int32_t>(v >> 1) ^ -static_cast<int32_t>(v & 1);
+}
+
+/// Count of leading zero bits; defined for 0 as the full width.
+inline int LeadingZeros64(uint64_t v) { return v ? std::countl_zero(v) : 64; }
+inline int LeadingZeros32(uint32_t v) { return v ? std::countl_zero(v) : 32; }
+
+/// Count of trailing zero bits; defined for 0 as the full width.
+inline int TrailingZeros64(uint64_t v) { return v ? std::countr_zero(v) : 64; }
+inline int TrailingZeros32(uint32_t v) { return v ? std::countr_zero(v) : 32; }
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_UTIL_FLOAT_BITS_H_

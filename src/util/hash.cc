@@ -1,0 +1,91 @@
+#include "util/hash.h"
+
+#include <bit>
+#include <cstring>
+
+namespace fcbench {
+
+namespace {
+
+constexpr uint64_t kP1 = 0x9E3779B185EBCA87ull;
+constexpr uint64_t kP2 = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kP3 = 0x165667B19E3779F9ull;
+constexpr uint64_t kP4 = 0x85EBCA77C2B2AE63ull;
+constexpr uint64_t kP5 = 0x27D4EB2F165667C5ull;
+
+inline uint64_t Load64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t lane) {
+  return std::rotl(acc + lane * kP2, 31) * kP1;
+}
+
+inline uint64_t MergeRound(uint64_t h, uint64_t acc) {
+  return (h ^ Round(0, acc)) * kP1 + kP4;
+}
+
+}  // namespace
+
+uint64_t XxHash64(ByteSpan data, uint64_t seed) {
+  const uint8_t* p = data.data();
+  const uint8_t* end = p + data.size();
+  uint64_t h;
+
+  if (data.size() >= 32) {
+    uint64_t a1 = seed + kP1 + kP2;
+    uint64_t a2 = seed + kP2;
+    uint64_t a3 = seed;
+    uint64_t a4 = seed - kP1;
+    do {
+      a1 = Round(a1, Load64(p));
+      a2 = Round(a2, Load64(p + 8));
+      a3 = Round(a3, Load64(p + 16));
+      a4 = Round(a4, Load64(p + 24));
+      p += 32;
+    } while (p + 32 <= end);
+    h = std::rotl(a1, 1) + std::rotl(a2, 7) + std::rotl(a3, 12) +
+        std::rotl(a4, 18);
+    h = MergeRound(h, a1);
+    h = MergeRound(h, a2);
+    h = MergeRound(h, a3);
+    h = MergeRound(h, a4);
+  } else {
+    h = seed + kP5;
+  }
+
+  h += static_cast<uint64_t>(data.size());
+
+  while (p + 8 <= end) {
+    h ^= Round(0, Load64(p));
+    h = std::rotl(h, 27) * kP1 + kP4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Load32(p)) * kP1;
+    h = std::rotl(h, 23) * kP2 + kP3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(*p) * kP5;
+    h = std::rotl(h, 11) * kP1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kP2;
+  h ^= h >> 29;
+  h *= kP3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace fcbench

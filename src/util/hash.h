@@ -1,0 +1,24 @@
+#ifndef FCBENCH_UTIL_HASH_H_
+#define FCBENCH_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/buffer.h"
+
+namespace fcbench {
+
+/// xxHash64 (Collet's XXH64 algorithm, implemented from the published
+/// specification). Containers checksum both the raw payload and the
+/// compressed frame with it, turning the per-codec best-effort corruption
+/// detection into a guaranteed end-to-end check at database-grade speed
+/// (~one multiply per 8 bytes).
+uint64_t XxHash64(ByteSpan data, uint64_t seed = 0);
+
+inline uint64_t XxHash64(const void* data, size_t n, uint64_t seed = 0) {
+  return XxHash64(ByteSpan(static_cast<const uint8_t*>(data), n), seed);
+}
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_UTIL_HASH_H_

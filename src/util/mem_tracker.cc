@@ -1,0 +1,10 @@
+#include "util/mem_tracker.h"
+
+namespace fcbench {
+
+MemTracker& MemTracker::Global() {
+  static MemTracker* tracker = new MemTracker();
+  return *tracker;
+}
+
+}  // namespace fcbench

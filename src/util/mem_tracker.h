@@ -1,0 +1,43 @@
+#ifndef FCBENCH_UTIL_MEM_TRACKER_H_
+#define FCBENCH_UTIL_MEM_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace fcbench {
+
+/// Global accounting of bytes allocated through fcbench::Buffer.
+///
+/// The paper's Figure 10 compares memory footprints during compression
+/// (e.g. BUFF using ~7x the input size, pFPC/SPDP constant buffers). All
+/// compressor working memory in this repo flows through Buffer, so peak
+/// tracked bytes reproduce that comparison deterministically.
+class MemTracker {
+ public:
+  static MemTracker& Global();
+
+  void OnAlloc(size_t n) {
+    size_t cur = current_.fetch_add(n) + n;
+    size_t peak = peak_.load();
+    while (cur > peak && !peak_.compare_exchange_weak(peak, cur)) {
+    }
+  }
+
+  void OnFree(size_t n) { current_.fetch_sub(n); }
+
+  /// Bytes currently live.
+  size_t current() const { return current_.load(); }
+  /// High-water mark since the last ResetPeak().
+  size_t peak() const { return peak_.load(); }
+
+  /// Resets the peak to the current live size (start of a measurement).
+  void ResetPeak() { peak_.store(current_.load()); }
+
+ private:
+  std::atomic<size_t> current_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_UTIL_MEM_TRACKER_H_

@@ -1,0 +1,86 @@
+#ifndef FCBENCH_UTIL_RNG_H_
+#define FCBENCH_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace fcbench {
+
+/// xoshiro256++ pseudo-random generator. Deterministic across platforms,
+/// which keeps the synthetic datasets (and therefore every benchmark table)
+/// reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n).
+  uint64_t UniformInt(uint64_t n) { return n ? Next() % n : 0; }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double Normal() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = Uniform();
+    double u2 = Uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 6.283185307179586 * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Exponential with rate lambda.
+  double Exponential(double lambda) {
+    double u = 0.0;
+    while (u <= 1e-300) u = Uniform();
+    return -std::log(u) / lambda;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_UTIL_RNG_H_

@@ -1,0 +1,127 @@
+#ifndef FCBENCH_UTIL_STATUS_H_
+#define FCBENCH_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace fcbench {
+
+/// Error categories used across the library. We do not use C++ exceptions;
+/// every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kCorruption,
+  kNotSupported,
+  kIoError,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success/error value, modeled after Arrow/RocksDB Status.
+///
+/// Cheap to copy in the success case (no allocation); error states carry a
+/// message describing what failed.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Analogous to
+/// arrow::Result<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (error).
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// Status of the result; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(v_);
+  }
+
+  /// The held value. Requires ok().
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  /// Moves the value out. Requires ok().
+  T TakeValue() { return std::get<T>(std::move(v_)); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace fcbench
+
+/// Evaluates `expr` (a Status) and returns it from the enclosing function if
+/// it is an error.
+#define FCB_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::fcbench::Status _fcb_st = (expr);           \
+    if (!_fcb_st.ok()) return _fcb_st;            \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), returning its error status on failure,
+/// otherwise assigning the value to `lhs`.
+#define FCB_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                              \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).TakeValue()
+
+#define FCB_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define FCB_ASSIGN_OR_RETURN_CONCAT(x, y) FCB_ASSIGN_OR_RETURN_CONCAT_(x, y)
+#define FCB_ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  FCB_ASSIGN_OR_RETURN_IMPL(FCB_ASSIGN_OR_RETURN_CONCAT(_fcb_res, __LINE__), \
+                            lhs, rexpr)
+
+#endif  // FCBENCH_UTIL_STATUS_H_

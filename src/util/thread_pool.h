@@ -1,0 +1,56 @@
+#ifndef FCBENCH_UTIL_THREAD_POOL_H_
+#define FCBENCH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fcbench {
+
+/// Fixed-size worker pool used by the parallel compressors (pFPC,
+/// bitshuffle, ndzip-CPU) and by the scalability experiments of Tables 7/8.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work is divided into contiguous index ranges, one per worker, which is
+  /// the chunking strategy the studied block-parallel compressors use.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Splits [0, n) into at most num_threads contiguous ranges and runs
+  /// fn(begin, end) for each; waits for completion.
+  void ParallelRanges(size_t n,
+                      const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t inflight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_UTIL_THREAD_POOL_H_

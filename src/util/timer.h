@@ -1,0 +1,46 @@
+#ifndef FCBENCH_UTIL_TIMER_H_
+#define FCBENCH_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fcbench {
+
+/// Monotonic wall-clock stopwatch. The paper's methodology (§5.2) wraps
+/// compression calls with timing instructions that exclude file I/O; this
+/// is that instrument.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Throughput in GB/s given bytes processed and elapsed seconds, matching
+/// the paper's CT = orig_size / comp_time definition.
+inline double ThroughputGBps(uint64_t bytes, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / seconds / 1e9;
+}
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_UTIL_TIMER_H_

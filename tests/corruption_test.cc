@@ -1,0 +1,157 @@
+// Failure-injection suite: every registered method's decoder is fed
+// truncated and bit-flipped streams. A production database codec must
+// never crash, hang, or write out of bounds on hostile input — at worst
+// it returns an error Status or (for headerless bit codecs) wrong data of
+// a bounded size. These tests are the memory-safety contract; run them
+// under ASan/UBSan for the full guarantee.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/compressor.h"
+#include "util/rng.h"
+
+namespace fcbench {
+namespace {
+
+// dzip_nn retrains its model per call (~KB/s, paper §4.5); keep its
+// corpus tiny so the fuzz sweep stays fast.
+size_t ElementsFor(const std::string& method) {
+  return method == "dzip_nn" ? 256 : 4096;
+}
+
+std::vector<uint8_t> SmoothData(DType dtype, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> bytes(count * DTypeSize(dtype));
+  double x = 100.0;
+  for (size_t i = 0; i < count; ++i) {
+    x += rng.Normal();
+    if (dtype == DType::kFloat32) {
+      float f = static_cast<float>(x);
+      std::memcpy(&bytes[i * 4], &f, 4);
+    } else {
+      std::memcpy(&bytes[i * 8], &x, 8);
+    }
+  }
+  return bytes;
+}
+
+class CorruptionResilience
+    : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    RegisterAllCompressors();
+    method_ = GetParam();
+    CompressorConfig cfg;
+    cfg.threads = 2;
+    auto r = CompressorRegistry::Global().Create(method_, cfg);
+    ASSERT_TRUE(r.ok());
+    comp_ = r.TakeValue();
+
+    desc_.dtype = comp_->traits().supports_f64 ? DType::kFloat64
+                                               : DType::kFloat32;
+    const size_t count = ElementsFor(method_);
+    desc_.extent = {count};
+    desc_.precision_digits = 4;
+    input_ = SmoothData(desc_.dtype, count, 99);
+    ASSERT_TRUE(comp_->Compress(ByteSpan(input_.data(), input_.size()),
+                                desc_, &stream_)
+                    .ok());
+    ASSERT_GT(stream_.size(), 0u);
+  }
+
+  // A decode of hostile input may fail or may "succeed" with garbage; it
+  // must not produce unboundedly more data than the descriptor promises.
+  void ExpectBoundedDecode(ByteSpan hostile) {
+    Buffer out;
+    Status st = comp_->Decompress(hostile, desc_, &out);
+    if (st.ok()) {
+      EXPECT_LE(out.size(), input_.size() * 2 + 4096)
+          << method_ << ": decoder produced unbounded output";
+    }
+  }
+
+  std::string method_;
+  std::unique_ptr<Compressor> comp_;
+  DataDesc desc_;
+  std::vector<uint8_t> input_;
+  Buffer stream_;
+};
+
+TEST_P(CorruptionResilience, TruncationSweep) {
+  // Every prefix length in a coarse sweep, plus the boundary cases.
+  std::vector<size_t> lengths = {0, 1, 2, 3};
+  for (size_t len = 4; len < stream_.size(); len += stream_.size() / 37 + 1) {
+    lengths.push_back(len);
+  }
+  if (stream_.size() > 1) lengths.push_back(stream_.size() - 1);
+  for (size_t len : lengths) {
+    ExpectBoundedDecode(stream_.span().subspan(0, len));
+  }
+}
+
+TEST_P(CorruptionResilience, BitFlipSweep) {
+  for (size_t victim = 0; victim < stream_.size();
+       victim += stream_.size() / 101 + 1) {
+    for (uint8_t mask : {uint8_t(0x01), uint8_t(0x80), uint8_t(0xff)}) {
+      Buffer copy = Buffer::FromSpan(stream_.span());
+      copy.data()[victim] ^= mask;
+      ExpectBoundedDecode(copy.span());
+    }
+  }
+}
+
+TEST_P(CorruptionResilience, RandomGarbage) {
+  Rng rng(777);
+  for (size_t size : {size_t(1), size_t(17), size_t(1024), size_t(65536)}) {
+    Buffer garbage(size);
+    for (size_t i = 0; i < size; ++i) {
+      garbage.data()[i] = static_cast<uint8_t>(rng.Next());
+    }
+    ExpectBoundedDecode(garbage.span());
+  }
+}
+
+TEST_P(CorruptionResilience, HeaderByteSweep) {
+  // Headers carry counts/sizes; flip each of the first 32 bytes
+  // individually through all-ones to attack length fields directly.
+  const size_t header_span = std::min<size_t>(stream_.size(), 32);
+  for (size_t victim = 0; victim < header_span; ++victim) {
+    Buffer copy = Buffer::FromSpan(stream_.span());
+    copy.data()[victim] = 0xff;
+    ExpectBoundedDecode(copy.span());
+    copy.data()[victim] = 0x00;
+    ExpectBoundedDecode(copy.span());
+  }
+}
+
+TEST_P(CorruptionResilience, VarintFloodHeader) {
+  // 0xff runs make LEB128 length fields decode to astronomically large
+  // values — the classic allocation-DoS attack on length-prefixed
+  // formats. Decoders must reject before allocating.
+  for (size_t k = 1; k <= 10 && k < stream_.size(); ++k) {
+    Buffer copy = Buffer::FromSpan(stream_.span());
+    for (size_t i = 0; i < k; ++i) copy.data()[i] = 0xff;
+    ExpectBoundedDecode(copy.span());
+  }
+}
+
+TEST_P(CorruptionResilience, EmptyInput) {
+  Buffer empty;
+  ExpectBoundedDecode(empty.span());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, CorruptionResilience,
+    ::testing::ValuesIn([] {
+      RegisterAllCompressors();
+      return CompressorRegistry::Global().Names();
+    }()),
+    [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace fcbench

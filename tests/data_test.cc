@@ -1,0 +1,174 @@
+// Tests for the dataset registry and synthetic generators: Table 3
+// coverage, determinism, scaling, and per-domain compressibility
+// character.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "data/dataset.h"
+#include "util/entropy.h"
+
+namespace fcbench::data {
+namespace {
+
+TEST(RegistryTest, Has33Datasets) {
+  EXPECT_EQ(AllDatasets().size(), 33u);
+}
+
+TEST(RegistryTest, DomainCountsMatchTable3) {
+  std::map<Domain, int> counts;
+  for (const auto& d : AllDatasets()) ++counts[d.domain];
+  EXPECT_EQ(counts[Domain::kHpc], 10);
+  EXPECT_EQ(counts[Domain::kTimeSeries], 8);
+  EXPECT_EQ(counts[Domain::kObservation], 8);
+  EXPECT_EQ(counts[Domain::kDatabase], 7);
+}
+
+TEST(RegistryTest, NamesUniqueAndFindable) {
+  std::set<std::string> names;
+  for (const auto& d : AllDatasets()) {
+    EXPECT_TRUE(names.insert(d.name).second) << d.name;
+    EXPECT_EQ(FindDataset(d.name), &d);
+  }
+  EXPECT_EQ(FindDataset("no-such-dataset"), nullptr);
+}
+
+TEST(RegistryTest, ExtentsMatchTable3) {
+  const DatasetInfo* mhd = FindDataset("astro-mhd");
+  ASSERT_NE(mhd, nullptr);
+  EXPECT_EQ(mhd->extent, (std::vector<uint64_t>{130, 514, 1026}));
+  EXPECT_EQ(mhd->dtype, DType::kFloat64);
+  EXPECT_NEAR(mhd->table_entropy_bits, 0.97, 1e-9);
+
+  const DatasetInfo* miranda = FindDataset("miranda3d");
+  ASSERT_NE(miranda, nullptr);
+  EXPECT_EQ(miranda->extent,
+            (std::vector<uint64_t>{1024, 1024, 1024}));
+  EXPECT_EQ(miranda->dtype, DType::kFloat32);
+}
+
+TEST(GenerateTest, DeterministicForSameSeed) {
+  const DatasetInfo* info = FindDataset("citytemp");
+  auto a = GenerateDataset(*info, 1 << 20, 7);
+  auto b = GenerateDataset(*info, 1 << 20, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().bytes.size(), b.value().bytes.size());
+  EXPECT_EQ(std::memcmp(a.value().bytes.data(), b.value().bytes.data(),
+                        a.value().bytes.size()),
+            0);
+}
+
+TEST(GenerateTest, DifferentSeedsDiffer) {
+  const DatasetInfo* info = FindDataset("turbulence");
+  auto a = GenerateDataset(*info, 1 << 20, 1);
+  auto b = GenerateDataset(*info, 1 << 20, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(std::memcmp(a.value().bytes.data(), b.value().bytes.data(),
+                        std::min(a.value().bytes.size(),
+                                 b.value().bytes.size())),
+            0);
+}
+
+TEST(GenerateTest, SizeApproximatesTarget) {
+  for (const char* name : {"miranda3d", "tpcxBB-store", "hdr-night"}) {
+    const DatasetInfo* info = FindDataset(name);
+    ASSERT_NE(info, nullptr);
+    auto ds = GenerateDataset(*info, 4 << 20);
+    ASSERT_TRUE(ds.ok()) << name;
+    // Dimensional rounding allows generous slack, but the order of
+    // magnitude must hold.
+    EXPECT_GT(ds.value().bytes.size(), 1u << 20) << name;
+    EXPECT_LT(ds.value().bytes.size(), 16u << 20) << name;
+  }
+}
+
+TEST(GenerateTest, PreservesDtypeAndRank) {
+  for (const auto& info : AllDatasets()) {
+    auto ds = GenerateDataset(info, 256 << 10);
+    ASSERT_TRUE(ds.ok()) << info.name;
+    EXPECT_EQ(ds.value().desc.dtype, info.dtype) << info.name;
+    EXPECT_EQ(ds.value().desc.extent.size(), info.extent.size())
+        << info.name;
+    EXPECT_EQ(ds.value().bytes.size(), ds.value().desc.num_bytes())
+        << info.name;
+  }
+}
+
+TEST(GenerateTest, TableDatasetsKeepColumnCount) {
+  const DatasetInfo* info = FindDataset("wesad-chest");
+  auto ds = GenerateDataset(*info, 1 << 20);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().desc.extent[1], 8u);  // 8 sensor columns preserved
+}
+
+TEST(GenerateTest, EntropyOrderingMatchesTable3) {
+  // Absolute entropies depend on instance size; the *ordering* between
+  // clearly-separated datasets must hold: astro-mhd (0.97) << citytemp
+  // (9.43) << jane-street (26.07).
+  auto mhd = GenerateDataset(*FindDataset("astro-mhd"), 1 << 20);
+  auto city = GenerateDataset(*FindDataset("citytemp"), 1 << 20);
+  auto jane = GenerateDataset(*FindDataset("jane-street"), 1 << 20);
+  ASSERT_TRUE(mhd.ok() && city.ok() && jane.ok());
+  double h_mhd = ShannonEntropyBits(mhd.value().bytes.span(), 8);
+  double h_city = ShannonEntropyBits(city.value().bytes.span(), 4);
+  double h_jane = ShannonEntropyBits(jane.value().bytes.span(), 8);
+  EXPECT_LT(h_mhd, 3.0);
+  EXPECT_LT(h_mhd, h_city);
+  EXPECT_LT(h_city, h_jane - 1.0);
+}
+
+TEST(GenerateTest, SparseFieldMostlyBackground) {
+  auto ds = GenerateDataset(*FindDataset("astro-mhd"), 1 << 20);
+  ASSERT_TRUE(ds.ok());
+  const double* v = reinterpret_cast<const double*>(ds.value().bytes.data());
+  size_t n = ds.value().bytes.size() / 8;
+  size_t zeros = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i] == 0.0) ++zeros;
+  }
+  EXPECT_GT(static_cast<double>(zeros) / n, 0.85);
+}
+
+TEST(GenerateTest, QuantizedSeriesHasFewDistinctValues) {
+  auto ds = GenerateDataset(*FindDataset("citytemp"), 1 << 20);
+  ASSERT_TRUE(ds.ok());
+  const float* v = reinterpret_cast<const float*>(ds.value().bytes.data());
+  size_t n = ds.value().bytes.size() / 4;
+  std::set<float> distinct(v, v + n);
+  EXPECT_LT(distinct.size(), n / 50);  // heavy value reuse
+}
+
+TEST(GenerateTest, TpcColumnsHaveExpectedStructure) {
+  auto ds = GenerateDataset(*FindDataset("tpcxBB-store"), 1 << 20);
+  ASSERT_TRUE(ds.ok());
+  size_t cols = ds.value().desc.extent[1];
+  size_t rows = ds.value().desc.extent[0];
+  const double* v = reinterpret_cast<const double*>(ds.value().bytes.data());
+  // Column 1 (quantities) must be small integers.
+  for (size_t r = 0; r < std::min<size_t>(rows, 500); ++r) {
+    double q = v[r * cols + 1];
+    EXPECT_EQ(q, std::floor(q));
+    EXPECT_GE(q, 1.0);
+    EXPECT_LE(q, 50.0);
+  }
+}
+
+TEST(GenerateTest, RejectsTinyTarget) {
+  EXPECT_FALSE(GenerateDataset(*FindDataset("citytemp"), 100).ok());
+}
+
+TEST(DomainNameTest, AllNamed) {
+  EXPECT_EQ(DomainName(Domain::kHpc), "HPC");
+  EXPECT_EQ(DomainName(Domain::kTimeSeries), "TS");
+  EXPECT_EQ(DomainName(Domain::kObservation), "OBS");
+  EXPECT_EQ(DomainName(Domain::kDatabase), "DB");
+}
+
+}  // namespace
+}  // namespace fcbench::data

@@ -1,0 +1,171 @@
+// Tests for the extension features beyond the paper's headline grid:
+// fpzip's lossy mode, BUFF's Table 2 precision sweep, and codec
+// property sweeps across page sizes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "compressors/buff.h"
+#include "compressors/fpzip.h"
+#include "data/dataset.h"
+#include "db/paged_file.h"
+#include "util/rng.h"
+
+namespace fcbench {
+namespace {
+
+std::vector<float> SmoothF32(size_t n, uint64_t seed) {
+  std::vector<float> v(n);
+  Rng rng(seed);
+  double x = 0;
+  for (auto& f : v) {
+    x += 0.002;
+    f = static_cast<float>(std::sin(x) * 500.0 + 1000.0 +
+                           0.01 * rng.Normal());
+  }
+  return v;
+}
+
+// --- fpzip lossy mode --------------------------------------------------
+
+class FpzipLossy : public ::testing::TestWithParam<int> {};
+
+TEST_P(FpzipLossy, ErrorBoundedAndIdempotent) {
+  int bits = GetParam();
+  auto v = SmoothF32(20000, 1);
+  auto desc = DataDesc::Make(DType::kFloat32, {v.size()});
+  CompressorConfig cfg;
+  cfg.fpzip_precision_bits = bits;
+  compressors::FpzipCompressor comp(cfg);
+
+  Buffer c, d;
+  ASSERT_TRUE(comp.Compress(AsBytes(v), desc, &c).ok());
+  ASSERT_TRUE(comp.Decompress(c.span(), desc, &d).ok());
+  ASSERT_EQ(d.size(), v.size() * 4);
+  const float* back = reinterpret_cast<const float*>(d.data());
+
+  // Truncating to `bits` of the ordered representation keeps the top
+  // (bits - 9) mantissa bits -> bounded relative error.
+  double rel_bound = std::pow(2.0, -(bits - 10));
+  for (size_t i = 0; i < v.size(); i += 37) {
+    EXPECT_NEAR(back[i], v[i], std::abs(v[i]) * rel_bound + 1e-30)
+        << "bits=" << bits << " i=" << i;
+  }
+
+  // Idempotence: recompressing the lossy output is lossless.
+  Buffer c2, d2;
+  ASSERT_TRUE(comp.Compress(d.span(), desc, &c2).ok());
+  ASSERT_TRUE(comp.Decompress(c2.span(), desc, &d2).ok());
+  EXPECT_EQ(std::memcmp(d.data(), d2.data(), d.size()), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PrecisionSweep, FpzipLossy,
+                         ::testing::Values(16, 20, 24, 28),
+                         [](const auto& info) {
+                           return "bits" + std::to_string(info.param);
+                         });
+
+TEST(FpzipLossyTest, RatioImprovesMonotonicallyWithTruncation) {
+  auto v = SmoothF32(50000, 2);
+  auto desc = DataDesc::Make(DType::kFloat32, {v.size()});
+  size_t prev_size = 0;
+  for (int bits : {0 /* lossless */, 28, 24, 20, 16, 12}) {
+    CompressorConfig cfg;
+    cfg.fpzip_precision_bits = bits;
+    compressors::FpzipCompressor comp(cfg);
+    Buffer c;
+    ASSERT_TRUE(comp.Compress(AsBytes(v), desc, &c).ok());
+    if (prev_size != 0) {
+      EXPECT_LE(c.size(), prev_size + 16) << "bits=" << bits;
+    }
+    prev_size = c.size();
+  }
+}
+
+TEST(FpzipLossyTest, ZeroBitsMeansLossless) {
+  auto v = SmoothF32(8000, 3);
+  auto desc = DataDesc::Make(DType::kFloat32, {v.size()});
+  CompressorConfig cfg;
+  cfg.fpzip_precision_bits = 0;
+  compressors::FpzipCompressor comp(cfg);
+  Buffer c, d;
+  ASSERT_TRUE(comp.Compress(AsBytes(v), desc, &c).ok());
+  ASSERT_TRUE(comp.Decompress(c.span(), desc, &d).ok());
+  EXPECT_EQ(std::memcmp(d.data(), v.data(), d.size()), 0);
+}
+
+// --- BUFF Table 2 sweep --------------------------------------------------
+
+class BuffTable2 : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuffTable2, EveryPrecisionRoundTripsItsOwnData) {
+  int digits = GetParam();
+  double scale = std::pow(10.0, digits);
+  Rng rng(100 + digits);
+  std::vector<double> v(8000);
+  double x = 5.0;
+  for (auto& f : v) {
+    x += rng.Normal() * 0.5;
+    f = std::round(x * scale) / scale;
+    if (f == 0.0) f = 0.0;  // canonical zero
+  }
+  auto desc = DataDesc::Make(DType::kFloat64, {v.size()}, digits);
+  auto comp = compressors::BuffCompressor::Make({});
+  Buffer c, d;
+  ASSERT_TRUE(comp->Compress(AsBytes(v), desc, &c).ok());
+  ASSERT_TRUE(comp->Decompress(c.span(), desc, &d).ok());
+  EXPECT_EQ(std::memcmp(d.data(), v.data(), d.size()), 0)
+      << "digits=" << digits;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDigits, BuffTable2, ::testing::Range(1, 11),
+                         [](const auto& info) {
+                           return "digits" + std::to_string(info.param);
+                         });
+
+TEST(BuffTable2Test, FractionBitsMatchPaperTable2) {
+  const int expected[] = {0, 5, 8, 11, 15, 18, 21, 25, 28, 31, 35};
+  for (int d = 1; d <= 10; ++d) {
+    EXPECT_EQ(compressors::BuffCompressor::FractionBits(d), expected[d])
+        << "digits=" << d;
+  }
+}
+
+// --- paged file page-size property sweep ---------------------------------
+
+class PageSizeProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PageSizeProperty, AnyPageSizeRoundTrips) {
+  size_t page = GetParam();
+  auto ds = data::GenerateDataset(*data::FindDataset("ts-gas"), 96 << 10);
+  ASSERT_TRUE(ds.ok());
+  std::string path = std::string(::testing::TempDir()) + "/fcb_page_" +
+                     std::to_string(page);
+  db::PagedFile::Options opt;
+  opt.compressor = "gorilla";
+  opt.page_size = page;
+  ASSERT_TRUE(db::PagedFile::Write(path, ds.value().bytes.span(),
+                                   ds.value().desc, opt)
+                  .ok());
+  db::PagedFile::ReadTiming t;
+  auto back = db::PagedFile::Read(path, &t);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::memcmp(back.value().data(), ds.value().bytes.data(),
+                        back.value().size()),
+            0);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(OddSizes, PageSizeProperty,
+                         ::testing::Values(size_t(1), size_t(7),
+                                           size_t(100), size_t(4096),
+                                           size_t(10000), size_t(1) << 20),
+                         [](const auto& info) {
+                           return "page" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace fcbench

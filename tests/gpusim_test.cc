@@ -1,0 +1,317 @@
+// Tests for the SIMT simulator, its cost model, and the five GPU-based
+// methods of paper §4 (GFC, MPC, nvCOMP::LZ4/bitcomp sims, ndzip-GPU).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "compressors/ndzip.h"
+#include "gpusim/device.h"
+#include "gpusim/gfc.h"
+#include "gpusim/mpc.h"
+#include "gpusim/ndzip_gpu.h"
+#include "gpusim/nvcomp_sim.h"
+#include "util/rng.h"
+
+namespace fcbench::gpusim {
+namespace {
+
+template <typename F>
+std::vector<F> Walk(size_t n, uint64_t seed) {
+  std::vector<F> v(n);
+  Rng rng(seed);
+  double x = 100.0;
+  for (auto& f : v) {
+    x += rng.Normal();
+    f = static_cast<F>(x);
+  }
+  return v;
+}
+
+// --- simulator ---------------------------------------------------------
+
+TEST(SimtDeviceTest, LaunchRunsEveryWarp) {
+  SimtDevice dev;
+  std::vector<std::atomic<int>> hits(100);
+  dev.Launch(100, [&](WarpCtx& ctx) { hits[ctx.warp_id()].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SimtDeviceTest, StatsAccumulateAcrossWarps) {
+  SimtDevice dev;
+  KernelStats stats = dev.Launch(10, [](WarpCtx& ctx) {
+    ctx.CountInstr(5);
+    ctx.CountRead(100);
+    ctx.CountWrite(50);
+    ctx.CountDivergent(2);
+  });
+  EXPECT_EQ(stats.warp_instructions, 50u);
+  EXPECT_EQ(stats.bytes_read, 1000u);
+  EXPECT_EQ(stats.bytes_written, 500u);
+  EXPECT_EQ(stats.divergent_instructions, 20u);
+}
+
+TEST(SimtDeviceTest, WarpPrimitives) {
+  SimtDevice dev;
+  dev.Launch(1, [](WarpCtx& ctx) {
+    bool pred[32] = {};
+    pred[0] = pred[5] = pred[31] = true;
+    uint32_t mask = ctx.Ballot(pred);
+    EXPECT_EQ(mask, (1u << 0) | (1u << 5) | (1u << 31));
+
+    uint32_t in[32], out[32];
+    for (int i = 0; i < 32; ++i) in[i] = static_cast<uint32_t>(i);
+    ctx.PrefixSumExclusive(in, out);
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[31], 31u * 30u / 2u);
+
+    uint64_t vals[32];
+    for (int i = 0; i < 32; ++i) vals[i] = 1000 + i;
+    EXPECT_EQ(ctx.Shfl(vals, 7), 1007u);
+  });
+}
+
+TEST(CostModelTest, MemoryRooflineDominatesLargeTraffic) {
+  SimtDevice dev;
+  KernelStats stats;
+  stats.bytes_read = 10ull << 30;  // 10 GiB of traffic
+  stats.warp_instructions = 1000;  // negligible compute
+  double t = dev.ModelKernelSeconds(stats);
+  double expected = 10.0 * (1ull << 30) / (dev.spec().mem_bw_gbps * 1e9);
+  EXPECT_NEAR(t, expected, expected * 0.05);
+}
+
+TEST(CostModelTest, DivergenceAddsComputeTime) {
+  SimtDevice dev;
+  KernelStats convergent;
+  convergent.warp_instructions = 1ull << 30;
+  KernelStats divergent = convergent;
+  divergent.divergent_instructions = 10ull << 30;
+  EXPECT_GT(dev.ModelKernelSeconds(divergent),
+            5 * dev.ModelKernelSeconds(convergent));
+}
+
+TEST(CostModelTest, PcieTransferIsSlowerThanDeviceMemory) {
+  SimtDevice dev;
+  uint64_t gb = 1ull << 30;
+  KernelStats stats;
+  stats.bytes_read = gb;
+  EXPECT_GT(dev.ModelTransferSeconds(gb), dev.ModelKernelSeconds(stats));
+}
+
+// --- GPU method round trips ----------------------------------------------
+
+struct GpuMethodCase {
+  const char* name;
+  std::function<std::unique_ptr<Compressor>()> make;
+  bool f64_only;
+};
+
+std::vector<GpuMethodCase> GpuMethods() {
+  CompressorConfig cfg;
+  cfg.threads = 4;
+  return {
+      {"gfc", [cfg] { return GfcCompressor::Make(cfg); }, true},
+      {"mpc", [cfg] { return MpcCompressor::Make(cfg); }, false},
+      {"nv_lz4", [cfg] { return NvLz4SimCompressor::Make(cfg); }, false},
+      {"nv_bitcomp", [cfg] { return NvBitcompSimCompressor::Make(cfg); },
+       false},
+      {"ndzip_gpu", [cfg] { return NdzipGpuCompressor::Make(cfg); }, false},
+  };
+}
+
+class GpuRoundTrip : public ::testing::TestWithParam<std::tuple<int, bool>> {
+};
+
+TEST_P(GpuRoundTrip, BitExact) {
+  auto [mi, f64] = GetParam();
+  GpuMethodCase m = GpuMethods()[mi];
+  if (m.f64_only && !f64) GTEST_SKIP() << "double-precision only";
+  auto comp = m.make();
+
+  Buffer c, d;
+  if (f64) {
+    auto v = Walk<double>(50000, 5);
+    auto desc = DataDesc::Make(DType::kFloat64, {50000});
+    ASSERT_TRUE(comp->Compress(AsBytes(v), desc, &c).ok());
+    ASSERT_TRUE(comp->Decompress(c.span(), desc, &d).ok());
+    ASSERT_EQ(d.size(), v.size() * 8);
+    EXPECT_EQ(std::memcmp(d.data(), v.data(), d.size()), 0) << m.name;
+  } else {
+    auto v = Walk<float>(50000, 6);
+    auto desc = DataDesc::Make(DType::kFloat32, {50000});
+    ASSERT_TRUE(comp->Compress(AsBytes(v), desc, &c).ok());
+    ASSERT_TRUE(comp->Decompress(c.span(), desc, &d).ok());
+    ASSERT_EQ(d.size(), v.size() * 4);
+    EXPECT_EQ(std::memcmp(d.data(), v.data(), d.size()), 0) << m.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGpuMethods, GpuRoundTrip,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(GpuMethods()[std::get<0>(info.param)].name) +
+             (std::get<1>(info.param) ? "_f64" : "_f32");
+    });
+
+TEST(GpuRoundTripOdd, NonChunkMultipleSizes) {
+  for (size_t n : {size_t(1), size_t(31), size_t(33), size_t(1025),
+                   size_t(4097)}) {
+    auto v = Walk<double>(n, n);
+    auto desc = DataDesc::Make(DType::kFloat64, {n});
+    for (auto& m : GpuMethods()) {
+      auto comp = m.make();
+      Buffer c, d;
+      ASSERT_TRUE(comp->Compress(AsBytes(v), desc, &c).ok())
+          << m.name << " n=" << n;
+      ASSERT_TRUE(comp->Decompress(c.span(), desc, &d).ok())
+          << m.name << " n=" << n;
+      EXPECT_EQ(std::memcmp(d.data(), v.data(), v.size() * 8), 0)
+          << m.name << " n=" << n;
+    }
+  }
+}
+
+// --- paper-shape assertions ------------------------------------------------
+
+TEST(GfcTest, RejectsOversizedInput) {
+  auto comp = GfcCompressor::Make({});
+  // A fake span with > 512 MB extent; compression must refuse before
+  // touching the data, so a null span of claimed size is not needed --
+  // construct a desc/span pair of 513 MB via a small repeated buffer is
+  // impractical; instead verify the documented limit constant via a
+  // 0-copy span over a large mmap-free dummy is skipped. We test the
+  // error path with a minimal allocation.
+  std::vector<double> v((513ull << 20) / 8);
+  auto desc = DataDesc::Make(DType::kFloat64, {v.size()});
+  Buffer out;
+  auto st = comp->Compress(AsBytes(v), desc, &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GfcTest, RejectsSinglePrecision) {
+  auto comp = GfcCompressor::Make({});
+  std::vector<float> v(1024, 1.0f);
+  auto desc = DataDesc::Make(DType::kFloat32, {1024});
+  Buffer out;
+  EXPECT_EQ(comp->Compress(AsBytes(v), desc, &out).code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(GpuTimingTest, ModeledThroughputOrdering) {
+  // Table 5 shape: bitcomp fastest, then ndzip-GPU / GFC, MPC slower,
+  // nv::LZ4 slowest GPU compressor by a wide margin.
+  auto v = Walk<double>(1 << 20, 9);  // 8 MiB
+  auto desc = DataDesc::Make(DType::kFloat64, {1 << 20});
+  auto modeled_ct = [&](std::unique_ptr<Compressor> comp) {
+    Buffer c;
+    EXPECT_TRUE(comp->Compress(AsBytes(v), desc, &c).ok());
+    const GpuTiming* t = comp->last_gpu_timing();
+    EXPECT_NE(t, nullptr);
+    return static_cast<double>(v.size() * 8) / t->kernel_seconds / 1e9;
+  };
+  double bitcomp = modeled_ct(NvBitcompSimCompressor::Make({}));
+  double gfc = modeled_ct(GfcCompressor::Make({}));
+  double mpc = modeled_ct(MpcCompressor::Make({}));
+  double nvlz4 = modeled_ct(NvLz4SimCompressor::Make({}));
+  double ndzip_g = modeled_ct(NdzipGpuCompressor::Make({}));
+
+  EXPECT_GT(bitcomp, gfc);
+  EXPECT_GT(gfc, mpc);
+  EXPECT_GT(mpc, nvlz4);
+  EXPECT_GT(ndzip_g, mpc);
+  // All modeled GPU rates far exceed a serial CPU method (paper: ~350x).
+  EXPECT_GT(mpc, 5.0);   // GB/s
+  EXPECT_GT(nvlz4, 0.5);
+}
+
+TEST(GpuTimingTest, HostToDeviceDominatesEndToEnd) {
+  // Table 6 observation: H2D copy is non-negligible; for fast kernels the
+  // transfer dwarfs kernel time.
+  auto v = Walk<double>(1 << 20, 11);
+  auto desc = DataDesc::Make(DType::kFloat64, {1 << 20});
+  auto comp = NvBitcompSimCompressor::Make({});
+  Buffer c;
+  ASSERT_TRUE(comp->Compress(AsBytes(v), desc, &c).ok());
+  const GpuTiming* t = comp->last_gpu_timing();
+  ASSERT_NE(t, nullptr);
+  EXPECT_GT(t->h2d_seconds, t->kernel_seconds);
+}
+
+TEST(MpcTest, WordSizeMattersForRatio) {
+  // §4.2: LNV6s needs the right word size. Compressing f64 data declared
+  // as f32 must still round-trip (bytes are bytes) but with a worse ratio
+  // on smooth double data.
+  std::vector<double> v(1 << 16);
+  Rng rng(13);
+  double x = 0;
+  for (auto& f : v) {
+    x += 0.001;
+    f = std::sin(x) * 1000.0;
+  }
+  auto comp = MpcCompressor::Make({});
+  Buffer c64, c32;
+  auto d64 = DataDesc::Make(DType::kFloat64, {v.size()});
+  auto d32 = DataDesc::Make(DType::kFloat32, {v.size() * 2});
+  ASSERT_TRUE(comp->Compress(AsBytes(v), d64, &c64).ok());
+  ASSERT_TRUE(comp->Compress(AsBytes(v), d32, &c32).ok());
+  EXPECT_LT(c64.size(), c32.size());
+}
+
+TEST(NdzipGpuTest, StreamIdenticalToCpu) {
+  // Table 4 lists equal CR columns for ndzip-CPU and ndzip-GPU.
+  auto v = Walk<float>(100000, 17);
+  auto desc = DataDesc::Make(DType::kFloat32, {100000});
+  CompressorConfig cfg;
+  cfg.threads = 2;
+  auto cpu = compressors::NdzipCompressor::Make(cfg);
+  auto gpu = NdzipGpuCompressor::Make(cfg);
+  Buffer cc, cg;
+  ASSERT_TRUE(cpu->Compress(AsBytes(v), desc, &cc).ok());
+  ASSERT_TRUE(gpu->Compress(AsBytes(v), desc, &cg).ok());
+  ASSERT_EQ(cc.size(), cg.size());
+  EXPECT_EQ(std::memcmp(cc.data(), cg.data(), cc.size()), 0);
+}
+
+TEST(NvBitcompTest, NearOneRatioOnRandomData) {
+  // Paper Table 4: nv::btcmp sits at ~0.999 on unstructured data.
+  std::vector<double> v(1 << 16);
+  Rng rng(19);
+  for (auto& f : v) f = rng.Uniform(-1e9, 1e9);
+  auto comp = NvBitcompSimCompressor::Make({});
+  Buffer c;
+  auto desc = DataDesc::Make(DType::kFloat64, {v.size()});
+  ASSERT_TRUE(comp->Compress(AsBytes(v), desc, &c).ok());
+  double cr = static_cast<double>(v.size() * 8) / c.size();
+  EXPECT_GT(cr, 0.9);
+  EXPECT_LT(cr, 1.1);
+}
+
+TEST(CorruptionTest, GpuStreamsAreSafe) {
+  auto v = Walk<double>(20000, 23);
+  auto desc = DataDesc::Make(DType::kFloat64, {20000});
+  for (auto& m : GpuMethods()) {
+    auto comp = m.make();
+    Buffer c;
+    ASSERT_TRUE(comp->Compress(AsBytes(v), desc, &c).ok());
+    Buffer copy = Buffer::FromSpan(c.span());
+    for (size_t victim = 0; victim < copy.size(); victim += 173) {
+      copy.data()[victim] ^= 0xff;
+      Buffer d;
+      (void)comp->Decompress(copy.span(), desc, &d);
+      copy.data()[victim] ^= 0xff;
+    }
+    for (size_t cut : {c.size() / 3, size_t(2)}) {
+      Buffer d;
+      (void)comp->Decompress(c.span().subspan(0, cut), desc, &d);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fcbench::gpusim

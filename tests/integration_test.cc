@@ -1,0 +1,247 @@
+// Integration sweep: every registered method round-trips every generated
+// dataset (the full Table 4 grid at reduced scale), plus the Gorilla
+// timestamp codec and cross-module pipelines.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <tuple>
+
+#include "compressors/gorilla_timestamps.h"
+#include "core/compressor.h"
+#include "core/runner.h"
+#include "data/dataset.h"
+#include "db/dataframe.h"
+#include "db/paged_file.h"
+#include "util/rng.h"
+
+namespace fcbench {
+namespace {
+
+constexpr uint64_t kScale = 192 << 10;  // small but multi-block scale
+
+// ---------------------------------------------------------------------------
+// Full methods x datasets grid
+
+class GridRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(GridRoundTrip, CompressDecompressVerify) {
+  auto [method, dataset] = GetParam();
+  const data::DatasetInfo* info = data::FindDataset(dataset);
+  ASSERT_NE(info, nullptr);
+  auto ds = data::GenerateDataset(*info, kScale);
+  ASSERT_TRUE(ds.ok());
+
+  CompressorConfig cfg;
+  cfg.threads = 2;
+  auto create = CompressorRegistry::Global().Create(method, cfg);
+  ASSERT_TRUE(create.ok());
+  auto comp = std::move(create).TakeValue();
+
+  const auto& traits = comp->traits();
+  bool supported =
+      (info->dtype == DType::kFloat32 && traits.supports_f32) ||
+      (info->dtype == DType::kFloat64 && traits.supports_f64);
+
+  Buffer compressed;
+  Status st =
+      comp->Compress(ds.value().bytes.span(), ds.value().desc, &compressed);
+  if (!supported) {
+    EXPECT_FALSE(st.ok());
+    return;
+  }
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  Buffer restored;
+  st = comp->Decompress(compressed.span(), ds.value().desc, &restored);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(restored.size(), ds.value().bytes.size());
+
+  if (method == "buff" && info->precision_digits == 0) {
+    // BUFF is lossy without a precision bound (§3.3); require bounded
+    // error instead of bit-exactness.
+    size_t esize = DTypeSize(info->dtype);
+    size_t n = restored.size() / esize;
+    for (size_t i = 0; i < n; i += 97) {
+      double a, b;
+      if (info->dtype == DType::kFloat32) {
+        float fa, fb;
+        std::memcpy(&fa, ds.value().bytes.data() + i * 4, 4);
+        std::memcpy(&fb, restored.data() + i * 4, 4);
+        a = fa;
+        b = fb;
+      } else {
+        std::memcpy(&a, ds.value().bytes.data() + i * 8, 8);
+        std::memcpy(&b, restored.data() + i * 8, 8);
+      }
+      EXPECT_NEAR(b, a, std::max(1e-9, std::abs(a) * 1e-9)) << dataset;
+    }
+    return;
+  }
+  EXPECT_EQ(std::memcmp(restored.data(), ds.value().bytes.data(),
+                        restored.size()),
+            0)
+      << method << " on " << dataset;
+}
+
+std::vector<std::string> GridMethods() {
+  // dzip_nn excluded from the full grid for runtime (covered separately).
+  return {"pfpc",    "spdp",      "fpzip",     "bitshuffle_lz4",
+          "bitshuffle_zstd", "ndzip_cpu", "buff", "gorilla",
+          "chimp128", "gfc",      "mpc",       "nv_lz4",
+          "nv_bitcomp", "ndzip_gpu"};
+}
+
+std::vector<std::string> GridDatasets() {
+  std::vector<std::string> names;
+  for (const auto& d : data::AllDatasets()) names.push_back(d.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4Grid, GridRoundTrip,
+    ::testing::Combine(::testing::ValuesIn(GridMethods()),
+                       ::testing::ValuesIn(GridDatasets())),
+    [](const auto& info) {
+      std::string name =
+          std::get<0>(info.param) + "__" + std::get<1>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Gorilla timestamp codec (§3.4 step (1))
+
+TEST(GorillaTimestampTest, FixedIntervalCompressesToAlmostNothing) {
+  std::vector<int64_t> ts;
+  for (int i = 0; i < 100000; ++i) ts.push_back(1600000000 + 60ll * i);
+  Buffer out;
+  compressors::GorillaTimestampCodec::Compress(ts, &out);
+  // One bit per timestamp after the header: ~12.5 KB for 100k stamps.
+  EXPECT_LT(out.size(), ts.size() / 7);
+  auto back = compressors::GorillaTimestampCodec::Decompress(out.span(),
+                                                             ts.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), ts);
+}
+
+TEST(GorillaTimestampTest, JitteredIntervals) {
+  Rng rng(3);
+  std::vector<int64_t> ts;
+  int64_t t = 1700000000;
+  for (int i = 0; i < 50000; ++i) {
+    t += 30 + static_cast<int64_t>(rng.UniformInt(5)) - 2;  // 28..32s
+    ts.push_back(t);
+  }
+  Buffer out;
+  compressors::GorillaTimestampCodec::Compress(ts, &out);
+  EXPECT_LT(out.size(), ts.size() * 2);  // ~9-10 bits/stamp
+  auto back = compressors::GorillaTimestampCodec::Decompress(out.span(),
+                                                             ts.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), ts);
+}
+
+TEST(GorillaTimestampTest, IrregularAndBackwardJumps) {
+  Rng rng(5);
+  std::vector<int64_t> ts = {0};
+  for (int i = 0; i < 10000; ++i) {
+    ts.push_back(ts.back() + static_cast<int64_t>(rng.UniformInt(100000)) -
+                 20000);
+  }
+  Buffer out;
+  compressors::GorillaTimestampCodec::Compress(ts, &out);
+  auto back = compressors::GorillaTimestampCodec::Decompress(out.span(),
+                                                             ts.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), ts);
+}
+
+TEST(GorillaTimestampTest, EmptyAndSingle) {
+  for (size_t n : {size_t(0), size_t(1), size_t(2)}) {
+    std::vector<int64_t> ts;
+    for (size_t i = 0; i < n; ++i) ts.push_back(123456 + 7 * i);
+    Buffer out;
+    compressors::GorillaTimestampCodec::Compress(ts, &out);
+    auto back =
+        compressors::GorillaTimestampCodec::Decompress(out.span(), n);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), ts);
+  }
+}
+
+TEST(GorillaTimestampTest, TruncatedStreamFails) {
+  std::vector<int64_t> ts;
+  for (int i = 0; i < 1000; ++i) ts.push_back(1000 + 60 * i + (i % 7));
+  Buffer out;
+  compressors::GorillaTimestampCodec::Compress(ts, &out);
+  auto back = compressors::GorillaTimestampCodec::Decompress(
+      out.span().subspan(0, out.size() / 2), ts.size());
+  EXPECT_FALSE(back.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-module pipeline: generate -> compress -> paged store -> dataframe
+
+TEST(PipelineIntegrationTest, EveryDomainThroughTheDatabase) {
+  for (const char* name : {"msg-bt", "citytemp", "hst-wfc3-ir",
+                           "tpcxBB-store"}) {
+    auto ds = data::GenerateDataset(*data::FindDataset(name), kScale);
+    ASSERT_TRUE(ds.ok()) << name;
+    std::string path =
+        std::string(::testing::TempDir()) + "/fcb_integ_" + name;
+    db::PagedFile::Options opt;
+    opt.compressor = "bitshuffle_zstd";
+    opt.page_size = 32 << 10;
+    ASSERT_TRUE(db::PagedFile::Write(path, ds.value().bytes.span(),
+                                     ds.value().desc, opt)
+                    .ok())
+        << name;
+    db::PagedFile::ReadTiming timing;
+    auto bytes = db::PagedFile::Read(path, &timing);
+    ASSERT_TRUE(bytes.ok()) << name;
+    EXPECT_EQ(std::memcmp(bytes.value().data(), ds.value().bytes.data(),
+                          bytes.value().size()),
+              0)
+        << name;
+    auto df = db::DataFrame::FromBytes(bytes.value().span(),
+                                       ds.value().desc);
+    ASSERT_TRUE(df.ok()) << name;
+    EXPECT_GT(df.value().num_rows(), 0u);
+    std::remove(path.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runner end-to-end over a method subset (the Summarize/CrMatrix pipeline)
+
+TEST(RunnerIntegrationTest, SweepSummarizeRank) {
+  BenchmarkRunner::Options opt;
+  opt.repeats = 1;
+  opt.dataset_bytes = kScale;
+  BenchmarkRunner runner(opt);
+  std::vector<data::DatasetInfo> few = {
+      *data::FindDataset("turbulence"), *data::FindDataset("citytemp"),
+      *data::FindDataset("tpcDS-web")};
+  auto results =
+      runner.RunAll({"gorilla", "bitshuffle_lz4", "ndzip_cpu"}, few);
+  EXPECT_EQ(results.size(), 9u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok) << r.method << "/" << r.dataset << ": " << r.error;
+    EXPECT_TRUE(r.round_trip_exact) << r.method << "/" << r.dataset;
+  }
+  auto summaries = Summarize(results);
+  EXPECT_EQ(summaries.size(), 3u);
+  auto matrix = CrMatrix(results, {"gorilla", "bitshuffle_lz4", "ndzip_cpu"},
+                         {"turbulence", "citytemp", "tpcDS-web"});
+  EXPECT_EQ(matrix.size(), 3u);
+  EXPECT_EQ(matrix[0].size(), 3u);
+}
+
+}  // namespace
+}  // namespace fcbench

@@ -1,0 +1,90 @@
+// Tests for the roofline model (paper §6.3 / Figure 11).
+
+#include <gtest/gtest.h>
+
+#include "roofline/roofline.h"
+
+namespace fcbench::roofline {
+namespace {
+
+TEST(RooflineTest, CpuMachineMatchesFigure11a) {
+  auto m = CpuRoofline();
+  EXPECT_DOUBLE_EQ(m.peak_gops, 191.0);
+  ASSERT_EQ(m.roofs.size(), 4u);
+  EXPECT_EQ(m.roofs.back().name, "DRAM");
+  EXPECT_DOUBLE_EQ(m.roofs.back().gbps, 214.5);
+}
+
+TEST(RooflineTest, GpuMachineMatchesFigure11b) {
+  auto m = GpuRoofline();
+  EXPECT_DOUBLE_EQ(m.peak_gops, 416.4);
+  EXPECT_DOUBLE_EQ(m.roofs.back().gbps, 621.5);
+}
+
+TEST(RooflineTest, AttainableIsRooflineMin) {
+  auto m = CpuRoofline();
+  // Below the ridge point: bandwidth-limited.
+  EXPECT_DOUBLE_EQ(AttainableGops(m, 0.1), 0.1 * 214.5);
+  // Far above the ridge point: compute-limited.
+  EXPECT_DOUBLE_EQ(AttainableGops(m, 100.0), 191.0);
+}
+
+TEST(RooflineTest, ClassifiesMemoryBound) {
+  auto m = GpuRoofline();
+  // Intensity 0.2 ops/B, achieving 80% of the bandwidth roof.
+  KernelPoint p{"gfc", 0.2, 0.2 * 621.5 * 0.8};
+  EXPECT_EQ(Classify(m, p), Bound::kMemoryBound);
+}
+
+TEST(RooflineTest, ClassifiesComputeBound) {
+  auto m = CpuRoofline();
+  KernelPoint p{"ndzip", 10.0, 150.0};  // near the 191 GOP/s ceiling
+  EXPECT_EQ(Classify(m, p), Bound::kComputeBound);
+}
+
+TEST(RooflineTest, ClassifiesLatencyBound) {
+  auto m = CpuRoofline();
+  // Serial methods sit far below both roofs (§6.3 analysis (1)).
+  KernelPoint p{"fpzip", 4.0, 0.3};
+  EXPECT_EQ(Classify(m, p), Bound::kLatencyBound);
+}
+
+TEST(RooflineTest, PointFromThroughput) {
+  auto p = PointFromThroughput("buff", 0.9, 0.2e9);  // 0.2 GB/s
+  EXPECT_DOUBLE_EQ(p.intensity, 0.9);
+  EXPECT_NEAR(p.achieved_gops, 0.18, 1e-12);
+}
+
+TEST(RooflineTest, PointFromKernelStats) {
+  gpusim::KernelStats stats;
+  stats.warp_instructions = 1000;
+  stats.divergent_instructions = 0;
+  stats.bytes_read = 64000;
+  stats.bytes_written = 0;
+  auto p = PointFromKernelStats("mpc", stats, 1e-6);
+  EXPECT_NEAR(p.intensity, 1000.0 * 32 / 64000.0, 1e-12);
+  EXPECT_NEAR(p.achieved_gops, 1000.0 * 32 / 1e-6 / 1e9, 1e-6);
+}
+
+TEST(RooflineTest, MethodIntensitiesDefined) {
+  for (const char* m :
+       {"gorilla", "chimp128", "pfpc", "fpzip", "spdp", "bitshuffle_lz4",
+        "bitshuffle_zstd", "ndzip_cpu", "buff"}) {
+    EXPECT_GT(CpuMethodOpsPerByte(m), 0.0) << m;
+  }
+  // fpzip's range coder is the most compute-heavy per byte.
+  EXPECT_GT(CpuMethodOpsPerByte("fpzip"), CpuMethodOpsPerByte("gorilla"));
+}
+
+TEST(RooflineTest, AsciiRenderContainsRoofAndPoints) {
+  auto m = CpuRoofline();
+  std::vector<KernelPoint> pts = {{"fpzip", 4.0, 0.3}, {"ndzip", 1.6, 3.5}};
+  std::string art = RenderAscii(m, pts);
+  EXPECT_NE(art.find("Xeon"), std::string::npos);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find("fpzip"), std::string::npos);
+  EXPECT_NE(art.find("latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcbench::roofline

@@ -1,0 +1,155 @@
+// IEEE-754 edge-case suite: lossless means *bit-exact on every encodable
+// pattern*, including NaNs with arbitrary payloads, signed infinities and
+// zeros, denormals, and fully random bit patterns. Every studied method
+// except BUFF (documented lossy-without-precision exception, §3.3)
+// operates on raw bit patterns and must reproduce them exactly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/compressor.h"
+#include "util/rng.h"
+
+namespace fcbench {
+namespace {
+
+enum class SpecialPattern {
+  kAllNaN,
+  kNaNPayloads,
+  kInfinities,
+  kSignedZeros,
+  kDenormals,
+  kExtremes,
+  kRandomBits,
+};
+
+const char* PatternName(SpecialPattern p) {
+  switch (p) {
+    case SpecialPattern::kAllNaN: return "AllNaN";
+    case SpecialPattern::kNaNPayloads: return "NaNPayloads";
+    case SpecialPattern::kInfinities: return "Infinities";
+    case SpecialPattern::kSignedZeros: return "SignedZeros";
+    case SpecialPattern::kDenormals: return "Denormals";
+    case SpecialPattern::kExtremes: return "Extremes";
+    case SpecialPattern::kRandomBits: return "RandomBits";
+  }
+  return "?";
+}
+
+template <typename W>
+std::vector<uint8_t> MakeWords(SpecialPattern p, size_t count) {
+  constexpr int kWidth = sizeof(W) * 8;
+  constexpr int kMantissa = (kWidth == 64) ? 52 : 23;
+  const W exp_mask = ((W(1) << (kWidth - 1 - kMantissa)) - 1) << kMantissa;
+  const W quiet_bit = W(1) << (kMantissa - 1);
+  const W sign_bit = W(1) << (kWidth - 1);
+
+  Rng rng(static_cast<uint64_t>(p) + count);
+  std::vector<W> words(count);
+  for (size_t i = 0; i < count; ++i) {
+    switch (p) {
+      case SpecialPattern::kAllNaN:
+        words[i] = exp_mask | quiet_bit;
+        break;
+      case SpecialPattern::kNaNPayloads:
+        // Quiet and signaling payload bits, alternating signs.
+        words[i] = exp_mask | (static_cast<W>(rng.Next()) &
+                               ((W(1) << kMantissa) - 1));
+        if (words[i] == exp_mask) words[i] |= 1;  // keep it a NaN
+        if (i % 2 == 1) words[i] |= sign_bit;
+        break;
+      case SpecialPattern::kInfinities:
+        words[i] = (i % 3 == 0)   ? exp_mask
+                   : (i % 3 == 1) ? (exp_mask | sign_bit)
+                                  : static_cast<W>(i);
+        break;
+      case SpecialPattern::kSignedZeros:
+        words[i] = (i % 2 == 0) ? W(0) : sign_bit;
+        break;
+      case SpecialPattern::kDenormals:
+        // Subnormals: zero exponent, tiny mantissa ramp around zero.
+        words[i] = static_cast<W>(i % 1021 + 1);
+        if (i % 2 == 1) words[i] |= sign_bit;
+        break;
+      case SpecialPattern::kExtremes: {
+        const W max_finite = exp_mask - 1;             // largest finite
+        const W min_normal = W(1) << kMantissa;        // smallest normal
+        const W cases[4] = {max_finite, max_finite | sign_bit, min_normal,
+                            min_normal | sign_bit};
+        words[i] = cases[i % 4];
+        break;
+      }
+      case SpecialPattern::kRandomBits:
+        words[i] = static_cast<W>(rng.Next());
+        break;
+    }
+  }
+  std::vector<uint8_t> bytes(count * sizeof(W));
+  std::memcpy(bytes.data(), words.data(), bytes.size());
+  return bytes;
+}
+
+class SpecialValues
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, SpecialPattern, bool>> {};
+
+TEST_P(SpecialValues, BitExactRoundTrip) {
+  RegisterAllCompressors();
+  auto [method, pattern, f64] = GetParam();
+  CompressorConfig cfg;
+  cfg.threads = 2;
+  auto comp = CompressorRegistry::Global().Create(method, cfg).TakeValue();
+  if (method == "buff") {
+    GTEST_SKIP() << "BUFF quantizes; documented non-bit-exact exception";
+  }
+  if (f64 && !comp->traits().supports_f64) GTEST_SKIP();
+  if (!f64 && !comp->traits().supports_f32) GTEST_SKIP();
+
+  DataDesc desc;
+  desc.dtype = f64 ? DType::kFloat64 : DType::kFloat32;
+  const size_t count = method == "dzip_nn" ? 128 : 1024;
+  desc.extent = {count};
+  auto input = f64 ? MakeWords<uint64_t>(pattern, count)
+                   : MakeWords<uint32_t>(pattern, count);
+
+  Buffer comp_out;
+  Status cst =
+      comp->Compress(ByteSpan(input.data(), input.size()), desc, &comp_out);
+  ASSERT_TRUE(cst.ok()) << method << "/" << PatternName(pattern) << ": "
+                        << cst.ToString();
+  Buffer decomp;
+  Status dst = comp->Decompress(comp_out.span(), desc, &decomp);
+  ASSERT_TRUE(dst.ok()) << method << "/" << PatternName(pattern) << ": "
+                        << dst.ToString();
+  ASSERT_EQ(decomp.size(), input.size());
+  EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0)
+      << method << " altered " << PatternName(pattern) << " bit patterns";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, SpecialValues,
+    ::testing::Combine(
+        ::testing::ValuesIn([] {
+          RegisterAllCompressors();
+          return CompressorRegistry::Global().Names();
+        }()),
+        ::testing::Values(
+            SpecialPattern::kAllNaN, SpecialPattern::kNaNPayloads,
+            SpecialPattern::kInfinities, SpecialPattern::kSignedZeros,
+            SpecialPattern::kDenormals, SpecialPattern::kExtremes,
+            SpecialPattern::kRandomBits),
+        ::testing::Bool()),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             PatternName(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_f64" : "_f32");
+    });
+
+}  // namespace
+}  // namespace fcbench

@@ -1,0 +1,207 @@
+// Tests for the statistics substrate: ranks, Friedman, Nemenyi CD,
+// Mann-Whitney U, and the special functions behind them.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/stats.h"
+#include "util/rng.h"
+
+namespace fcbench::stats {
+namespace {
+
+TEST(RankTest, HigherScoreGetsLowerRank) {
+  std::vector<std::vector<double>> scores = {{3.0, 1.0, 2.0}};
+  auto ranks = AverageRanks(scores);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(RankTest, TiesShareAveragedRanks) {
+  std::vector<std::vector<double>> scores = {{2.0, 2.0, 1.0}};
+  auto ranks = AverageRanks(scores);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+TEST(RankTest, AveragesOverDatasets) {
+  std::vector<std::vector<double>> scores = {{3.0, 1.0}, {1.0, 3.0}};
+  auto ranks = AverageRanks(scores);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+}
+
+TEST(GammaTest, KnownValues) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 1.0, 2.5, 7.0}) {
+    EXPECT_NEAR(GammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(GammaP(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+}
+
+TEST(ChiSquareTest, SurvivalFunctionKnownQuantiles) {
+  // chi2 with 12 df: P(X > 21.026) = 0.05.
+  EXPECT_NEAR(ChiSquareSf(21.026, 12), 0.05, 0.001);
+  // chi2 with 1 df: P(X > 3.841) = 0.05.
+  EXPECT_NEAR(ChiSquareSf(3.841, 1), 0.05, 0.001);
+  EXPECT_NEAR(ChiSquareSf(0.0, 5), 1.0, 1e-12);
+}
+
+TEST(NormalTest, SurvivalFunction) {
+  EXPECT_NEAR(NormalSf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalSf(1.959964), 0.025, 1e-5);
+  EXPECT_NEAR(NormalSf(-1.959964), 0.975, 1e-5);
+}
+
+TEST(FriedmanTest, DetectsClearDifference) {
+  // Method 0 always best, method 2 always worst, 20 datasets.
+  std::vector<std::vector<double>> scores;
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    scores.push_back({3.0 + rng.Uniform(), 2.0 + 0.1 * rng.Uniform(),
+                      1.0 + 0.1 * rng.Uniform()});
+  }
+  auto r = FriedmanTest(scores);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().reject_h0);
+  EXPECT_LT(r.value().p_value, 0.001);
+  EXPECT_LT(r.value().avg_ranks[0], r.value().avg_ranks[2]);
+}
+
+TEST(FriedmanTest, AcceptsEquivalentMethods) {
+  // Random scores: no method systematically better.
+  std::vector<std::vector<double>> scores;
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    scores.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform(),
+                      rng.Uniform()});
+  }
+  auto r = FriedmanTest(scores);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().reject_h0);
+}
+
+TEST(FriedmanTest, RejectsBadInput) {
+  EXPECT_FALSE(FriedmanTest({}).ok());
+  EXPECT_FALSE(FriedmanTest({{1.0}}).ok());
+  EXPECT_FALSE(FriedmanTest({{1.0, 2.0}, {1.0}}).ok());
+}
+
+TEST(NemenyiTest, PaperConfiguration) {
+  // k = 13 methods, N = 33 datasets (paper §5.4): CD = q * sqrt(k(k+1)/6N)
+  // with q_{0.05,13} = 3.313 -> about 3.19 average-rank units.
+  double cd = NemenyiCriticalDifference(13, 33);
+  EXPECT_NEAR(cd, 3.313 * std::sqrt(13.0 * 14.0 / (6.0 * 33.0)), 1e-9);
+  EXPECT_GT(cd, 3.0);
+  EXPECT_LT(cd, 3.4);
+}
+
+TEST(CdDiagramTest, OrdersAndGroups) {
+  std::vector<std::string> names = {"a", "b", "c", "d"};
+  std::vector<double> ranks = {3.5, 1.0, 1.2, 3.4};
+  auto d = BuildCdDiagram(names, ranks, 10);
+  ASSERT_EQ(d.ordered.size(), 4u);
+  EXPECT_EQ(d.ordered[0].name, "b");
+  EXPECT_EQ(d.ordered[1].name, "c");
+  // With 4 methods over 10 datasets CD ~ 1.48: {b,c} and {d,a} grouped.
+  std::string rendered = d.Render();
+  EXPECT_NE(rendered.find("no significant difference"), std::string::npos);
+}
+
+TEST(MannWhitneyTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto r = MannWhitneyUTest(a, a);
+  EXPECT_FALSE(r.significant);
+  EXPECT_GT(r.p_value, 0.9);
+}
+
+TEST(MannWhitneyTest, ShiftedSamplesSignificant) {
+  std::vector<double> a, b;
+  Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(rng.Normal());
+    b.push_back(rng.Normal() + 3.0);
+  }
+  auto r = MannWhitneyUTest(a, b);
+  EXPECT_TRUE(r.significant);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(MannWhitneyTest, SlightJitterNotSignificant) {
+  // The Table 9 scenario: multi-d vs 1-d CRs barely differ.
+  std::vector<double> md = {1.091, 1.347, 1.334, 1.223, 1.207};
+  std::vector<double> oned = {1.089, 1.365, 1.326, 1.210, 1.200};
+  auto r = MannWhitneyUTest(md, oned);
+  EXPECT_FALSE(r.significant);
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(WilcoxonTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  auto r = WilcoxonSignedRankTest(a, a);
+  EXPECT_EQ(r.n_effective, 0);
+  EXPECT_FALSE(r.significant);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(WilcoxonTest, ConsistentImprovementIsSignificant) {
+  // Method a beats method b on every one of 30 datasets by a varying
+  // margin: W- = 0, strongly significant.
+  std::vector<double> a(30), b(30);
+  for (size_t i = 0; i < a.size(); ++i) {
+    b[i] = 1.0 + 0.01 * static_cast<double>(i);
+    a[i] = b[i] + 0.05 + 0.001 * static_cast<double>(i % 7);
+  }
+  auto r = WilcoxonSignedRankTest(a, b);
+  EXPECT_EQ(r.n_effective, 30);
+  EXPECT_DOUBLE_EQ(r.w, 0.0);  // no negative ranks
+  EXPECT_TRUE(r.significant);
+  EXPECT_LT(r.p_value, 1e-5);
+}
+
+TEST(WilcoxonTest, SymmetricNoiseNotSignificant) {
+  // Differences alternate sign with equal magnitude: W+ == W-.
+  std::vector<double> a(20, 1.0), b(20, 1.0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] += (i % 2 == 0) ? 0.01 : -0.01;
+  }
+  auto r = WilcoxonSignedRankTest(a, b);
+  EXPECT_FALSE(r.significant);
+  EXPECT_GT(r.p_value, 0.9);
+}
+
+TEST(WilcoxonTest, HandComputedExample) {
+  // Differences: 15,-7,5,20,0,-9,17,-12,5,-10; the zero is dropped (n=9).
+  // |d| ranks with tie-averaged 5s: 5->1.5, 5->1.5, 7->3, 9->4, 10->5,
+  // 12->6, 15->7, 17->8, 20->9. W+ = 7+1.5+9+8+1.5 = 27, W- = 3+4+6+5 =
+  // 18, so W = 18; mean 22.5, var 71.125 (one tie pair), z ~ -0.534,
+  // two-sided p ~ 0.594.
+  std::vector<double> before = {125, 115, 130, 140, 140,
+                                115, 140, 125, 140, 135};
+  std::vector<double> after = {110, 122, 125, 120, 140,
+                               124, 123, 137, 135, 145};
+  auto r = WilcoxonSignedRankTest(before, after);
+  EXPECT_EQ(r.n_effective, 9);
+  EXPECT_NEAR(r.w, 18.0, 1e-9);
+  EXPECT_NEAR(r.z, -0.5336, 0.001);
+  EXPECT_NEAR(r.p_value, 0.5936, 0.001);
+  EXPECT_FALSE(r.significant);
+}
+
+TEST(WilcoxonTest, MismatchedSizesRejected) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {1, 2};
+  auto r = WilcoxonSignedRankTest(a, b);
+  EXPECT_EQ(r.n_effective, 0);
+  EXPECT_FALSE(r.significant);
+}
+
+}  // namespace
+}  // namespace fcbench::stats

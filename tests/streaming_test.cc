@@ -1,0 +1,158 @@
+// Tests for the frame-based streaming API (core/streaming.h): the
+// in-situ per-time-step pipeline of paper §1.1.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/streaming.h"
+#include "util/rng.h"
+
+namespace fcbench {
+namespace {
+
+std::vector<uint8_t> TimeStep(uint64_t step, size_t count) {
+  Rng rng(step);
+  std::vector<uint8_t> bytes(count * 8);
+  double x = 100.0 + static_cast<double>(step);
+  for (size_t i = 0; i < count; ++i) {
+    x += rng.Normal() * 0.01;
+    std::memcpy(&bytes[i * 8], &x, 8);
+  }
+  return bytes;
+}
+
+class StreamingRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StreamingRoundTrip, ManyFramesDecodeInOrder) {
+  RegisterAllCompressors();
+  const std::string method = GetParam();
+  if (method == "dzip_nn") GTEST_SKIP() << "slow; same path as others";
+  auto traits =
+      CompressorRegistry::Global().Create(method).TakeValue()->traits();
+  if (!traits.supports_f64) GTEST_SKIP();
+  if (method == "buff") GTEST_SKIP() << "quantizing exception";
+
+  auto writer = StreamWriter::Open(method);
+  ASSERT_TRUE(writer.ok());
+  Buffer stream;
+  std::vector<std::vector<uint8_t>> steps;
+  for (uint64_t s = 0; s < 10; ++s) {
+    steps.push_back(TimeStep(s, 512 + s * 37));  // varying chunk sizes
+    ASSERT_TRUE(writer.value()
+                    .Append(ByteSpan(steps.back().data(),
+                                     steps.back().size()),
+                            DType::kFloat64, &stream)
+                    .ok());
+  }
+  EXPECT_EQ(writer.value().frame_bytes(), stream.size());
+
+  auto reader = StreamReader::Open(method);
+  ASSERT_TRUE(reader.ok());
+  for (uint64_t s = 0; s < 10; ++s) {
+    ASSERT_TRUE(reader.value().HasNext(stream.span()));
+    Buffer out;
+    ASSERT_TRUE(reader.value().Next(stream.span(), &out).ok())
+        << method << " frame " << s;
+    ASSERT_EQ(out.size(), steps[s].size());
+    EXPECT_EQ(std::memcmp(out.data(), steps[s].data(), out.size()), 0)
+        << method << " frame " << s;
+  }
+  EXPECT_FALSE(reader.value().HasNext(stream.span()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, StreamingRoundTrip,
+    ::testing::ValuesIn([] {
+      RegisterAllCompressors();
+      return CompressorRegistry::Global().Names();
+    }()),
+    [](const auto& info) { return info.param; });
+
+TEST(StreamingTest, MixedDtypesInOneStream) {
+  RegisterAllCompressors();
+  auto writer = StreamWriter::Open("bitshuffle_lz4");
+  ASSERT_TRUE(writer.ok());
+  Buffer stream;
+  std::vector<float> f32s = {1.5f, 2.5f, 3.5f, 4.5f};
+  std::vector<double> f64s = {1.25, 2.25, 3.25};
+  ASSERT_TRUE(writer.value()
+                  .Append(AsBytes(f32s), DType::kFloat32, &stream)
+                  .ok());
+  ASSERT_TRUE(writer.value()
+                  .Append(AsBytes(f64s), DType::kFloat64, &stream)
+                  .ok());
+
+  auto reader = StreamReader::Open("bitshuffle_lz4");
+  ASSERT_TRUE(reader.ok());
+  Buffer a, b;
+  ASSERT_TRUE(reader.value().Next(stream.span(), &a).ok());
+  ASSERT_TRUE(reader.value().Next(stream.span(), &b).ok());
+  EXPECT_EQ(a.size(), f32s.size() * 4);
+  EXPECT_EQ(b.size(), f64s.size() * 8);
+  EXPECT_EQ(std::memcmp(a.data(), f32s.data(), a.size()), 0);
+  EXPECT_EQ(std::memcmp(b.data(), f64s.data(), b.size()), 0);
+}
+
+TEST(StreamingTest, CorruptFrameDoesNotPoisonLaterFrames) {
+  RegisterAllCompressors();
+  auto writer = StreamWriter::Open("gorilla");
+  ASSERT_TRUE(writer.ok());
+  Buffer stream;
+  auto step0 = TimeStep(0, 256);
+  ASSERT_TRUE(writer.value()
+                  .Append(ByteSpan(step0.data(), step0.size()),
+                          DType::kFloat64, &stream)
+                  .ok());
+  size_t frame0_end = stream.size();
+  auto step1 = TimeStep(1, 256);
+  ASSERT_TRUE(writer.value()
+                  .Append(ByteSpan(step1.data(), step1.size()),
+                          DType::kFloat64, &stream)
+                  .ok());
+
+  // Corrupt a payload byte inside frame 0.
+  stream.data()[frame0_end - 5] ^= 0xff;
+  auto reader = StreamReader::Open("gorilla");
+  ASSERT_TRUE(reader.ok());
+  Buffer out;
+  auto st = reader.value().Next(stream.span(), &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+
+  // Skipping to the second frame still works: a reader that knows the
+  // frame boundary (e.g. from a directory) can resume.
+  auto resumed = StreamReader::Open("gorilla");
+  ASSERT_TRUE(resumed.ok());
+  Buffer skip;
+  // Consume frame 0 from a pristine copy to learn its extent, then read
+  // frame 1 from the corrupted stream starting at that offset.
+  Buffer pristine = Buffer::FromSpan(stream.span());
+  pristine.data()[frame0_end - 5] ^= 0xff;  // undo
+  ASSERT_TRUE(resumed.value().Next(pristine.span(), &skip).ok());
+  Buffer out1;
+  ASSERT_TRUE(resumed.value().Next(stream.span(), &out1).ok());
+  EXPECT_EQ(std::memcmp(out1.data(), step1.data(), out1.size()), 0);
+}
+
+TEST(StreamingTest, RejectsMisalignedChunk) {
+  RegisterAllCompressors();
+  auto writer = StreamWriter::Open("gorilla");
+  ASSERT_TRUE(writer.ok());
+  Buffer stream;
+  std::vector<uint8_t> bytes(13);  // not a whole f64 count
+  auto st = writer.value().Append(ByteSpan(bytes.data(), bytes.size()),
+                                  DType::kFloat64, &stream);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamingTest, UnknownMethodRejected) {
+  EXPECT_FALSE(StreamWriter::Open("no_such_method").ok());
+  EXPECT_FALSE(StreamReader::Open("no_such_method").ok());
+}
+
+}  // namespace
+}  // namespace fcbench

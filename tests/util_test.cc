@@ -1,0 +1,384 @@
+// Unit tests for the util substrate: Status/Result, bit I/O, varints,
+// float bit mappings, RNG determinism, entropy, thread pool, mem tracker.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/bitio.h"
+#include "util/buffer.h"
+#include "util/entropy.h"
+#include "util/float_bits.h"
+#include "util/mem_tracker.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace fcbench {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad magic");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.ToString(), "Corruption: bad magic");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kResourceExhausted);
+       ++c) {
+    EXPECT_FALSE(StatusCodeName(static_cast<StatusCode>(c)).empty());
+  }
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  auto good = ParsePositive(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 5);
+
+  auto bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  FCB_ASSIGN_OR_RETURN(*out, ParsePositive(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(UseAssignOrReturn(-7, &out).ok());
+}
+
+TEST(BufferTest, AppendAndResize) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  b.PushBack(1);
+  b.PushBack(2);
+  uint8_t more[3] = {3, 4, 5};
+  b.Append(more, 3);
+  ASSERT_EQ(b.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(b.data()[i], i + 1);
+  b.Resize(2);
+  EXPECT_EQ(b.size(), 2u);
+  b.Resize(100);
+  EXPECT_EQ(b.data()[0], 1);  // preserved across growth
+  EXPECT_EQ(b.data()[1], 2);
+}
+
+TEST(BufferTest, MoveTransfersOwnership) {
+  Buffer a;
+  a.Append("hello", 5);
+  Buffer b = std::move(a);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(BitIoTest, RoundTripBits) {
+  Buffer buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0b101, 3);
+  bw.WriteBits(0xdeadbeef, 32);
+  bw.WriteBit(1);
+  bw.WriteBits(0, 13);
+  bw.WriteBits(0x1ffff, 17);
+  bw.Flush();
+
+  BitReader br(buf.span());
+  EXPECT_EQ(br.ReadBits(3), 0b101u);
+  EXPECT_EQ(br.ReadBits(32), 0xdeadbeefu);
+  EXPECT_EQ(br.ReadBit(), 1u);
+  EXPECT_EQ(br.ReadBits(13), 0u);
+  EXPECT_EQ(br.ReadBits(17), 0x1ffffu);
+  EXPECT_FALSE(br.overrun());
+}
+
+TEST(BitIoTest, ReaderDetectsOverrun) {
+  Buffer buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0xff, 8);
+  bw.Flush();
+  BitReader br(buf.span());
+  br.ReadBits(8);
+  EXPECT_FALSE(br.overrun());
+  br.ReadBit();
+  EXPECT_TRUE(br.overrun());
+}
+
+TEST(BitIoTest, SixtyFourBitValues) {
+  Buffer buf;
+  BitWriter bw(&buf);
+  const uint64_t v = 0x0123456789abcdefULL;
+  bw.WriteBits(v, 64);
+  bw.Flush();
+  BitReader br(buf.span());
+  EXPECT_EQ(br.ReadBits(64), v);
+}
+
+TEST(VarintTest, RoundTripBoundaries) {
+  std::vector<uint64_t> values = {0,    1,    127,        128,
+                                  255,  300,  16383,      16384,
+                                  1u << 20, (1ull << 35), ~0ull};
+  Buffer buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  size_t off = 0;
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(buf.span(), &off, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  Buffer buf;
+  PutVarint64(&buf, 1ull << 40);
+  uint64_t got;
+  size_t off = 0;
+  ByteSpan cut = buf.span().subspan(0, buf.size() - 1);
+  EXPECT_FALSE(GetVarint64(cut, &off, &got));
+}
+
+TEST(FixedIntTest, RoundTrip) {
+  Buffer buf;
+  PutFixed<uint32_t>(&buf, 0xaabbccdd);
+  PutFixed<uint16_t>(&buf, 0x1234);
+  size_t off = 0;
+  uint32_t a;
+  uint16_t b;
+  ASSERT_TRUE(GetFixed(buf.span(), &off, &a));
+  ASSERT_TRUE(GetFixed(buf.span(), &off, &b));
+  EXPECT_EQ(a, 0xaabbccddu);
+  EXPECT_EQ(b, 0x1234u);
+  uint32_t c;
+  EXPECT_FALSE(GetFixed(buf.span(), &off, &c));
+}
+
+// --- float bits ------------------------------------------------------------
+
+template <typename F>
+class FloatBitsTypedTest : public ::testing::Test {};
+
+using FloatTypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(FloatBitsTypedTest, FloatTypes);
+
+TYPED_TEST(FloatBitsTypedTest, BitCastRoundTrip) {
+  using F = TypeParam;
+  for (F v : {F(0), F(1), F(-1), F(3.14159), F(-2.5e-10), F(1e30)}) {
+    EXPECT_EQ(FromBits<F>(ToBits<F>(v)), v);
+  }
+}
+
+TYPED_TEST(FloatBitsTypedTest, OrderedMappingPreservesOrder) {
+  using F = TypeParam;
+  std::vector<F> values = {F(-1e30), F(-3.5),  F(-1),   F(-1e-20), F(-0.0),
+                           F(0),     F(1e-20), F(0.25), F(1),      F(7e12)};
+  for (size_t i = 1; i < values.size(); ++i) {
+    auto a = SignedToOrdered(ToBits<F>(values[i - 1]));
+    auto b = SignedToOrdered(ToBits<F>(values[i]));
+    EXPECT_LE(a, b) << values[i - 1] << " vs " << values[i];
+  }
+}
+
+TYPED_TEST(FloatBitsTypedTest, OrderedMappingInverts) {
+  using F = TypeParam;
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    auto bits = static_cast<FloatBitsT<F>>(rng.Next());
+    EXPECT_EQ(OrderedToSigned(SignedToOrdered(bits)), bits);
+  }
+}
+
+TEST(ZigZagTest, RoundTripAndSmallness) {
+  for (int64_t v : {int64_t(0), int64_t(-1), int64_t(1), int64_t(-12345),
+                    int64_t(1) << 40, -(int64_t(1) << 40)}) {
+    EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(v)), v);
+  }
+  EXPECT_EQ(ZigZagEncode64(0), 0u);
+  EXPECT_EQ(ZigZagEncode64(-1), 1u);
+  EXPECT_EQ(ZigZagEncode64(1), 2u);
+  EXPECT_EQ(ZigZagDecode32(ZigZagEncode32(-77)), -77);
+}
+
+TEST(LeadingZerosTest, Definitions) {
+  EXPECT_EQ(LeadingZeros64(0), 64);
+  EXPECT_EQ(LeadingZeros64(1), 63);
+  EXPECT_EQ(LeadingZeros64(~0ull), 0);
+  EXPECT_EQ(LeadingZeros32(0), 32);
+  EXPECT_EQ(TrailingZeros64(0), 64);
+  EXPECT_EQ(TrailingZeros64(8), 3);
+  EXPECT_EQ(TrailingZeros32(0), 32);
+}
+
+// --- rng ---------------------------------------------------------------
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+// --- entropy ---------------------------------------------------------------
+
+TEST(EntropyTest, ConstantDataIsZero) {
+  std::vector<uint8_t> data(4096, 0x41);
+  EXPECT_DOUBLE_EQ(ByteEntropyBits(ByteSpan(data.data(), data.size())), 0.0);
+}
+
+TEST(EntropyTest, UniformBytesNearEight) {
+  std::vector<uint8_t> data(1 << 16);
+  Rng rng(3);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  double h = ByteEntropyBits(ByteSpan(data.data(), data.size()));
+  EXPECT_GT(h, 7.99);
+  EXPECT_LE(h, 8.0);
+}
+
+TEST(EntropyTest, WordEntropyCountsDistinctWords) {
+  // 4 distinct 32-bit words, equally frequent -> 2 bits.
+  std::vector<uint32_t> words;
+  for (int i = 0; i < 1000; ++i) {
+    words.push_back(0x11111111u);
+    words.push_back(0x22222222u);
+    words.push_back(0x33333333u);
+    words.push_back(0x44444444u);
+  }
+  double h = ShannonEntropyBits(AsBytes(words), 4);
+  EXPECT_NEAR(h, 2.0, 1e-9);
+}
+
+TEST(MeansTest, HarmonicAndArithmetic) {
+  double v[3] = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(HarmonicMean(v, 3), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+  EXPECT_NEAR(ArithmeticMean(v, 3), 7.0 / 3.0, 1e-12);
+  EXPECT_EQ(HarmonicMean(v, 0), 0.0);
+  EXPECT_EQ(ArithmeticMean(v, 0), 0.0);
+}
+
+TEST(MeansTest, HarmonicSkipsNonPositive) {
+  double v[3] = {0.0, 2.0, 2.0};
+  EXPECT_NEAR(HarmonicMean(v, 3), 2.0, 1e-12);
+}
+
+// --- thread pool -----------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelRangesPartition) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  pool.ParallelRanges(10, [&](size_t b, size_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.push_back({b, e});
+  });
+  size_t total = 0;
+  std::set<size_t> seen;
+  for (auto [b, e] : ranges) {
+    for (size_t i = b; i < e; ++i) {
+      EXPECT_TRUE(seen.insert(i).second) << "index covered twice";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ThreadPoolTest, ZeroElementsNoCrash) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+// --- mem tracker -----------------------------------------------------------
+
+TEST(MemTrackerTest, BufferAllocationsTracked) {
+  auto& t = MemTracker::Global();
+  t.ResetPeak();
+  size_t before = t.current();
+  {
+    Buffer b(1 << 20);
+    EXPECT_GE(t.current(), before + (1u << 20));
+    EXPECT_GE(t.peak(), before + (1u << 20));
+  }
+  EXPECT_EQ(t.current(), before);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GT(t.ElapsedSeconds(), 0.0);
+  EXPECT_GT(t.ElapsedNanos(), 0u);
+}
+
+TEST(ThroughputTest, Computation) {
+  EXPECT_DOUBLE_EQ(ThroughputGBps(2e9, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(ThroughputGBps(100, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace fcbench
