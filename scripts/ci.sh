@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Configure + build + test, exiting non-zero on any failure.
+#
+# Usage:
+#   scripts/ci.sh            # full lane: build everything, run all tests
+#   scripts/ci.sh --smoke    # fast lane: unit-labeled tests only
+#
+# Environment:
+#   BUILD_DIR   build directory (default: build)
+#   BUILD_TYPE  CMake build type (default: Release)
+#   JOBS        parallelism (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+BUILD_TYPE=${BUILD_TYPE:-Release}
+JOBS=${JOBS:-$(nproc)}
+
+CTEST_ARGS=(--output-on-failure -j "${JOBS}")
+if [[ "${1:-}" == "--smoke" ]]; then
+  CTEST_ARGS+=(-L unit)
+fi
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" "${CTEST_ARGS[@]}"
