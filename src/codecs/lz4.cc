@@ -161,7 +161,9 @@ Status Lz4Codec::Decompress(ByteSpan input, size_t decompressed_size,
     if (spos + lit_len > n || dpos + lit_len > decompressed_size) {
       return Status::Corruption("lz4: literal run out of bounds");
     }
-    std::memcpy(dst + dpos, src + spos, lit_len);
+    if (lit_len > 0) {  // dst may be null for a zero-size output
+      std::memcpy(dst + dpos, src + spos, lit_len);
+    }
     spos += lit_len;
     dpos += lit_len;
     if (spos >= n) break;  // final literals-only sequence

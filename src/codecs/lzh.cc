@@ -197,7 +197,9 @@ Status LzhCodec::Decompress(ByteSpan input, Buffer* out) {
   if (dpos + tail != orig) {
     return Status::Corruption("lzh: size mismatch");
   }
-  std::memcpy(dst + dpos, literals.data() + lit_pos, tail);
+  if (tail > 0) {  // dst/literals may be null for a zero-size payload
+    std::memcpy(dst + dpos, literals.data() + lit_pos, tail);
+  }
   return Status::OK();
 }
 

@@ -313,7 +313,9 @@ Status NvBitcompSimCompressor::Decompress(ByteSpan input,
   if (off + tail > input.size()) {
     return Status::Corruption("bitcomp: truncated tail");
   }
-  std::memcpy(dst + n_elems * esize, input.data() + off, tail);
+  if (tail > 0) {  // dst may be null for a zero-size output
+    std::memcpy(dst + n_elems * esize, input.data() + off, tail);
+  }
 
   timing_.h2d_seconds = device_.ModelTransferSeconds(input.size());
   timing_.kernel_seconds = device_.ModelKernelSeconds(stats);

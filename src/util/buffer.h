@@ -69,6 +69,7 @@ class Buffer {
 
   /// Appends raw bytes.
   void Append(const void* src, size_t n) {
+    if (n == 0) return;  // memcpy with a null src/dst is UB even for n==0
     size_t old = size_;
     Resize(old + n);
     std::memcpy(data_ + old, src, n);

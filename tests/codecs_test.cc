@@ -113,7 +113,9 @@ TEST_P(CodecRoundTrip, Lz4) {
   ASSERT_TRUE(Lz4FrameDecompress(comp.span(), &decomp).ok())
       << PatternName(pattern) << " size=" << size;
   ASSERT_EQ(decomp.size(), input.size());
-  EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  if (!input.empty()) {  // memcmp with null pointers is UB even for n==0
+    EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  }
 }
 
 TEST_P(CodecRoundTrip, Lz4ChainedMatcher) {
@@ -125,7 +127,9 @@ TEST_P(CodecRoundTrip, Lz4ChainedMatcher) {
   Buffer decomp;
   ASSERT_TRUE(codec.Decompress(comp.span(), input.size(), &decomp).ok());
   ASSERT_EQ(decomp.size(), input.size());
-  EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  if (!input.empty()) {  // memcmp with null pointers is UB even for n==0
+    EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  }
 }
 
 TEST_P(CodecRoundTrip, Huffman) {
@@ -138,7 +142,9 @@ TEST_P(CodecRoundTrip, Huffman) {
   ASSERT_TRUE(HuffmanCodec::Decompress(comp.span(), &consumed, &decomp).ok());
   EXPECT_EQ(consumed, comp.size());
   ASSERT_EQ(decomp.size(), input.size());
-  EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  if (!input.empty()) {  // memcmp with null pointers is UB even for n==0
+    EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  }
 }
 
 TEST_P(CodecRoundTrip, Lzh) {
@@ -149,7 +155,9 @@ TEST_P(CodecRoundTrip, Lzh) {
   Buffer decomp;
   ASSERT_TRUE(LzhCodec::Decompress(comp.span(), &decomp).ok());
   ASSERT_EQ(decomp.size(), input.size());
-  EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  if (!input.empty()) {  // memcmp with null pointers is UB even for n==0
+    EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  }
 }
 
 TEST_P(CodecRoundTrip, Fse) {
@@ -163,7 +171,9 @@ TEST_P(CodecRoundTrip, Fse) {
       << PatternName(pattern) << " size=" << size;
   EXPECT_EQ(consumed, comp.size());
   ASSERT_EQ(decomp.size(), input.size());
-  EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  if (!input.empty()) {  // memcmp with null pointers is UB even for n==0
+    EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  }
 }
 
 TEST_P(CodecRoundTrip, LzhHuffmanBackend) {
@@ -175,7 +185,9 @@ TEST_P(CodecRoundTrip, LzhHuffmanBackend) {
   Buffer decomp;
   ASSERT_TRUE(LzhCodec::Decompress(comp.span(), &decomp).ok());
   ASSERT_EQ(decomp.size(), input.size());
-  EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  if (!input.empty()) {  // memcmp with null pointers is UB even for n==0
+    EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -186,9 +198,9 @@ INSTANTIATE_TEST_SUITE_P(
                           Pattern::kRandom, Pattern::kTextLike,
                           Pattern::kFloatLike),
         ::testing::Values(size_t(64), size_t(4096), size_t(100000))),
-    [](const auto& info) {
-      return PatternName(std::get<0>(info.param)) + "_" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return PatternName(std::get<0>(param_info.param)) + "_" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(Lz4Test, CompressesRepetitiveData) {
@@ -217,7 +229,9 @@ TEST(Lz4Test, RejectsCorruptOffset) {
     auto st = Lz4FrameDecompress(copy.span(), &decomp);
     // Either failure, or success producing the right size. We only require
     // memory safety plus size discipline.
-    if (st.ok()) EXPECT_EQ(decomp.size(), input.size());
+    if (st.ok()) {
+      EXPECT_EQ(decomp.size(), input.size());
+    }
   }
 }
 
@@ -413,7 +427,9 @@ TEST(FseTest, SingleSymbolUsesRleMode) {
   size_t consumed = 0;
   ASSERT_TRUE(FseCodec::Decompress(comp.span(), &consumed, &decomp).ok());
   ASSERT_EQ(decomp.size(), input.size());
-  EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  if (!input.empty()) {  // memcmp with null pointers is UB even for n==0
+    EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  }
 }
 
 TEST(FseTest, RandomDataFallsBackToRaw) {
@@ -509,7 +525,9 @@ TEST(RleTest, RoundTripAndRatioOnRuns) {
   ASSERT_TRUE(RleCodec::Decompress(comp.span(), &consumed, &decomp).ok());
   EXPECT_EQ(consumed, comp.size());
   ASSERT_EQ(decomp.size(), input.size());
-  EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  if (!input.empty()) {  // memcmp with null pointers is UB even for n==0
+    EXPECT_EQ(std::memcmp(decomp.data(), input.data(), input.size()), 0);
+  }
 }
 
 TEST(RleTest, CorruptRunRejected) {
