@@ -192,8 +192,12 @@ void TimestampCodec::Compress(const std::vector<int64_t>& timestamps,
   int64_t prev = 0;
   int64_t prev_delta = 0;
   for (size_t i = 0; i < n; ++i) {
-    int64_t delta = timestamps[i] - prev;
-    dod[i] = ZigZagEncode(delta - prev_delta);
+    // Wrapping subtraction via uint64: arbitrary int64 timestamps may
+    // overflow a signed delta, which is UB; the decoder wraps back.
+    int64_t delta = static_cast<int64_t>(static_cast<uint64_t>(timestamps[i]) -
+                                         static_cast<uint64_t>(prev));
+    dod[i] = ZigZagEncode(static_cast<int64_t>(
+        static_cast<uint64_t>(delta) - static_cast<uint64_t>(prev_delta)));
     prev_delta = delta;
     prev = timestamps[i];
   }
@@ -209,8 +213,12 @@ Status TimestampCodec::Decompress(ByteSpan input, size_t* consumed,
   int64_t prev = 0;
   int64_t prev_delta = 0;
   for (uint64_t z : dod) {
-    int64_t delta = prev_delta + ZigZagDecode(z);
-    prev += delta;
+    // Wrapping addition mirrors the encoder's wrapping subtraction.
+    int64_t delta = static_cast<int64_t>(
+        static_cast<uint64_t>(prev_delta) +
+        static_cast<uint64_t>(ZigZagDecode(z)));
+    prev = static_cast<int64_t>(static_cast<uint64_t>(prev) +
+                                static_cast<uint64_t>(delta));
     timestamps->push_back(prev);
     prev_delta = delta;
   }
