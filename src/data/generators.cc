@@ -72,7 +72,7 @@ uint64_t NumElements(const std::vector<uint64_t>& ext) {
 
 // --- generator kernels ------------------------------------------------------
 
-void GenSmoothOrNoisy(const DatasetInfo& info,
+void GenSmoothOrNoisy(const DatasetInfo& /*info*/,
                       const std::vector<uint64_t>& ext, double noise,
                       Rng& rng, ElementWriter& w) {
   // Up to 3 spatial dims padded to 3.

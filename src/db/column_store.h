@@ -32,7 +32,7 @@ class ColumnStore {
     /// Decimal digits for BUFF's lossless bound; 0 = full precision.
     int precision_digits = 0;
     /// Values, converted to the column dtype on write.
-    std::vector<double> values;
+    std::vector<double> values = {};
   };
 
   /// Read-side timing, aggregated over the touched columns.

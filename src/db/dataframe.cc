@@ -7,7 +7,6 @@
 namespace fcbench::db {
 
 Result<DataFrame> DataFrame::FromBytes(ByteSpan data, const DataDesc& desc) {
-  const size_t esize = DTypeSize(desc.dtype);
   if (data.size() != desc.num_bytes()) {
     return Status::InvalidArgument("dataframe: size mismatch");
   }
@@ -21,7 +20,11 @@ Result<DataFrame> DataFrame::FromBytes(ByteSpan data, const DataDesc& desc) {
   df.rows_ = rows;
   df.columns_.assign(cols, {});
   for (size_t c = 0; c < cols; ++c) {
-    df.names_.push_back("c" + std::to_string(c));
+    // Built via += rather than operator+ to dodge GCC 12's -Wrestrict
+    // false positive on inlined string concatenation (GCC PR105651).
+    std::string col_name = "c";
+    col_name += std::to_string(c);
+    df.names_.push_back(std::move(col_name));
     df.columns_[c].resize(rows);
   }
   // Row-major on disk -> column vectors in memory.

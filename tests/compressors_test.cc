@@ -184,10 +184,10 @@ INSTANTIATE_TEST_SUITE_P(
                                          DataKind::kConstant,
                                          DataKind::kTinyOdd),
                        ::testing::Bool()),
-    [](const auto& info) {
-      return std::string(AllMethods()[std::get<0>(info.param)].name) + "_" +
-             KindName(std::get<1>(info.param)) +
-             (std::get<2>(info.param) ? "_f64" : "_f32");
+    [](const auto& param_info) {
+      return std::string(AllMethods()[std::get<0>(param_info.param)].name) + "_" +
+             KindName(std::get<1>(param_info.param)) +
+             (std::get<2>(param_info.param) ? "_f64" : "_f32");
     });
 
 // ---------------------------------------------------------------------------

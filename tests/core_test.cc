@@ -213,6 +213,13 @@ TEST(NnCoderTest, CompressesSkewedBytes) {
 TEST(NnCoderTest, OrdersOfMagnitudeSlowerThanFastMethods) {
   // The §4.5 finding: NN-based compression is impractical. Compare coder
   // throughput on the same buffer against bitshuffle_lz4.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "timing ratios are meaningless under sanitizers";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  GTEST_SKIP() << "timing ratios are meaningless under sanitizers";
+#endif
+#endif
   auto ds = data::GenerateDataset(*data::FindDataset("citytemp"), 128 << 10);
   ASSERT_TRUE(ds.ok());
   BenchmarkRunner::Options opt;

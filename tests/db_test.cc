@@ -56,9 +56,9 @@ INSTANTIATE_TEST_SUITE_P(
                           "nv_bitcomp"),
         ::testing::Values(size_t(4) << 10, size_t(64) << 10,
                           size_t(8) << 20)),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param)) + "_" +
-             std::to_string(std::get<1>(info.param) >> 10) + "K";
+    [](const auto& param_info) {
+      return std::string(std::get<0>(param_info.param)) + "_" +
+             std::to_string(std::get<1>(param_info.param) >> 10) + "K";
     });
 
 TEST(PagedFileTest, StoresDescMetadata) {

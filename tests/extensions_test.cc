@@ -64,8 +64,8 @@ TEST_P(FpzipLossy, ErrorBoundedAndIdempotent) {
 
 INSTANTIATE_TEST_SUITE_P(PrecisionSweep, FpzipLossy,
                          ::testing::Values(16, 20, 24, 28),
-                         [](const auto& info) {
-                           return "bits" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "bits" + std::to_string(param_info.param);
                          });
 
 TEST(FpzipLossyTest, RatioImprovesMonotonicallyWithTruncation) {
@@ -122,8 +122,8 @@ TEST_P(BuffTable2, EveryPrecisionRoundTripsItsOwnData) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllDigits, BuffTable2, ::testing::Range(1, 11),
-                         [](const auto& info) {
-                           return "digits" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "digits" + std::to_string(param_info.param);
                          });
 
 TEST(BuffTable2Test, FractionBitsMatchPaperTable2) {
@@ -163,8 +163,8 @@ INSTANTIATE_TEST_SUITE_P(OddSizes, PageSizeProperty,
                          ::testing::Values(size_t(1), size_t(7),
                                            size_t(100), size_t(4096),
                                            size_t(10000), size_t(1) << 20),
-                         [](const auto& info) {
-                           return "page" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "page" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -153,9 +153,9 @@ TEST_P(GpuRoundTrip, BitExact) {
 INSTANTIATE_TEST_SUITE_P(
     AllGpuMethods, GpuRoundTrip,
     ::testing::Combine(::testing::Range(0, 5), ::testing::Bool()),
-    [](const auto& info) {
-      return std::string(GpuMethods()[std::get<0>(info.param)].name) +
-             (std::get<1>(info.param) ? "_f64" : "_f32");
+    [](const auto& param_info) {
+      return std::string(GpuMethods()[std::get<0>(param_info.param)].name) +
+             (std::get<1>(param_info.param) ? "_f64" : "_f32");
     });
 
 TEST(GpuRoundTripOdd, NonChunkMultipleSizes) {

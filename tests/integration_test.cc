@@ -105,9 +105,9 @@ INSTANTIATE_TEST_SUITE_P(
     Table4Grid, GridRoundTrip,
     ::testing::Combine(::testing::ValuesIn(GridMethods()),
                        ::testing::ValuesIn(GridDatasets())),
-    [](const auto& info) {
+    [](const auto& param_info) {
       std::string name =
-          std::get<0>(info.param) + "__" + std::get<1>(info.param);
+          std::get<0>(param_info.param) + "__" + std::get<1>(param_info.param);
       for (auto& c : name) {
         if (c == '-') c = '_';
       }

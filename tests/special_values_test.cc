@@ -145,10 +145,10 @@ INSTANTIATE_TEST_SUITE_P(
             SpecialPattern::kDenormals, SpecialPattern::kExtremes,
             SpecialPattern::kRandomBits),
         ::testing::Bool()),
-    [](const auto& info) {
-      return std::get<0>(info.param) + "_" +
-             PatternName(std::get<1>(info.param)) +
-             (std::get<2>(info.param) ? "_f64" : "_f32");
+    [](const auto& param_info) {
+      return std::get<0>(param_info.param) + "_" +
+             PatternName(std::get<1>(param_info.param)) +
+             (std::get<2>(param_info.param) ? "_f64" : "_f32");
     });
 
 }  // namespace

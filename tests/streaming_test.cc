@@ -69,7 +69,7 @@ INSTANTIATE_TEST_SUITE_P(
       RegisterAllCompressors();
       return CompressorRegistry::Global().Names();
     }()),
-    [](const auto& info) { return info.param; });
+    [](const auto& param_info) { return param_info.param; });
 
 TEST(StreamingTest, MixedDtypesInOneStream) {
   RegisterAllCompressors();

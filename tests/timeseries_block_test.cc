@@ -42,8 +42,8 @@ TEST_P(TsBlockRoundTrip, ExactForAnyBlockSize) {
 
 INSTANTIATE_TEST_SUITE_P(BlockSizes, TsBlockRoundTrip,
                          ::testing::Values(1, 7, 720, 4096, 100000),
-                         [](const auto& info) {
-                           return "block" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "block" + std::to_string(param_info.param);
                          });
 
 TEST(TsBlockTest, EmptySeries) {

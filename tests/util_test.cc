@@ -370,7 +370,9 @@ TEST(MemTrackerTest, BufferAllocationsTracked) {
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;
   volatile double x = 0;
-  for (int i = 0; i < 100000; ++i) x += i;
+  // Plain assignment, not +=: compound assignment on volatile is deprecated
+  // in C++20.
+  for (int i = 0; i < 100000; ++i) x = x + i;
   EXPECT_GT(t.ElapsedSeconds(), 0.0);
   EXPECT_GT(t.ElapsedNanos(), 0u);
 }
