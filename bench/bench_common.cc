@@ -98,6 +98,42 @@ void Banner(const std::string& experiment, const std::string& paper_ref) {
   std::printf("==============================================================\n");
 }
 
+void JsonReporter::Add(const std::string& method, const std::string& dataset,
+                       double cr, double ct_gbps, double dt_gbps) {
+  rows_.push_back(Row{method, dataset, cr, ct_gbps, dt_gbps});
+}
+
+bool JsonReporter::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonReporter: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    std::fprintf(f,
+                 "  {\"method\": \"%s\", \"dataset\": \"%s\", "
+                 "\"cr\": %.4f, \"ct_gbps\": %.4f, \"dt_gbps\": %.4f}%s\n",
+                 r.method.c_str(), r.dataset.c_str(), r.cr, r.ct_gbps,
+                 r.dt_gbps, i + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  bool ok = std::fclose(f) == 0;
+  if (ok) std::printf("wrote %zu rows to %s\n", rows_.size(), path.c_str());
+  return ok;
+}
+
+std::string JsonOutputPath(int argc, char** argv,
+                           const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") return default_path;
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return "";
+}
+
 double Percentile(std::vector<double> v, double p) {
   if (v.empty()) return 0;
   std::sort(v.begin(), v.end());

@@ -51,6 +51,40 @@ class TablePrinter {
 /// Prints the standard bench banner (binary name + scale knobs).
 void Banner(const std::string& experiment, const std::string& paper_ref);
 
+/// Collects benchmark rows and writes them as a JSON array using the
+/// repo-wide BENCH_*.json schema: one object per row with keys
+///   method (string), dataset (string), cr, ct_gbps, dt_gbps (numbers).
+/// This is how the perf trajectory is recorded: each perf-relevant PR
+/// commits a refreshed BENCH_*.json produced by the touched benches, so
+/// speedups are reviewable artifacts rather than claims.
+class JsonReporter {
+ public:
+  void Add(const std::string& method, const std::string& dataset, double cr,
+           double ct_gbps, double dt_gbps);
+
+  /// Serializes all rows; returns false (and prints to stderr) on I/O
+  /// failure.
+  bool WriteToFile(const std::string& path) const;
+
+  size_t size() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::string method;
+    std::string dataset;
+    double cr;
+    double ct_gbps;
+    double dt_gbps;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Parses a `--json[=path]` flag: returns `default_path` for a bare
+/// `--json`, the given path for `--json=path`, and "" when the flag is
+/// absent (benches then print tables only).
+std::string JsonOutputPath(int argc, char** argv,
+                           const std::string& default_path);
+
 /// Percentile of a sorted copy of `v` (p in [0,100]).
 double Percentile(std::vector<double> v, double p);
 

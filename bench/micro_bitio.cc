@@ -1,0 +1,573 @@
+// Microbenchmark of the bit I/O engine (the substrate under every
+// variable-length coder: Gorilla, Chimp, timestamps, Huffman, FSE, fpzip,
+// bitcomp). Three tiers:
+//
+//   1. Raw field packing: WriteBits/ReadBits over a Gorilla-shaped field
+//      mix, word-at-a-time engine vs the seed one-bit-at-a-time reference
+//      (vendored below, byte-identical output asserted at runtime).
+//   2. Kernel ablation: the same XOR-compression kernels templated over
+//      both engines, isolating the bit I/O contribution to codec speed.
+//   3. End-to-end: the real registered Gorilla / Chimp / timestamp coders.
+//
+// `--json[=path]` records rows in the BENCH_*.json schema (default path
+// BENCH_micro_codecs.json); the committed copy at the repo root is the
+// perf trajectory artifact reviewed in perf PRs. Paper context: CT/DT
+// columns of Tables 5-8 (throughput is FCBench's headline axis).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "compressors/chimp.h"
+#include "compressors/gorilla.h"
+#include "compressors/gorilla_timestamps.h"
+#include "util/bitio.h"
+#include "util/float_bits.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace fcbench::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Seed (pre-refactor) one-bit-at-a-time engine, vendored verbatim as the
+// baseline. Do not "fix" it: its job is to stay slow the way the original
+// was slow.
+// ---------------------------------------------------------------------------
+class RefBitWriter {
+ public:
+  explicit RefBitWriter(Buffer* out) : out_(out) {}
+  void WriteBits(uint64_t value, int nbits) {
+    for (int i = nbits - 1; i >= 0; --i) WriteBit((value >> i) & 1u);
+  }
+  void WriteBit(uint32_t bit) {
+    acc_ = static_cast<uint8_t>((acc_ << 1) | (bit & 1u));
+    if (++nacc_ == 8) {
+      out_->PushBack(acc_);
+      acc_ = 0;
+      nacc_ = 0;
+    }
+  }
+  void Flush() {
+    if (nacc_ > 0) {
+      out_->PushBack(static_cast<uint8_t>(acc_ << (8 - nacc_)));
+      acc_ = 0;
+      nacc_ = 0;
+    }
+  }
+
+ private:
+  Buffer* out_;
+  uint8_t acc_ = 0;
+  int nacc_ = 0;
+};
+
+class RefBitReader {
+ public:
+  explicit RefBitReader(ByteSpan in) : in_(in) {}
+  uint32_t ReadBit() {
+    if (byte_ >= in_.size()) {
+      overrun_ = true;
+      return 0;
+    }
+    uint32_t bit = (in_[byte_] >> (7 - nbit_)) & 1u;
+    if (++nbit_ == 8) {
+      nbit_ = 0;
+      ++byte_;
+    }
+    return bit;
+  }
+  uint64_t ReadBits(int nbits) {
+    uint64_t v = 0;
+    for (int i = 0; i < nbits; ++i) v = (v << 1) | ReadBit();
+    return v;
+  }
+  bool overrun() const { return overrun_; }
+
+ private:
+  ByteSpan in_;
+  size_t byte_ = 0;
+  int nbit_ = 0;
+  bool overrun_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Data: random walks shaped like sensor series (libm-free, reproducible).
+// ---------------------------------------------------------------------------
+std::vector<double> WalkF64(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 100.0;
+  for (size_t i = 0; i < n; ++i) {
+    x += rng.Uniform(-0.25, 0.25);
+    if (i % 64 == 0) x += rng.Uniform(0.0, 8.0);
+    v[i] = x;
+  }
+  return v;
+}
+
+std::vector<int64_t> StampsMs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> v(n);
+  int64_t t = 1600000000000;
+  for (size_t i = 0; i < n; ++i) {
+    t += 1000 + static_cast<int64_t>(rng.UniformInt(7)) - 3;
+    v[i] = t;
+  }
+  return v;
+}
+
+/// Gorilla-shaped field schedule: mostly short control codes plus
+/// medium-width residuals, the mix every XOR coder feeds the bit engine.
+struct Field {
+  uint64_t value;
+  int nbits;
+};
+
+std::vector<Field> FieldMix(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Field> f(n);
+  for (size_t i = 0; i < n; ++i) {
+    int w;
+    switch (rng.UniformInt(8)) {
+      case 0:
+      case 1:
+      case 2:
+        w = 1;  // zero-XOR control bit
+        break;
+      case 3:
+      case 4:
+        w = 2;  // two-bit flags
+        break;
+      case 5:
+        w = 13;  // fused window header
+        break;
+      default:
+        w = 10 + static_cast<int>(rng.UniformInt(45));  // residual
+        break;
+    }
+    f[i] = {rng.Next() & ((w == 64) ? ~0ull : ((uint64_t(1) << w) - 1)), w};
+  }
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Tier 2: the Gorilla XOR kernel templated over the engine. Logic mirrors
+// compressors/gorilla.cc (which asserts byte-identity against the seed
+// format in tests/wire_format_test.cc); here both instantiations must
+// produce identical streams too, checked at startup.
+// ---------------------------------------------------------------------------
+template <typename Writer>
+void KernelGorillaEncode(const std::vector<double>& vals, Buffer* out) {
+  Writer bw(out);
+  uint64_t prev = 0;
+  int prev_lead = -1, prev_trail = -1;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    uint64_t v;
+    std::memcpy(&v, &vals[i], 8);
+    if (i == 0) {
+      bw.WriteBits(v, 64);
+      prev = v;
+      continue;
+    }
+    uint64_t x = v ^ prev;
+    prev = v;
+    if (x == 0) {
+      bw.WriteBit(0);
+      continue;
+    }
+    int lead = LeadingZeros64(x);
+    int trail = TrailingZeros64(x);
+    if (lead > 31) lead = 31;
+    if (prev_lead >= 0 && lead >= prev_lead && trail >= prev_trail) {
+      int sig = 64 - prev_lead - prev_trail;
+      bw.WriteBits(0b10, 2);
+      bw.WriteBits(x >> prev_trail, sig);
+    } else {
+      int sig = 64 - lead - trail;
+      bw.WriteBits(0b11, 2);
+      bw.WriteBits(static_cast<uint64_t>(lead), 5);
+      bw.WriteBits(static_cast<uint64_t>(sig - 1), 6);
+      bw.WriteBits(x >> trail, sig);
+      prev_lead = lead;
+      prev_trail = trail;
+    }
+  }
+  bw.Flush();
+}
+
+template <typename Reader>
+bool KernelGorillaDecode(ByteSpan in, size_t n, std::vector<double>* out) {
+  Reader br(in);
+  out->resize(n);
+  uint64_t prev = 0;
+  int prev_lead = -1, prev_trail = -1;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v;
+    if (i == 0) {
+      v = br.ReadBits(64);
+    } else if (br.ReadBit() == 0) {
+      v = prev;
+    } else if (br.ReadBit() == 0) {
+      int sig = 64 - prev_lead - prev_trail;
+      v = prev ^ (br.ReadBits(sig) << prev_trail);
+    } else {
+      int lead = static_cast<int>(br.ReadBits(5));
+      int sig = static_cast<int>(br.ReadBits(6)) + 1;
+      int trail = 64 - lead - sig;
+      if (trail < 0) return false;
+      v = prev ^ (br.ReadBits(sig) << trail);
+      prev_lead = lead;
+      prev_trail = trail;
+    }
+    if (br.overrun()) return false;
+    prev = v;
+    std::memcpy(&(*out)[i], &v, 8);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Tier 2b: the Chimp128 kernel (64-bit path) templated over the engine,
+// mirroring compressors/chimp.cc.
+// ---------------------------------------------------------------------------
+constexpr int kChimpPrev = 128;
+constexpr int kChimpKeyBits = 14;
+constexpr size_t kChimpKeySize = size_t(1) << kChimpKeyBits;
+constexpr int kChimpLeadRound[] = {0, 8, 12, 16, 18, 20, 22, 24};
+
+int ChimpLeadCode(int lead) {
+  int code = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (kChimpLeadRound[i] <= lead) code = i;
+  }
+  return code;
+}
+
+struct ChimpWindow {
+  std::vector<uint64_t> stored = std::vector<uint64_t>(kChimpPrev, 0);
+  std::vector<int64_t> key_to_pos = std::vector<int64_t>(kChimpKeySize, -1);
+  int64_t count = 0;
+  void Push(uint64_t v) {
+    stored[count % kChimpPrev] = v;
+    key_to_pos[static_cast<size_t>(v) & (kChimpKeySize - 1)] = count;
+    ++count;
+  }
+  int Find(uint64_t v) const {
+    int64_t pos = key_to_pos[static_cast<size_t>(v) & (kChimpKeySize - 1)];
+    if (pos < 0 || count - pos >= kChimpPrev) return -1;
+    return static_cast<int>(pos % kChimpPrev);
+  }
+};
+
+template <typename Writer>
+void KernelChimpEncode(const std::vector<double>& vals, Buffer* out) {
+  Writer bw(out);
+  ChimpWindow state;
+  uint64_t prev = 0;
+  int prev_lead_code = 0;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    uint64_t v;
+    std::memcpy(&v, &vals[i], 8);
+    if (i == 0) {
+      bw.WriteBits(v, 64);
+      state.Push(v);
+      prev = v;
+      continue;
+    }
+    int cand = state.Find(v);
+    uint64_t xc = (cand >= 0) ? (v ^ state.stored[cand]) : ~uint64_t(0);
+    int trail = TrailingZeros64(xc);
+    if (cand >= 0 && xc == 0) {
+      bw.WriteBits(0b00, 2);
+      bw.WriteBits(static_cast<uint64_t>(cand), 7);
+    } else if (cand >= 0 && trail > 6) {
+      int lead_code = ChimpLeadCode(LeadingZeros64(xc));
+      int sig = 64 - kChimpLeadRound[lead_code] - trail;
+      bw.WriteBits(0b01, 2);
+      bw.WriteBits(static_cast<uint64_t>(cand), 7);
+      bw.WriteBits(static_cast<uint64_t>(lead_code), 3);
+      bw.WriteBits(static_cast<uint64_t>(sig - 1), 6);
+      bw.WriteBits(xc >> trail, sig);
+    } else {
+      uint64_t x = v ^ prev;
+      int lead_code = ChimpLeadCode(LeadingZeros64(x));
+      if (x != 0 && lead_code == prev_lead_code) {
+        bw.WriteBits(0b10, 2);
+        bw.WriteBits(x, 64 - kChimpLeadRound[lead_code]);
+      } else {
+        if (x == 0) lead_code = 7;
+        bw.WriteBits(0b11, 2);
+        bw.WriteBits(static_cast<uint64_t>(lead_code), 3);
+        bw.WriteBits(x, 64 - kChimpLeadRound[lead_code]);
+        prev_lead_code = lead_code;
+      }
+    }
+    state.Push(v);
+    prev = v;
+  }
+  bw.Flush();
+}
+
+template <typename Reader>
+bool KernelChimpDecode(ByteSpan in, size_t n, std::vector<double>* out) {
+  Reader br(in);
+  ChimpWindow state;
+  out->resize(n);
+  uint64_t prev = 0;
+  int prev_lead_code = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v;
+    if (i == 0) {
+      v = br.ReadBits(64);
+    } else {
+      switch (br.ReadBits(2)) {
+        case 0b00:
+          v = state.stored[br.ReadBits(7)];
+          break;
+        case 0b01: {
+          int idx = static_cast<int>(br.ReadBits(7));
+          int lead_code = static_cast<int>(br.ReadBits(3));
+          int sig = static_cast<int>(br.ReadBits(6)) + 1;
+          int trail = 64 - kChimpLeadRound[lead_code] - sig;
+          if (trail < 0) return false;
+          v = state.stored[idx] ^ (br.ReadBits(sig) << trail);
+          break;
+        }
+        case 0b10:
+          v = prev ^ br.ReadBits(64 - kChimpLeadRound[prev_lead_code]);
+          break;
+        default: {
+          int lead_code = static_cast<int>(br.ReadBits(3));
+          v = prev ^ br.ReadBits(64 - kChimpLeadRound[lead_code]);
+          prev_lead_code = lead_code;
+          break;
+        }
+      }
+    }
+    if (br.overrun()) return false;
+    state.Push(v);
+    prev = v;
+    std::memcpy(&(*out)[i], &v, 8);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Measurement helpers.
+// ---------------------------------------------------------------------------
+double BestGbps(uint64_t bytes, int repeats, const auto& fn) {
+  double best = 0;
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+    fn();
+    best = std::max(best, ThroughputGBps(bytes, t.ElapsedSeconds()));
+  }
+  return best;
+}
+
+double RoundTripGbps(double ct, double dt) {
+  if (ct <= 0 || dt <= 0) return 0;
+  return 1.0 / (1.0 / ct + 1.0 / dt);  // harmonic: one byte through both
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  Banner("micro_bitio (bit I/O engine)", "Tables 5-8 CT/DT substrate");
+  std::string json_path = JsonOutputPath(argc, argv, "BENCH_micro_codecs.json");
+  JsonReporter report;
+  const int repeats = BenchRepeats(5);
+  const size_t n = BenchBytes() / 8;  // elements per series
+
+  TablePrinter table({"bench", "cr", "ct_gbps", "dt_gbps", "rt_gbps"}, 12, 26);
+
+  // Tier 1: raw field packing, both engines, identical schedules.
+  {
+    auto fields = FieldMix(n, 0x0B17);
+    uint64_t payload_bits = 0;
+    for (const auto& f : fields) payload_bits += f.nbits;
+    uint64_t bytes = payload_bits / 8;
+
+    Buffer ref_stream, word_stream;
+    double ref_ct = BestGbps(bytes, repeats, [&] {
+      ref_stream.Clear();
+      RefBitWriter bw(&ref_stream);
+      for (const auto& f : fields) bw.WriteBits(f.value, f.nbits);
+      bw.Flush();
+    });
+    double word_ct = BestGbps(bytes, repeats, [&] {
+      word_stream.Clear();
+      BitWriter bw(&word_stream);
+      for (const auto& f : fields) bw.WriteBits(f.value, f.nbits);
+      bw.Flush();
+    });
+    if (ref_stream.size() != word_stream.size() ||
+        std::memcmp(ref_stream.data(), word_stream.data(),
+                    ref_stream.size()) != 0) {
+      std::fprintf(stderr, "FATAL: engines produced different streams\n");
+      return 1;
+    }
+    uint64_t sink = 0;
+    double ref_dt = BestGbps(bytes, repeats, [&] {
+      RefBitReader br(ref_stream.span());
+      for (const auto& f : fields) sink ^= br.ReadBits(f.nbits);
+    });
+    double word_dt = BestGbps(bytes, repeats, [&] {
+      BitReader br(word_stream.span());
+      for (const auto& f : fields) sink ^= br.ReadBits(f.nbits);
+    });
+    if (sink == 0xdeadbeef) std::printf(" ");  // keep reads alive
+    report.Add("bitio_ref", "field_mix", 1.0, ref_ct, ref_dt);
+    report.Add("bitio_word", "field_mix", 1.0, word_ct, word_dt);
+    table.AddRow({"bitio_ref(field_mix)", "-", TablePrinter::Fmt(ref_ct),
+                  TablePrinter::Fmt(ref_dt),
+                  TablePrinter::Fmt(RoundTripGbps(ref_ct, ref_dt))});
+    table.AddRow({"bitio_word(field_mix)", "-", TablePrinter::Fmt(word_ct),
+                  TablePrinter::Fmt(word_dt),
+                  TablePrinter::Fmt(RoundTripGbps(word_ct, word_dt))});
+  }
+
+  // Tier 2: identical Gorilla kernel over both engines.
+  double ablation_speedup = 0;
+  {
+    auto vals = WalkF64(n, 0xBEEF);
+    uint64_t bytes = vals.size() * 8;
+    Buffer ref_stream, word_stream;
+    double ref_ct = BestGbps(bytes, repeats, [&] {
+      ref_stream.Clear();
+      KernelGorillaEncode<RefBitWriter>(vals, &ref_stream);
+    });
+    double word_ct = BestGbps(bytes, repeats, [&] {
+      word_stream.Clear();
+      KernelGorillaEncode<BitWriter>(vals, &word_stream);
+    });
+    if (ref_stream.size() != word_stream.size() ||
+        std::memcmp(ref_stream.data(), word_stream.data(),
+                    ref_stream.size()) != 0) {
+      std::fprintf(stderr, "FATAL: gorilla kernel streams diverged\n");
+      return 1;
+    }
+    std::vector<double> out;
+    double ref_dt = BestGbps(bytes, repeats, [&] {
+      KernelGorillaDecode<RefBitReader>(ref_stream.span(), vals.size(), &out);
+    });
+    double word_dt = BestGbps(bytes, repeats, [&] {
+      KernelGorillaDecode<BitReader>(word_stream.span(), vals.size(), &out);
+    });
+    double cr = static_cast<double>(bytes) / ref_stream.size();
+    report.Add("gorilla_kernel_ref", "walk_f64", cr, ref_ct, ref_dt);
+    report.Add("gorilla_kernel_word", "walk_f64", cr, word_ct, word_dt);
+    ablation_speedup = RoundTripGbps(word_ct, word_dt) /
+                       RoundTripGbps(ref_ct, ref_dt);
+    table.AddRow({"gorilla_kernel_ref", TablePrinter::Fmt(cr),
+                  TablePrinter::Fmt(ref_ct), TablePrinter::Fmt(ref_dt),
+                  TablePrinter::Fmt(RoundTripGbps(ref_ct, ref_dt))});
+    table.AddRow({"gorilla_kernel_word", TablePrinter::Fmt(cr),
+                  TablePrinter::Fmt(word_ct), TablePrinter::Fmt(word_dt),
+                  TablePrinter::Fmt(RoundTripGbps(word_ct, word_dt))});
+  }
+
+  // Tier 2b: identical Chimp128 kernel over both engines.
+  double chimp_speedup = 0;
+  {
+    auto vals = WalkF64(n, 0xBEEF);
+    uint64_t bytes = vals.size() * 8;
+    Buffer ref_stream, word_stream;
+    double ref_ct = BestGbps(bytes, repeats, [&] {
+      ref_stream.Clear();
+      KernelChimpEncode<RefBitWriter>(vals, &ref_stream);
+    });
+    double word_ct = BestGbps(bytes, repeats, [&] {
+      word_stream.Clear();
+      KernelChimpEncode<BitWriter>(vals, &word_stream);
+    });
+    if (ref_stream.size() != word_stream.size() ||
+        std::memcmp(ref_stream.data(), word_stream.data(),
+                    ref_stream.size()) != 0) {
+      std::fprintf(stderr, "FATAL: chimp kernel streams diverged\n");
+      return 1;
+    }
+    std::vector<double> out;
+    double ref_dt = BestGbps(bytes, repeats, [&] {
+      KernelChimpDecode<RefBitReader>(ref_stream.span(), vals.size(), &out);
+    });
+    double word_dt = BestGbps(bytes, repeats, [&] {
+      KernelChimpDecode<BitReader>(word_stream.span(), vals.size(), &out);
+    });
+    double cr = static_cast<double>(bytes) / ref_stream.size();
+    report.Add("chimp_kernel_ref", "walk_f64", cr, ref_ct, ref_dt);
+    report.Add("chimp_kernel_word", "walk_f64", cr, word_ct, word_dt);
+    chimp_speedup = RoundTripGbps(word_ct, word_dt) /
+                    RoundTripGbps(ref_ct, ref_dt);
+    table.AddRow({"chimp_kernel_ref", TablePrinter::Fmt(cr),
+                  TablePrinter::Fmt(ref_ct), TablePrinter::Fmt(ref_dt),
+                  TablePrinter::Fmt(RoundTripGbps(ref_ct, ref_dt))});
+    table.AddRow({"chimp_kernel_word", TablePrinter::Fmt(cr),
+                  TablePrinter::Fmt(word_ct), TablePrinter::Fmt(word_dt),
+                  TablePrinter::Fmt(RoundTripGbps(word_ct, word_dt))});
+  }
+
+  // Tier 3: the real registered coders end to end.
+  auto bench_compressor = [&](const char* name, auto& comp, DType dtype,
+                              const auto& vals) {
+    DataDesc desc = DataDesc::Make(dtype, {vals.size()});
+    uint64_t bytes = vals.size() * DTypeSize(dtype);
+    Buffer compressed;
+    double ct = BestGbps(bytes, repeats, [&] {
+      compressed.Clear();
+      comp.Compress(AsBytes(vals), desc, &compressed);
+    });
+    Buffer out;
+    double dt = BestGbps(bytes, repeats, [&] {
+      out.Clear();
+      comp.Decompress(compressed.span(), desc, &out);
+    });
+    double cr = static_cast<double>(bytes) / compressed.size();
+    report.Add(name, "walk_f64", cr, ct, dt);
+    table.AddRow({name, TablePrinter::Fmt(cr), TablePrinter::Fmt(ct),
+                  TablePrinter::Fmt(dt),
+                  TablePrinter::Fmt(RoundTripGbps(ct, dt))});
+  };
+  {
+    auto vals = WalkF64(n, 0xBEEF);
+    CompressorConfig cfg;
+    compressors::GorillaCompressor gorilla(cfg);
+    compressors::ChimpCompressor chimp(cfg);
+    bench_compressor("gorilla", gorilla, DType::kFloat64, vals);
+    bench_compressor("chimp128", chimp, DType::kFloat64, vals);
+  }
+  {
+    auto ts = StampsMs(n, 0x7157);
+    uint64_t bytes = ts.size() * 8;
+    Buffer compressed;
+    double ct = BestGbps(bytes, repeats, [&] {
+      compressed.Clear();
+      compressors::GorillaTimestampCodec::Compress(ts, &compressed);
+    });
+    double dt = BestGbps(bytes, repeats, [&] {
+      auto got = compressors::GorillaTimestampCodec::Decompress(
+          compressed.span(), ts.size());
+      if (!got.ok()) std::abort();
+    });
+    double cr = static_cast<double>(bytes) / compressed.size();
+    report.Add("gorilla_ts", "stamps_ms", cr, ct, dt);
+    table.AddRow({"gorilla_ts", TablePrinter::Fmt(cr), TablePrinter::Fmt(ct),
+                  TablePrinter::Fmt(dt),
+                  TablePrinter::Fmt(RoundTripGbps(ct, dt))});
+  }
+
+  table.Print();
+  std::printf("\nround-trip speedup, word vs seed bit-at-a-time engine: "
+              "gorilla %.2fx, chimp %.2fx\n",
+              ablation_speedup, chimp_speedup);
+  if (!json_path.empty() && !report.WriteToFile(json_path)) return 1;
+  return 0;
+}
+
+}  // namespace fcbench::bench
+
+int main(int argc, char** argv) { return fcbench::bench::Main(argc, argv); }

@@ -2,8 +2,13 @@
 # Configure + build + test, exiting non-zero on any failure.
 #
 # Usage:
-#   scripts/ci.sh            # full lane: build everything, run all tests
-#   scripts/ci.sh --smoke    # fast lane: unit-labeled tests only
+#   scripts/ci.sh               # full lane: build everything, run all tests
+#   scripts/ci.sh --smoke       # fast lane: unit-labeled tests only
+#   scripts/ci.sh --perf-smoke  # perf lane: Release build, run micro_bitio
+#                               # (+ a reduced micro_codecs pass when built)
+#                               # and write BENCH_*.json artifacts; no
+#                               # thresholds are enforced — the JSON records
+#                               # the perf trajectory only
 #
 # Environment:
 #   BUILD_DIR   build directory (default: build)
@@ -17,6 +22,35 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 BUILD_TYPE=${BUILD_TYPE:-Release}
 JOBS=${JOBS:-$(nproc)}
+
+if [[ "${1:-}" == "--perf-smoke" ]]; then
+  # Throughput numbers are meaningless under sanitizers; refuse to record
+  # them into the trajectory.
+  if [[ "${CXXFLAGS:-}${CFLAGS:-}" == *sanitize* ]]; then
+    echo "perf-smoke: skipped (sanitizer flags detected)"
+    exit 0
+  fi
+  if [[ "${BUILD_TYPE}" != "Release" ]]; then
+    echo "perf-smoke: forcing BUILD_TYPE=Release (was ${BUILD_TYPE})"
+    BUILD_TYPE=Release
+  fi
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE="${BUILD_TYPE}" \
+    -DFCBENCH_BUILD_TESTS=OFF
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_all
+  # Reduced scale keeps the lane fast; the trajectory compares like against
+  # like because the scale knobs are recorded in the bench banner.
+  FCBENCH_BENCH_BYTES=${FCBENCH_BENCH_BYTES:-2097152} \
+  FCBENCH_BENCH_REPEATS=${FCBENCH_BENCH_REPEATS:-3} \
+    "${BUILD_DIR}/bench/micro_bitio" --json=BENCH_micro_codecs.json
+  if [[ -x "${BUILD_DIR}/bench/micro_codecs" ]]; then
+    "${BUILD_DIR}/bench/micro_codecs" \
+      --benchmark_filter='BM_(Huffman|Fse|Simple8b|TimestampCodec)' \
+      --benchmark_min_time=0.05
+  else
+    echo "perf-smoke: micro_codecs not built (google-benchmark missing); skipped"
+  fi
+  exit 0
+fi
 
 CTEST_ARGS=(--output-on-failure -j "${JOBS}")
 if [[ "${1:-}" == "--smoke" ]]; then

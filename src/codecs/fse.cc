@@ -210,6 +210,7 @@ void FseCodec::Compress(ByteSpan input, Buffer* out) {
   }
 
   Buffer payload;
+  payload.Reserve(n / 2 + 16);  // ~table_log bits per symbol, typically < 4
   BitWriter writer(&payload);
   writer.WriteBits(state - table_size, table_log);
   for (size_t i = chunks.size(); i-- > 0;) {

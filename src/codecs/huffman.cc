@@ -148,7 +148,10 @@ void HuffmanCodec::Compress(ByteSpan input, Buffer* out) {
   }
   PutVarint64(out, payload_bits);
 
+  // The histogram gives the exact payload size up front, so the hot encode
+  // loop never grows the buffer.
   Buffer payload;
+  payload.Reserve((payload_bits + 7) / 8);
   BitWriter bw(&payload);
   for (uint8_t b : input) bw.WriteBits(codes[b], lengths[b]);
   bw.Flush();

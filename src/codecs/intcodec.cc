@@ -95,6 +95,9 @@ constexpr uint64_t kMax60Bit = (uint64_t(1) << 60) - 1;
 
 void Simple8bCodec::Compress(const std::vector<uint64_t>& values,
                              Buffer* out) {
+  // Each 9-byte word packs at least one value, usually many more; a
+  // byte-per-value reservation covers typical streams without growth.
+  out->Reserve(out->size() + values.size() + 16);
   PutVarint64(out, values.size());
   size_t i = 0;
   const size_t n = values.size();

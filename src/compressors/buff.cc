@@ -140,6 +140,7 @@ Status BuffCompressor::Compress(ByteSpan input, const DataDesc& desc,
   h.frac_bits = static_cast<uint8_t>(FractionBits(h.digits));
   h.int_bits = static_cast<uint8_t>(
       std::min(BitsForRange(mx - mn), 63 - static_cast<int>(h.frac_bits)));
+  out->Reserve(out->size() + 24 + h.value_bytes() * n);  // header + planes
   h.Put(out);
   if (n == 0) return Status::OK();
 

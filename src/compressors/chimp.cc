@@ -58,6 +58,9 @@ void ChimpEncode(const uint8_t* bytes, size_t n, Buffer* out) {
   const int* lead_table =
       (kWidth == 64) ? kLeadingRound64 : kLeadingRound32;
 
+  // ~kWidth+5 bits per value worst case; reserve for the common case so
+  // the hot loop avoids grow-and-memcpy cycles.
+  out->Reserve(out->size() + n * sizeof(W) / 2 + 16);
   BitWriter bw(out);
   ChimpState<W> state;
   W prev = 0;
@@ -82,11 +85,13 @@ void ChimpEncode(const uint8_t* bytes, size_t n, Buffer* out) {
     }
 
     if (cand >= 0 && xor_cand == 0) {
-      // C = 00: exact repeat of a windowed value.
-      bw.WriteBits(0b00, 2);
-      bw.WriteBits(static_cast<uint64_t>(cand), kIndexBits);
+      // C = 00: exact repeat of a windowed value; flag + index in one
+      // 9-bit write.
+      bw.WriteBits(static_cast<uint64_t>(cand), 2 + kIndexBits);
     } else if (cand >= 0 && trail > kTrailThreshold) {
-      // C = 01: windowed reference with enough trailing zeros.
+      // C = 01: windowed reference with enough trailing zeros. The 18
+      // header bits (flag, index, lead code, length) are fused; the
+      // residual rides along too when the total fits one word.
       int lead;
       if constexpr (kWidth == 64) {
         lead = LeadingZeros64(xor_cand);
@@ -96,11 +101,17 @@ void ChimpEncode(const uint8_t* bytes, size_t n, Buffer* out) {
       int lead_code = RoundLeadingCode<kWidth>(lead);
       int lead_rounded = lead_table[lead_code];
       int sig = kWidth - lead_rounded - trail;
-      bw.WriteBits(0b01, 2);
-      bw.WriteBits(static_cast<uint64_t>(cand), kIndexBits);
-      bw.WriteBits(static_cast<uint64_t>(lead_code), 3);
-      bw.WriteBits(static_cast<uint64_t>(sig - 1), 6);
-      bw.WriteBits(static_cast<uint64_t>(xor_cand >> trail), sig);
+      uint64_t hdr = (uint64_t(0b01) << 16) |
+                     (static_cast<uint64_t>(cand) << 9) |
+                     (static_cast<uint64_t>(lead_code) << 6) |
+                     static_cast<uint64_t>(sig - 1);
+      uint64_t payload = static_cast<uint64_t>(xor_cand >> trail);
+      if (sig <= 46) {
+        bw.WriteBits((hdr << sig) | payload, 18 + sig);
+      } else {
+        bw.WriteBits(hdr, 18);
+        bw.WriteBits(payload, sig);
+      }
     } else {
       // Fall back to the immediately previous value, Gorilla-style but with
       // Chimp's shorter codes.
@@ -113,18 +124,29 @@ void ChimpEncode(const uint8_t* bytes, size_t n, Buffer* out) {
       }
       int lead_code = RoundLeadingCode<kWidth>(lead);
       if (x != 0 && lead_code == prev_lead_code) {
-        // C = 10: same rounded leading-zero count as last time.
+        // C = 10: same rounded leading-zero count as last time; fuse flag
+        // and residual when they fit one word.
         int sig = kWidth - lead_table[lead_code];
-        bw.WriteBits(0b10, 2);
-        bw.WriteBits(static_cast<uint64_t>(x), sig);
+        if (sig <= 62) {
+          bw.WriteBits((uint64_t(0b10) << sig) | static_cast<uint64_t>(x),
+                       2 + sig);
+        } else {
+          bw.WriteBits(0b10, 2);
+          bw.WriteBits(static_cast<uint64_t>(x), sig);
+        }
       } else {
         // C = 11: new leading-zero code (x == 0 also lands here with
-        // lead_code = 7 -> sig = kWidth - table[7] bits of zeros).
+        // lead_code = 7 -> sig = kWidth - table[7] bits of zeros). Flag and
+        // lead code fuse into 5 bits, the residual too when it fits.
         if (x == 0) lead_code = 7;
         int sig = kWidth - lead_table[lead_code];
-        bw.WriteBits(0b11, 2);
-        bw.WriteBits(static_cast<uint64_t>(lead_code), 3);
-        bw.WriteBits(static_cast<uint64_t>(x), sig);
+        uint64_t hdr = (uint64_t(0b11) << 3) | static_cast<uint64_t>(lead_code);
+        if (sig <= 59) {
+          bw.WriteBits((hdr << sig) | static_cast<uint64_t>(x), 5 + sig);
+        } else {
+          bw.WriteBits(hdr, 5);
+          bw.WriteBits(static_cast<uint64_t>(x), sig);
+        }
         prev_lead_code = lead_code;
       }
     }
@@ -144,6 +166,15 @@ Status ChimpDecode(ByteSpan in, size_t n, Buffer* out) {
   ChimpState<W> state;
   W prev = 0;
   int prev_lead_code = 0;
+  size_t base = out->size();
+  out->Resize(base + n * sizeof(W));
+  uint8_t* dst = out->data() + base;
+  // On corruption, shrink back to the successfully decoded prefix so the
+  // error path never exposes uninitialized buffer contents.
+  auto fail = [&](size_t decoded, const char* msg) {
+    out->Resize(base + decoded * sizeof(W));
+    return Status::Corruption(msg);
+  };
   for (size_t i = 0; i < n; ++i) {
     W v;
     if (i == 0) {
@@ -157,11 +188,13 @@ Status ChimpDecode(ByteSpan in, size_t n, Buffer* out) {
           break;
         }
         case 0b01: {
-          int idx = static_cast<int>(br.ReadBits(kIndexBits));
-          int lead_code = static_cast<int>(br.ReadBits(3));
-          int sig = static_cast<int>(br.ReadBits(6)) + 1;
+          // Fused 16-bit header: index (7), lead code (3), length (6).
+          uint32_t hdr = static_cast<uint32_t>(br.ReadBits(16));
+          int idx = static_cast<int>(hdr >> 9);
+          int lead_code = static_cast<int>((hdr >> 6) & 0x7);
+          int sig = static_cast<int>(hdr & 0x3f) + 1;
           int trail = kWidth - lead_table[lead_code] - sig;
-          if (trail < 0) return Status::Corruption("chimp: bad 01 window");
+          if (trail < 0) return fail(i, "chimp: bad 01 window");
           W center = static_cast<W>(br.ReadBits(sig));
           v = state.stored[idx] ^ (center << trail);
           break;
@@ -182,10 +215,10 @@ Status ChimpDecode(ByteSpan in, size_t n, Buffer* out) {
         }
       }
     }
-    if (br.overrun()) return Status::Corruption("chimp: truncated stream");
+    if (br.overrun()) return fail(i, "chimp: truncated stream");
     state.Push(v);
     prev = v;
-    out->Append(&v, sizeof(W));
+    std::memcpy(dst + i * sizeof(W), &v, sizeof(W));
   }
   return Status::OK();
 }

@@ -61,6 +61,9 @@ void FpzipEncode(ByteSpan input, const DataDesc& desc, int precision_bits,
 
   Buffer symbols;  // range-coded significant-bit counts
   Buffer raw;      // verbatim residual bits
+  // No speculative Reserve: fpzip's footprint is part of the Figure 10
+  // comparison, and the word-spill appends amortize through the buffer's
+  // geometric growth.
   codecs::RangeEncoder enc(&symbols);
   codecs::AdaptiveModel model(kWidth + 1);
   BitWriter bw(&raw);

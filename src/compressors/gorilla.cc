@@ -19,6 +19,10 @@ void GorillaEncode(const uint8_t* bytes, size_t n, Buffer* out) {
   // Leading-zero field is 5 bits (max 31); Gorilla clamps larger counts.
   constexpr int kMaxLead = 31;
 
+  // Worst case is ~(kWidth + 13) bits per value (all-new windows); reserve
+  // for the common compressible case so the encode loop does not pay
+  // repeated grow-and-memcpy cycles.
+  out->Reserve(out->size() + n * sizeof(W) / 2 + 16);
   BitWriter bw(out);
   W prev = 0;
   int prev_lead = -1;
@@ -47,19 +51,26 @@ void GorillaEncode(const uint8_t* bytes, size_t n, Buffer* out) {
     }
     if (lead > kMaxLead) lead = kMaxLead;
 
-    bw.WriteBit(1);
     if (prev_lead >= 0 && lead >= prev_lead && trail >= prev_trail) {
-      // C = 10: reuse the previous window.
-      bw.WriteBit(0);
+      // C = 10: reuse the previous window; control + residual fused into
+      // one write when they fit a single word.
       int sig = kWidth - prev_lead - prev_trail;
-      bw.WriteBits(static_cast<uint64_t>(x >> prev_trail), sig);
+      uint64_t payload = static_cast<uint64_t>(x >> prev_trail);
+      if (sig <= 62) {
+        bw.WriteBits((uint64_t(0b10) << sig) | payload, 2 + sig);
+      } else {
+        bw.WriteBits(0b10, 2);
+        bw.WriteBits(payload, sig);
+      }
     } else {
       // C = 11: new window. 6-bit length field stores sig-1 so a full-width
-      // residual (sig == 64) fits.
-      bw.WriteBit(1);
+      // residual (sig == 64) fits. The 13 header bits (control, lead,
+      // length) go out in one write.
       int sig = kWidth - lead - trail;
-      bw.WriteBits(static_cast<uint64_t>(lead), 5);
-      bw.WriteBits(static_cast<uint64_t>(sig - 1), 6);
+      bw.WriteBits((uint64_t(0b11) << 11) |
+                       (static_cast<uint64_t>(lead) << 6) |
+                       static_cast<uint64_t>(sig - 1),
+                   13);
       bw.WriteBits(static_cast<uint64_t>(x >> trail), sig);
       prev_lead = lead;
       prev_trail = trail;
@@ -75,6 +86,15 @@ Status GorillaDecode(ByteSpan in, size_t n, Buffer* out) {
   W prev = 0;
   int prev_lead = -1;
   int prev_trail = -1;
+  size_t base = out->size();
+  out->Resize(base + n * sizeof(W));
+  uint8_t* dst = out->data() + base;
+  // On corruption, shrink back to the successfully decoded prefix so the
+  // error path never exposes uninitialized buffer contents.
+  auto fail = [&](size_t decoded, const char* msg) {
+    out->Resize(base + decoded * sizeof(W));
+    return Status::Corruption(msg);
+  };
   for (size_t i = 0; i < n; ++i) {
     W v;
     if (i == 0) {
@@ -82,23 +102,25 @@ Status GorillaDecode(ByteSpan in, size_t n, Buffer* out) {
     } else if (br.ReadBit() == 0) {
       v = prev;
     } else if (br.ReadBit() == 0) {
-      if (prev_lead < 0) return Status::Corruption("gorilla: no prior window");
+      if (prev_lead < 0) return fail(i, "gorilla: no prior window");
       int sig = kWidth - prev_lead - prev_trail;
       W center = static_cast<W>(br.ReadBits(sig));
       v = prev ^ (center << prev_trail);
     } else {
-      int lead = static_cast<int>(br.ReadBits(5));
-      int sig = static_cast<int>(br.ReadBits(6)) + 1;
+      // One fused read for the 5-bit lead + 6-bit length header.
+      uint32_t hdr = static_cast<uint32_t>(br.ReadBits(11));
+      int lead = static_cast<int>(hdr >> 6);
+      int sig = static_cast<int>(hdr & 0x3f) + 1;
       int trail = kWidth - lead - sig;
-      if (trail < 0) return Status::Corruption("gorilla: bad window");
+      if (trail < 0) return fail(i, "gorilla: bad window");
       W center = static_cast<W>(br.ReadBits(sig));
       v = prev ^ (center << trail);
       prev_lead = lead;
       prev_trail = trail;
     }
-    if (br.overrun()) return Status::Corruption("gorilla: truncated stream");
+    if (br.overrun()) return fail(i, "gorilla: truncated stream");
     prev = v;
-    out->Append(&v, sizeof(W));
+    std::memcpy(dst + i * sizeof(W), &v, sizeof(W));
   }
   return Status::OK();
 }

@@ -26,6 +26,10 @@ constexpr Bucket kBuckets[] = {
 
 void GorillaTimestampCodec::Compress(const std::vector<int64_t>& timestamps,
                                      Buffer* out) {
+  // Regular series cost ~1 byte per stamp; reserve the typical size (not
+  // the worst case, which would distort the MemTracker footprint metric)
+  // so the encode loop avoids repeated grow-and-memcpy.
+  out->Reserve(out->size() + timestamps.size() + 16);
   BitWriter bw(out);
   int64_t prev = 0;
   int64_t prev_delta = 0;
@@ -47,16 +51,19 @@ void GorillaTimestampCodec::Compress(const std::vector<int64_t>& timestamps,
         bool stored = false;
         for (const Bucket& b : kBuckets) {
           if (dod >= b.lo && dod <= b.hi) {
-            bw.WriteBits(b.control, b.control_bits);
-            // Shift into [0, 2^bits) like the original (value - lo).
-            bw.WriteBits(static_cast<uint64_t>(dod - b.lo), b.payload_bits);
+            // Control code and payload (value - lo, shifted into
+            // [0, 2^bits)) fused into one write of at most 16 bits.
+            bw.WriteBits((static_cast<uint64_t>(b.control) << b.payload_bits) |
+                             static_cast<uint64_t>(dod - b.lo),
+                         b.control_bits + b.payload_bits);
             stored = true;
             break;
           }
         }
         if (!stored) {
-          bw.WriteBits(0b1111, 4);
-          bw.WriteBits(ZigZagEncode64(dod) & 0xffffffffull, 32);
+          bw.WriteBits((uint64_t(0b1111) << 32) |
+                           (ZigZagEncode64(dod) & 0xffffffffull),
+                       36);
         }
       }
       prev_delta = delta;
@@ -82,17 +89,26 @@ Result<std::vector<int64_t>> GorillaTimestampCodec::Decompress(ByteSpan in,
       t = prev + delta;
       prev_delta = delta;
     } else {
+      // The control codes (0, 10, 110, 1110, 1111) are a unary run of
+      // ones capped at 4; one ReadUnary replaces up to four branchy
+      // single-bit reads.
       int64_t dod;
-      if (br.ReadBit() == 0) {
-        dod = 0;
-      } else if (br.ReadBit() == 0) {
-        dod = static_cast<int64_t>(br.ReadBits(7)) + kBuckets[0].lo;
-      } else if (br.ReadBit() == 0) {
-        dod = static_cast<int64_t>(br.ReadBits(9)) + kBuckets[1].lo;
-      } else if (br.ReadBit() == 0) {
-        dod = static_cast<int64_t>(br.ReadBits(12)) + kBuckets[2].lo;
-      } else {
-        dod = ZigZagDecode64(br.ReadBits(32));
+      switch (br.ReadUnary(4)) {
+        case 0:
+          dod = 0;
+          break;
+        case 1:
+          dod = static_cast<int64_t>(br.ReadBits(7)) + kBuckets[0].lo;
+          break;
+        case 2:
+          dod = static_cast<int64_t>(br.ReadBits(9)) + kBuckets[1].lo;
+          break;
+        case 3:
+          dod = static_cast<int64_t>(br.ReadBits(12)) + kBuckets[2].lo;
+          break;
+        default:
+          dod = ZigZagDecode64(br.ReadBits(32));
+          break;
       }
       int64_t delta = prev_delta + dod;
       t = prev + delta;

@@ -203,18 +203,22 @@ void EncodeBlockResiduals(const W* blk, Buffer* out) {
                  kChunk, sizeof(W));
     // kChunk planes, each sizeof(W)*8 bits = kChunk bits... each plane is
     // kChunk/8 bytes = sizeof(W) bytes wide: one W word per plane.
+    // Compact bitmap + surviving words into one buffer so the chunk goes
+    // out with a single append instead of one call per non-zero word.
+    W group[1 + kChunk];
     W bitmap = 0;
-    W words[kChunk];
+    size_t kept = 0;
     for (size_t p = 0; p < kChunk; ++p) {
       W w;
       std::memcpy(&w, transposed + p * sizeof(W), sizeof(W));
-      words[p] = w;
-      if (w != 0) bitmap |= W(1) << p;
+      if (w != 0) {
+        bitmap |= W(1) << p;
+        group[1 + kept] = w;
+        ++kept;
+      }
     }
-    out->Append(&bitmap, sizeof(W));
-    for (size_t p = 0; p < kChunk; ++p) {
-      if (words[p] != 0) out->Append(&words[p], sizeof(W));
-    }
+    group[0] = bitmap;
+    out->Append(group, (1 + kept) * sizeof(W));
   }
 }
 

@@ -25,6 +25,8 @@ class FpcKernel {
   void Compress(const uint8_t* bytes, size_t n, Buffer* out) {
     Buffer codes;    // packed 4-bit codes, two per byte
     Buffer residue;  // non-zero residual bytes
+    codes.Reserve(n / 2 + 1);
+    residue.Reserve(n * 4 + 16);  // typical: half the 8 bytes survive
     uint8_t pending_nibble = 0;
     bool have_pending = false;
 
@@ -61,11 +63,14 @@ class FpcKernel {
         pending_nibble = nibble;
         have_pending = true;
       }
-      // Residual bytes, most significant first, skipping leading zeros.
+      // Residual bytes, most significant first, skipping leading zeros;
+      // staged on the stack and appended in one call.
       int keep = 8 - lzb;
-      for (int b = keep - 1; b >= 0; --b) {
-        residue.PushBack(static_cast<uint8_t>(x >> (8 * b)));
+      uint8_t rbytes[8];
+      for (int b = 0; b < keep; ++b) {
+        rbytes[b] = static_cast<uint8_t>(x >> (8 * (keep - 1 - b)));
       }
+      residue.Append(rbytes, static_cast<size_t>(keep));
     }
     if (have_pending) codes.PushBack(static_cast<uint8_t>(pending_nibble << 4));
 

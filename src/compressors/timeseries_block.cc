@@ -131,6 +131,15 @@ Status TimeSeriesBlockCodec::Compress(std::span<const TsPoint> points,
         values.Compress(AsBytes(vals), desc, &val_parts[blk]));
   }
 
+  // Directory + payload sizes are known here; reserve the full stream so
+  // the append loop below never re-allocates. (The per-part encoders use
+  // BitWriter::bit_count() semantics scoped to each writer, so parts are
+  // sized independently of this aggregate buffer.)
+  size_t payload_bytes = 0;
+  for (size_t blk = 0; blk < num_blocks; ++blk) {
+    payload_bytes += ts_parts[blk].size() + val_parts[blk].size();
+  }
+  out->Reserve(out->size() + payload_bytes + 30 * (num_blocks + 1));
   PutVarint64(out, n);
   PutVarint64(out, bs);
   PutVarint64(out, num_blocks);

@@ -69,14 +69,17 @@ void CompressWarpChunk(WarpCtx& ctx, const uint8_t* base, size_t count,
     out->Append(packed, (lanes + 1) / 2);
     ctx.CountWrite((lanes + 1) / 2);
 
+    // Assemble the compacted residual bytes on the stack and append them
+    // in one call instead of one PushBack (capacity check) per byte.
+    uint8_t residuals[kSubchunk * 8];
     uint64_t total_keep = 0;
     for (size_t lane = 0; lane < lanes; ++lane) {
       const auto& c = codes[lane];
       for (int b = c.keep - 1; b >= 0; --b) {
-        out->PushBack(static_cast<uint8_t>(c.mag >> (8 * b)));
+        residuals[total_keep++] = static_cast<uint8_t>(c.mag >> (8 * b));
       }
-      total_keep += c.keep;
     }
+    out->Append(residuals, total_keep);
     // Byte-granular scattered stores: divergent and non-coalesced.
     ctx.CountDivergent(total_keep / 4 + 1);
     ctx.CountWrite(total_keep * kScatterPenalty);
@@ -108,10 +111,14 @@ Status DecompressWarpChunk(WarpCtx& ctx, ByteSpan in, size_t count,
       if (pos + keep > in.size()) {
         return Status::Corruption("gfc: truncated residual");
       }
+      // Bounds were checked once above; gather via raw pointer instead of
+      // a bounds-managed span index per byte.
+      const uint8_t* rp = in.data() + pos;
       uint64_t mag = 0;
       for (int b = keep - 1; b >= 0; --b) {
-        mag |= static_cast<uint64_t>(in[pos++]) << (8 * b);
+        mag |= static_cast<uint64_t>(*rp++) << (8 * b);
       }
+      pos += static_cast<size_t>(keep);
       uint64_t v = neg ? (prev_last - mag) : (prev_last + mag);
       std::memcpy(dst + (s + lane) * 8, &v, 8);
       if (lane == lanes - 1) last_value = v;

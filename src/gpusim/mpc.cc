@@ -58,22 +58,24 @@ void MpcEncodeChunk(WarpCtx& ctx, const uint8_t* src, Buffer* out) {
   ctx.CountWrite(kBytes);
   for (size_t i = kChunkElems - 1; i >= 1; --i) t[i] -= t[i - 1];
 
-  // ZE: bitmap per kWidth-word group, then the non-zero words.
+  // ZE: bitmap per kWidth-word group, then the non-zero words. Each group
+  // is compacted into a stack buffer and appended with a single call
+  // (bounded by 1 + kWidth words) instead of one Append per kept word.
   ctx.CountRead(kBytes);
   ctx.CountInstr(kChunkElems / 32 * 4);
   for (size_t g = 0; g < kChunkElems; g += kWidth) {
+    W group[1 + kWidth];
     W bitmap = 0;
-    for (int i = 0; i < kWidth; ++i) {
-      if (t[g + i] != 0) bitmap |= W(1) << i;
-    }
-    out->Append(&bitmap, sizeof(W));
     uint64_t kept = 0;
     for (int i = 0; i < kWidth; ++i) {
       if (t[g + i] != 0) {
-        out->Append(&t[g + i], sizeof(W));
+        bitmap |= W(1) << i;
+        group[1 + kept] = t[g + i];
         ++kept;
       }
     }
+    group[0] = bitmap;
+    out->Append(group, (1 + kept) * sizeof(W));
     ctx.CountWrite(sizeof(W) * (1 + kept));
     ctx.CountDivergent(kept / 8 + 1);
   }

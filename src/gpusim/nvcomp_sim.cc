@@ -145,6 +145,7 @@ W BcUnZigZag(W v) {
 /// Packs `n` residuals at `bits` width each (MSB-first bit stream).
 template <typename W>
 void PackBits(const W* vals, size_t n, int bits, Buffer* out) {
+  out->Reserve(out->size() + (n * bits + 7) / 8 + 8);
   BitWriter bw(out);
   for (size_t i = 0; i < n; ++i) {
     bw.WriteBits(static_cast<uint64_t>(vals[i]), bits);
@@ -195,11 +196,22 @@ Status BitcompDecodeChunk(WarpCtx& ctx, ByteSpan in, size_t* pos, size_t n,
   BitReader br(in.subspan(*pos, packed));
   *pos += packed;
   W prev = 0;
-  for (size_t i = 0; i < n; ++i) {
-    W z = static_cast<W>(br.ReadBits(bits));
-    W v = prev + BcUnZigZag<W>(z);
-    prev = v;
-    std::memcpy(dst + i * sizeof(W), &v, sizeof(W));
+  if (bits <= 56) {
+    // The size check above proved the payload holds n * bits bits, so the
+    // per-read overrun branch can be skipped.
+    for (size_t i = 0; i < n; ++i) {
+      W z = static_cast<W>(br.ReadBitsUnchecked(bits));
+      W v = prev + BcUnZigZag<W>(z);
+      prev = v;
+      std::memcpy(dst + i * sizeof(W), &v, sizeof(W));
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      W z = static_cast<W>(br.ReadBits(bits));
+      W v = prev + BcUnZigZag<W>(z);
+      prev = v;
+      std::memcpy(dst + i * sizeof(W), &v, sizeof(W));
+    }
   }
   ctx.CountRead(1 + packed);
   ctx.CountWrite(n * sizeof(W));

@@ -70,9 +70,18 @@ class Buffer {
   /// Appends raw bytes.
   void Append(const void* src, size_t n) {
     if (n == 0) return;  // memcpy with a null src/dst is UB even for n==0
+    std::memcpy(ExtendUninit(n), src, n);
+  }
+
+  /// Grows by `n` bytes and returns a pointer to the (uninitialized) new
+  /// region, which the caller must fill completely. This is the fast path
+  /// for hot append loops (bit I/O word spills): one capacity check, no
+  /// intermediate zeroing or per-byte calls.
+  uint8_t* ExtendUninit(size_t n) {
     size_t old = size_;
-    Resize(old + n);
-    std::memcpy(data_ + old, src, n);
+    if (old + n > capacity_) Reserve(GrowCapacity(old + n));
+    size_ = old + n;
+    return data_ + old;
   }
 
   void Append(ByteSpan bytes) { Append(bytes.data(), bytes.size()); }

@@ -133,6 +133,267 @@ TEST(BitIoTest, SixtyFourBitValues) {
   EXPECT_EQ(br.ReadBits(64), v);
 }
 
+// ---------------------------------------------------------------------------
+// Word-at-a-time bit I/O edge cases. The writer/reader keep a 64-bit
+// accumulator, so every width that straddles an internal boundary (8, 32,
+// 64) and the shift-by-64 UB traps get explicit coverage.
+// ---------------------------------------------------------------------------
+
+TEST(BitIoTest, AllBoundaryWidthsRoundTrip) {
+  const int widths[] = {0, 1, 7, 8, 9, 31, 32, 33, 63, 64};
+  // Patterns with high bits set so masking bugs (junk above nbits) show up.
+  const uint64_t patterns[] = {0, ~0ull, 0xa5a5a5a5a5a5a5a5ull,
+                               0x8000000000000001ull, 0x0123456789abcdefull};
+  for (uint64_t p : patterns) {
+    Buffer buf;
+    BitWriter bw(&buf);
+    size_t total = 0;
+    for (int w : widths) {
+      bw.WriteBits(p, w);
+      total += w;
+    }
+    EXPECT_EQ(bw.bit_count(), total);
+    bw.Flush();
+    ASSERT_EQ(buf.size(), (total + 7) / 8);
+
+    BitReader br(buf.span());
+    for (int w : widths) {
+      uint64_t mask = (w == 64) ? ~0ull : ((uint64_t(1) << w) - 1);
+      EXPECT_EQ(br.ReadBits(w), p & mask) << "width " << w;
+    }
+    EXPECT_FALSE(br.overrun());
+    EXPECT_EQ(br.bits_consumed(), total);
+  }
+}
+
+TEST(BitIoTest, ZeroWidthIsANoOp) {
+  Buffer buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0xff, 0);
+  EXPECT_EQ(bw.bit_count(), 0u);
+  bw.Flush();
+  EXPECT_EQ(buf.size(), 0u);
+  BitReader br(buf.span());
+  EXPECT_EQ(br.ReadBits(0), 0u);
+  EXPECT_FALSE(br.overrun());
+  EXPECT_EQ(br.bits_consumed(), 0u);
+}
+
+TEST(BitIoTest, BitCountScopedToWriterNotBuffer) {
+  // A writer over a non-empty buffer (multi-part encodings) must count only
+  // its own bits, not pre-existing bytes.
+  Buffer buf;
+  buf.Append("header", 6);
+  BitWriter bw(&buf);
+  EXPECT_EQ(bw.bit_count(), 0u);
+  bw.WriteBits(0x3, 2);
+  EXPECT_EQ(bw.bit_count(), 2u);
+  bw.WriteBits(0, 64);
+  EXPECT_EQ(bw.bit_count(), 66u);
+  bw.Flush();
+  EXPECT_EQ(bw.bit_count(), 66u);  // flush padding is not counted
+  EXPECT_EQ(buf.size(), 6u + 9u);
+}
+
+TEST(BitIoTest, OverrunMidRefillDeliversRealBitsThenZeros) {
+  // 2 bytes of input; a 24-bit read crosses the end mid-refill. The real
+  // bits must land in the top positions with zero fill below, and the
+  // overrun flag must be raised by that same read, not later.
+  Buffer buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0xabcd, 16);
+  bw.Flush();
+  BitReader br(buf.span());
+  EXPECT_EQ(br.ReadBits(24), 0xabcd00u);
+  EXPECT_TRUE(br.overrun());
+  EXPECT_EQ(br.bits_consumed(), 16u);  // fabricated bits are not counted
+  // Sticky across every subsequent path.
+  EXPECT_EQ(br.ReadBits(64), 0u);
+  EXPECT_EQ(br.ReadBit(), 0u);
+  EXPECT_EQ(br.ReadUnary(4), 0);
+  EXPECT_TRUE(br.overrun());
+}
+
+TEST(BitIoTest, WideReadOverrunAcrossWordBoundary) {
+  // 7 bytes: a 64-bit read must take all 56 real bits then fabricate 8
+  // zeros, flagging the overrun within the same call.
+  Buffer buf;
+  for (int i = 0; i < 7; ++i) buf.PushBack(static_cast<uint8_t>(0x11 * (i + 1)));
+  BitReader br(buf.span());
+  uint64_t v = br.ReadBits(64);
+  EXPECT_EQ(v, 0x1122334455667700ull);
+  EXPECT_TRUE(br.overrun());
+  EXPECT_EQ(br.bits_consumed(), 56u);
+}
+
+TEST(BitIoTest, BitsConsumedAcrossRefillBoundaries) {
+  // 24 bytes so the reader refills its 64-bit window three times.
+  Buffer buf;
+  BitWriter bw(&buf);
+  for (int i = 0; i < 24; ++i) bw.WriteBits(static_cast<uint64_t>(i), 8);
+  bw.Flush();
+  BitReader br(buf.span());
+  size_t consumed = 0;
+  const int steps[] = {3, 5, 56, 17, 33, 1, 7, 40, 30};
+  for (int s : steps) {
+    br.ReadBits(s);
+    consumed += s;
+    EXPECT_EQ(br.bits_consumed(), consumed) << "after step " << s;
+  }
+  EXPECT_FALSE(br.overrun());
+}
+
+TEST(BitIoTest, UnaryRoundTrip) {
+  Buffer buf;
+  BitWriter bw(&buf);
+  const uint32_t runs[] = {0, 1, 3, 31, 32, 63, 100};
+  for (uint32_t r : runs) bw.WriteUnary(r);
+  bw.Flush();
+  BitReader br(buf.span());
+  for (uint32_t r : runs) {
+    EXPECT_EQ(br.ReadUnary(1000), static_cast<int>(r));
+  }
+  EXPECT_FALSE(br.overrun());
+}
+
+TEST(BitIoTest, UnaryCapDoesNotConsumeTerminator) {
+  // 1111 0... — capped at 4 ones, the following bit is payload, not a
+  // terminator (the Gorilla timestamp escape-code shape).
+  Buffer buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0b11110101, 8);
+  bw.Flush();
+  BitReader br(buf.span());
+  EXPECT_EQ(br.ReadUnary(4), 4);
+  EXPECT_EQ(br.bits_consumed(), 4u);
+  EXPECT_EQ(br.ReadBits(4), 0b0101u);
+}
+
+TEST(BitIoTest, UnaryTruncationFlagsOverrun) {
+  Buffer buf;
+  BitWriter bw(&buf);
+  bw.WriteBits(0xff, 8);  // all ones, no terminator in stream
+  bw.Flush();
+  BitReader br(buf.span());
+  EXPECT_EQ(br.ReadUnary(64), 8);
+  EXPECT_TRUE(br.overrun());
+}
+
+TEST(BitIoTest, ReadBitsUncheckedMatchesChecked) {
+  Buffer buf;
+  BitWriter bw(&buf);
+  Rng rng(0x600D);
+  std::vector<std::pair<uint64_t, int>> fields;
+  for (int i = 0; i < 500; ++i) {
+    int w = 1 + static_cast<int>(rng.UniformInt(56));
+    uint64_t v = rng.Next() & ((w == 64) ? ~0ull : ((uint64_t(1) << w) - 1));
+    fields.push_back({v, w});
+    bw.WriteBits(v, w);
+  }
+  bw.Flush();
+  BitReader br(buf.span());
+  for (const auto& [v, w] : fields) {
+    ASSERT_EQ(br.ReadBitsUnchecked(w), v);
+  }
+  EXPECT_FALSE(br.overrun());
+}
+
+// Trivial one-bit-at-a-time reference implementation (the seed algorithm)
+// for differential testing of the word-at-a-time engine.
+struct RefBitWriter {
+  Buffer* out;
+  uint8_t acc = 0;
+  int nacc = 0;
+  void WriteBits(uint64_t v, int n) {
+    for (int i = n - 1; i >= 0; --i) WriteBit((v >> i) & 1u);
+  }
+  void WriteBit(uint32_t bit) {
+    acc = static_cast<uint8_t>((acc << 1) | (bit & 1u));
+    if (++nacc == 8) {
+      out->PushBack(acc);
+      acc = 0;
+      nacc = 0;
+    }
+  }
+  void Flush() {
+    if (nacc > 0) {
+      out->PushBack(static_cast<uint8_t>(acc << (8 - nacc)));
+      acc = 0;
+      nacc = 0;
+    }
+  }
+};
+
+struct RefBitReader {
+  ByteSpan in;
+  size_t byte = 0;
+  int nbit = 0;
+  bool overrun = false;
+  uint32_t ReadBit() {
+    if (byte >= in.size()) {
+      overrun = true;
+      return 0;
+    }
+    uint32_t bit = (in[byte] >> (7 - nbit)) & 1u;
+    if (++nbit == 8) {
+      nbit = 0;
+      ++byte;
+    }
+    return bit;
+  }
+  uint64_t ReadBits(int n) {
+    uint64_t v = 0;
+    for (int i = 0; i < n; ++i) v = (v << 1) | ReadBit();
+    return v;
+  }
+};
+
+TEST(BitIoTest, DifferentialAgainstReferenceImplementation) {
+  Rng rng(0xD1FF);
+  for (int round = 0; round < 20; ++round) {
+    // Random field schedule, biased toward small widths like real coders.
+    std::vector<std::pair<uint64_t, int>> fields;
+    size_t total_bits = 0;
+    for (int i = 0; i < 400; ++i) {
+      int w = static_cast<int>(rng.UniformInt(65));  // 0..64 inclusive
+      if (rng.UniformInt(3) == 0) w = static_cast<int>(rng.UniformInt(9));
+      uint64_t v = rng.Next();
+      fields.push_back({v, w});
+      total_bits += w;
+    }
+
+    Buffer word_buf, ref_buf;
+    BitWriter word(&word_buf);
+    RefBitWriter ref{&ref_buf};
+    for (const auto& [v, w] : fields) {
+      word.WriteBits(v, w);
+      ref.WriteBits(v, w);
+    }
+    word.Flush();
+    ref.Flush();
+    ASSERT_EQ(word_buf.size(), ref_buf.size());
+    ASSERT_EQ(
+        std::memcmp(word_buf.data(), ref_buf.data(), word_buf.size()), 0)
+        << "writer streams diverged in round " << round;
+
+    // Read the stream back with both readers, including a deliberate
+    // overrun tail, and compare every value and the overrun flag.
+    BitReader word_rd(word_buf.span());
+    RefBitReader ref_rd{ref_buf.span()};
+    for (const auto& [v, w] : fields) {
+      (void)v;
+      ASSERT_EQ(word_rd.ReadBits(w), ref_rd.ReadBits(w));
+    }
+    EXPECT_EQ(word_rd.bits_consumed(), total_bits);
+    // Past-the-end behavior must match bit for bit as well.
+    for (int i = 0; i < 3; ++i) {
+      int w = 1 + static_cast<int>(rng.UniformInt(64));
+      ASSERT_EQ(word_rd.ReadBits(w), ref_rd.ReadBits(w));
+    }
+    EXPECT_EQ(word_rd.overrun(), ref_rd.overrun);
+  }
+}
+
 TEST(VarintTest, RoundTripBoundaries) {
   std::vector<uint64_t> values = {0,    1,    127,        128,
                                   255,  300,  16383,      16384,

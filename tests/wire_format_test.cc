@@ -1,0 +1,168 @@
+// Byte-identity regression suite for the bit-level wire formats.
+//
+// The bit I/O engine is a pure speed layer: any change to it (or to the
+// fused control-code emission in the coders above it) must leave compressed
+// streams byte-for-byte identical. These tests compare freshly compressed
+// Gorilla / Chimp / GorillaTimestamps streams against fixtures captured
+// from the pre-refactor one-bit-at-a-time encoders
+// (tests/wire_format_fixtures.h), so wire-format drift fails CI loudly
+// instead of silently breaking every previously written stream.
+//
+// The input generators deliberately avoid libm (sin/log/...) — only Rng
+// integer output and IEEE add/mul — so the corpus, and therefore the
+// compressed bytes, are identical on every platform.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "compressors/chimp.h"
+#include "compressors/gorilla.h"
+#include "compressors/gorilla_timestamps.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "wire_format_fixtures.h"
+
+namespace fcbench {
+namespace {
+
+using compressors::ChimpCompressor;
+using compressors::GorillaCompressor;
+using compressors::GorillaTimestampCodec;
+
+// Must match the fixture capture tool exactly (see fixtures header).
+template <typename T>
+std::vector<T> Walk(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> v(n);
+  double x = 100.0;
+  for (size_t i = 0; i < n; ++i) {
+    x += rng.Uniform(-0.25, 0.25);
+    if (i % 64 == 0) x += rng.Uniform(0.0, 8.0);
+    v[i] = static_cast<T>(x);
+  }
+  return v;
+}
+
+std::vector<int64_t> Stamps(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> v(n);
+  int64_t t = 1600000000000;
+  for (size_t i = 0; i < n; ++i) {
+    t += 1000 + static_cast<int64_t>(rng.UniformInt(7)) - 3;
+    if (i % 97 == 0) t += 50000;  // occasional gap -> exercises buckets
+    v[i] = t;
+  }
+  return v;
+}
+
+template <typename C, typename T>
+Buffer CompressVals(const std::vector<T>& vals) {
+  CompressorConfig cfg;
+  C comp(cfg);
+  DataDesc desc = DataDesc::Make(
+      sizeof(T) == 4 ? DType::kFloat32 : DType::kFloat64, {vals.size()});
+  Buffer out;
+  EXPECT_TRUE(comp.Compress(AsBytes(vals), desc, &out).ok());
+  return out;
+}
+
+void ExpectBytesEqual(const Buffer& got, const unsigned char* want,
+                      size_t want_size, const char* name) {
+  ASSERT_EQ(got.size(), want_size) << name << ": stream length drifted";
+  for (size_t i = 0; i < want_size; ++i) {
+    ASSERT_EQ(got.data()[i], want[i])
+        << name << ": wire format drift at byte " << i;
+  }
+}
+
+TEST(WireFormatTest, GorillaFloat64ByteIdentical) {
+  Buffer got = CompressVals<GorillaCompressor>(Walk<double>(256, 0xF1C5));
+  ExpectBytesEqual(got, wire_fixtures::kGorillaF64,
+                   sizeof(wire_fixtures::kGorillaF64), "gorilla/f64");
+}
+
+TEST(WireFormatTest, GorillaFloat32ByteIdentical) {
+  Buffer got = CompressVals<GorillaCompressor>(Walk<float>(256, 0xF1C5));
+  ExpectBytesEqual(got, wire_fixtures::kGorillaF32,
+                   sizeof(wire_fixtures::kGorillaF32), "gorilla/f32");
+}
+
+TEST(WireFormatTest, ChimpFloat64ByteIdentical) {
+  Buffer got = CompressVals<ChimpCompressor>(Walk<double>(256, 0xF1C5));
+  ExpectBytesEqual(got, wire_fixtures::kChimpF64,
+                   sizeof(wire_fixtures::kChimpF64), "chimp/f64");
+}
+
+TEST(WireFormatTest, ChimpFloat32ByteIdentical) {
+  Buffer got = CompressVals<ChimpCompressor>(Walk<float>(256, 0xF1C5));
+  ExpectBytesEqual(got, wire_fixtures::kChimpF32,
+                   sizeof(wire_fixtures::kChimpF32), "chimp/f32");
+}
+
+TEST(WireFormatTest, GorillaTimestampsByteIdentical) {
+  Buffer got;
+  GorillaTimestampCodec::Compress(Stamps(256, 0xF1C5), &got);
+  ExpectBytesEqual(got, wire_fixtures::kGorillaTs,
+                   sizeof(wire_fixtures::kGorillaTs), "gorilla_ts");
+}
+
+// Large corpora (64Ki values) exercise every control code and window-reuse
+// path; full arrays would bloat the repo, so these pin size + xxHash64.
+TEST(WireFormatTest, GorillaLargeCorpusHashPinned) {
+  Buffer got = CompressVals<GorillaCompressor>(Walk<double>(65536, 0xB16));
+  EXPECT_EQ(got.size(), wire_fixtures::kGorillaBigSize);
+  EXPECT_EQ(XxHash64(got.span()), wire_fixtures::kGorillaBigHash);
+}
+
+TEST(WireFormatTest, ChimpLargeCorpusHashPinned) {
+  Buffer got = CompressVals<ChimpCompressor>(Walk<double>(65536, 0xB16));
+  EXPECT_EQ(got.size(), wire_fixtures::kChimpBigSize);
+  EXPECT_EQ(XxHash64(got.span()), wire_fixtures::kChimpBigHash);
+}
+
+TEST(WireFormatTest, GorillaTimestampsLargeCorpusHashPinned) {
+  Buffer got;
+  GorillaTimestampCodec::Compress(Stamps(65536, 0xB16), &got);
+  EXPECT_EQ(got.size(), wire_fixtures::kGorillaTsBigSize);
+  EXPECT_EQ(XxHash64(got.span()), wire_fixtures::kGorillaTsBigHash);
+}
+
+// The decoders must also read the frozen streams back to the exact inputs
+// (guards against compensating encoder+decoder changes that round-trip but
+// break streams written by older builds).
+TEST(WireFormatTest, FixtureStreamsDecodeToOriginalValues) {
+  auto vals = Walk<double>(256, 0xF1C5);
+  CompressorConfig cfg;
+  GorillaCompressor gorilla(cfg);
+  DataDesc desc = DataDesc::Make(DType::kFloat64, {vals.size()});
+  Buffer out;
+  ASSERT_TRUE(gorilla
+                  .Decompress(ByteSpan(wire_fixtures::kGorillaF64,
+                                       sizeof(wire_fixtures::kGorillaF64)),
+                              desc, &out)
+                  .ok());
+  ASSERT_EQ(out.size(), vals.size() * sizeof(double));
+  EXPECT_EQ(std::memcmp(out.data(), vals.data(), out.size()), 0);
+
+  ChimpCompressor chimp(cfg);
+  Buffer out2;
+  ASSERT_TRUE(chimp
+                  .Decompress(ByteSpan(wire_fixtures::kChimpF64,
+                                       sizeof(wire_fixtures::kChimpF64)),
+                              desc, &out2)
+                  .ok());
+  ASSERT_EQ(out2.size(), vals.size() * sizeof(double));
+  EXPECT_EQ(std::memcmp(out2.data(), vals.data(), out2.size()), 0);
+
+  auto ts = Stamps(256, 0xF1C5);
+  auto got = GorillaTimestampCodec::Decompress(
+      ByteSpan(wire_fixtures::kGorillaTs, sizeof(wire_fixtures::kGorillaTs)),
+      ts.size());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), ts);
+}
+
+}  // namespace
+}  // namespace fcbench
