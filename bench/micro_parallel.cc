@@ -1,0 +1,155 @@
+// Threads -> throughput curve of the chunk-parallel execution engine
+// (core/chunked.h + util/thread_pool.h): serial baselines vs their par-*
+// variants at increasing thread budgets.
+//
+// `--threads=1,2,4` selects the budgets (default 1,2,4,8); budgets above
+// the shared pool size still run (the pool caps execution, the row
+// records what the host could actually do). `--json[=path]` writes the
+// BENCH_*.json schema with the thread budget suffixed to the method name
+// ("par-gorilla@t4"); the committed BENCH_parallel_scaling.json is the
+// perf-trajectory artifact for this PR — on a multi-core host the
+// par-gorilla round trip must beat its serial row, on a single-core
+// reference container the rows simply record the flat curve.
+//
+// Paper context: Tables 7/8 study thread scalability of pFPC/bitshuffle/
+// ndzip only; the chunked adapter extends the measured story to every
+// wrapped method.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace fcbench::bench {
+namespace {
+
+double BestGbps(uint64_t bytes, int repeats, const std::function<void()>& fn) {
+  double best = 0;
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+    fn();
+    double secs = t.ElapsedSeconds();
+    if (secs > 0) best = std::max(best, bytes / secs / 1e9);
+  }
+  return best;
+}
+
+std::vector<int> ParseThreadList(int argc, char** argv) {
+  std::vector<int> threads = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) != 0) continue;
+    threads.clear();
+    const char* p = argv[i] + 10;
+    while (*p != '\0') {
+      int v = std::atoi(p);
+      if (v > 0) threads.push_back(v);
+      while (*p != '\0' && *p != ',') ++p;
+      if (*p == ',') ++p;
+    }
+    if (threads.empty()) threads = {1, 2, 4, 8};
+  }
+  return threads;
+}
+
+double RoundTripGbps(double ct, double dt) {
+  return (ct > 0 && dt > 0) ? 1.0 / (1.0 / ct + 1.0 / dt) : 0;
+}
+
+int Main(int argc, char** argv) {
+  Banner("micro_parallel - chunk-parallel engine scaling",
+         "extends paper Tables 7/8 to every method");
+  const std::string json_path =
+      JsonOutputPath(argc, argv, "BENCH_parallel_scaling.json");
+  const std::vector<int> thread_list = ParseThreadList(argc, argv);
+  std::printf("shared pool: %d worker threads (FCBENCH_THREADS overrides)\n",
+              ThreadPool::DefaultThreads());
+
+  auto ds = data::GenerateDataset(*data::FindDataset("msg-bt"),
+                                  BenchBytes(8ull << 20));
+  if (!ds.ok()) {
+    std::printf("dataset generation failed: %s\n",
+                ds.status().ToString().c_str());
+    return 1;
+  }
+  const ByteSpan raw = ds.value().bytes.span();
+  const DataDesc& desc = ds.value().desc;
+  const uint64_t bytes = raw.size();
+  const int repeats = BenchRepeats(3);
+
+  JsonReporter report;
+  TablePrinter table({"method", "cr", "ct_gbps", "dt_gbps", "rt_gbps",
+                      "rt_vs_serial"},
+                     14, 24);
+  const std::vector<std::string> bases = {"gorilla", "chimp128", "pfpc",
+                                          "bitshuffle_lz4"};
+
+  for (const auto& base : bases) {
+    // Serial baseline row.
+    CompressorConfig serial_cfg;
+    serial_cfg.threads = 1;
+    auto serial =
+        CompressorRegistry::Global().Create(base, serial_cfg).TakeValue();
+    Buffer enc;
+    double serial_ct = BestGbps(bytes, repeats, [&] {
+      enc.Clear();
+      serial->Compress(raw, desc, &enc);
+    });
+    Buffer dec;
+    double serial_dt = BestGbps(bytes, repeats, [&] {
+      dec.Clear();
+      serial->Decompress(enc.span(), desc, &dec);
+    });
+    double serial_cr = enc.empty() ? 0 : double(bytes) / enc.size();
+    double serial_rt = RoundTripGbps(serial_ct, serial_dt);
+    report.Add(base, ds.value().info->name, serial_cr, serial_ct, serial_dt);
+    table.AddRow({base, TablePrinter::Fmt(serial_cr),
+                  TablePrinter::Fmt(serial_ct), TablePrinter::Fmt(serial_dt),
+                  TablePrinter::Fmt(serial_rt), "1.00x"});
+
+    for (int threads : thread_list) {
+      CompressorConfig cfg;
+      cfg.threads = threads;
+      const std::string par = "par-" + base;
+      auto comp = CompressorRegistry::Global().Create(par, cfg).TakeValue();
+      Buffer penc;
+      double ct = BestGbps(bytes, repeats, [&] {
+        penc.Clear();
+        comp->Compress(raw, desc, &penc);
+      });
+      Buffer pdec;
+      double dt = BestGbps(bytes, repeats, [&] {
+        pdec.Clear();
+        comp->Decompress(penc.span(), desc, &pdec);
+      });
+      double cr = penc.empty() ? 0 : double(bytes) / penc.size();
+      double rt = RoundTripGbps(ct, dt);
+      char name[64], ratio[32];
+      std::snprintf(name, sizeof(name), "%s@t%d", par.c_str(), threads);
+      std::snprintf(ratio, sizeof(ratio), "%.2fx",
+                    serial_rt > 0 ? rt / serial_rt : 0.0);
+      report.Add(name, ds.value().info->name, cr, ct, dt);
+      table.AddRow({name, TablePrinter::Fmt(cr), TablePrinter::Fmt(ct),
+                    TablePrinter::Fmt(dt), TablePrinter::Fmt(rt), ratio});
+    }
+  }
+
+  table.Print();
+  std::printf("\nrt_gbps = 1/(1/ct + 1/dt); rt_vs_serial compares each "
+              "par-* row to its serial baseline on this host.\n");
+  if (!json_path.empty() && !report.WriteToFile(json_path)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcbench::bench
+
+int main(int argc, char** argv) {
+  return fcbench::bench::Main(argc, argv);
+}

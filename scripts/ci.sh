@@ -5,10 +5,11 @@
 #   scripts/ci.sh               # full lane: build everything, run all tests
 #   scripts/ci.sh --smoke       # fast lane: unit-labeled tests only
 #   scripts/ci.sh --perf-smoke  # perf lane: Release build, run micro_bitio
-#                               # (+ a reduced micro_codecs pass when built)
-#                               # and write BENCH_*.json artifacts; no
-#                               # thresholds are enforced — the JSON records
-#                               # the perf trajectory only
+#                               # and micro_parallel (threads 1/2/4 scaling
+#                               # curve; + a reduced micro_codecs pass when
+#                               # built) and write BENCH_*.json artifacts;
+#                               # no thresholds are enforced — the JSON
+#                               # records the perf trajectory only
 #
 # Environment:
 #   BUILD_DIR   build directory (default: build)
@@ -42,6 +43,13 @@ if [[ "${1:-}" == "--perf-smoke" ]]; then
   FCBENCH_BENCH_BYTES=${FCBENCH_BENCH_BYTES:-2097152} \
   FCBENCH_BENCH_REPEATS=${FCBENCH_BENCH_REPEATS:-3} \
     "${BUILD_DIR}/bench/micro_bitio" --json=BENCH_micro_codecs.json
+  # Parallel-engine scaling curve (serial vs par-* at 1/2/4 threads). The
+  # artifact records whatever the runner's core count allows; single-core
+  # hosts legitimately produce a flat curve.
+  FCBENCH_BENCH_BYTES=${FCBENCH_BENCH_BYTES:-2097152} \
+  FCBENCH_BENCH_REPEATS=${FCBENCH_BENCH_REPEATS:-3} \
+    "${BUILD_DIR}/bench/micro_parallel" --threads=1,2,4 \
+    --json=BENCH_parallel_scaling.json
   if [[ -x "${BUILD_DIR}/bench/micro_codecs" ]]; then
     "${BUILD_DIR}/bench/micro_codecs" \
       --benchmark_filter='BM_(Huffman|Fse|Simple8b|TimestampCodec)' \

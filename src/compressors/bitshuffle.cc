@@ -43,7 +43,7 @@ BitshuffleCompressor::BitshuffleCompressor(BitshuffleBackend backend,
                                            const CompressorConfig& config)
     : backend_(backend),
       block_size_(config.block_size ? config.block_size : kDefaultBlock),
-      threads_(config.threads > 0 ? config.threads : 8) {
+      threads_(ThreadPool::ResolveThreads(config.threads)) {
   traits_.name = backend == BitshuffleBackend::kLz4 ? "bitshuffle_lz4"
                                                     : "bitshuffle_zstd";
   traits_.year = 2015;
@@ -64,26 +64,27 @@ Status BitshuffleCompressor::Compress(ByteSpan input, const DataDesc& desc,
   if (input.empty()) nblocks = 0;
 
   std::vector<Buffer> parts(nblocks);
-  {
-    ThreadPool pool(threads_);
-    pool.ParallelFor(nblocks, [&](size_t b) {
-      size_t begin = b * block;
-      size_t len = std::min(block, input.size() - begin);
-      size_t elems = len / esize;
-      size_t whole_elems = (elems / 8) * 8;  // transpose granularity
-      size_t whole_bytes = whole_elems * esize;
+  ThreadPool::Shared().ParallelFor(
+      nblocks,
+      [&](size_t b) {
+        size_t begin = b * block;
+        size_t len = std::min(block, input.size() - begin);
+        size_t elems = len / esize;
+        size_t whole_elems = (elems / 8) * 8;  // transpose granularity
+        size_t whole_bytes = whole_elems * esize;
 
-      std::vector<uint8_t> transposed(len);
-      BitTranspose(input.data() + begin, transposed.data(), whole_elems,
-                   esize);
-      // Ragged tail (partial group and partial element bytes) is copied
-      // verbatim after the transposed region, exactly like the original.
-      std::copy(input.begin() + begin + whole_bytes,
-                input.begin() + begin + len,
-                transposed.begin() + whole_bytes);
-      BackendCompress(backend_, ByteSpan(transposed.data(), len), &parts[b]);
-    });
-  }
+        std::vector<uint8_t> transposed(len);
+        BitTranspose(input.data() + begin, transposed.data(), whole_elems,
+                     esize);
+        // Ragged tail (partial group and partial element bytes) is copied
+        // verbatim after the transposed region, exactly like the original.
+        std::copy(input.begin() + begin + whole_bytes,
+                  input.begin() + begin + len,
+                  transposed.begin() + whole_bytes);
+        BackendCompress(backend_, ByteSpan(transposed.data(), len),
+                        &parts[b]);
+      },
+      {/*grain=*/0, /*max_parallelism=*/static_cast<size_t>(threads_)});
 
   PutVarint64(out, input.size());
   PutVarint64(out, block);
@@ -136,27 +137,27 @@ Status BitshuffleCompressor::Decompress(ByteSpan input, const DataDesc& desc,
   size_t base = out->size();
   out->Resize(base + total);
   std::vector<Status> stats(nblocks);
-  {
-    ThreadPool pool(threads_);
-    pool.ParallelFor(nblocks, [&](size_t b) {
-      size_t begin = b * block;
-      size_t len = std::min<size_t>(block, total - begin);
-      Buffer transposed;
-      Status st = BackendDecompress(
-          backend_, input.subspan(starts[b], sizes[b]), len, &transposed);
-      if (!st.ok()) {
-        stats[b] = st;
-        return;
-      }
-      size_t elems = len / esize;
-      size_t whole_elems = (elems / 8) * 8;
-      size_t whole_bytes = whole_elems * esize;
-      uint8_t* dst = out->data() + base + begin;
-      BitUntranspose(transposed.data(), dst, whole_elems, esize);
-      std::copy(transposed.data() + whole_bytes, transposed.data() + len,
-                dst + whole_bytes);
-    });
-  }
+  ThreadPool::Shared().ParallelFor(
+      nblocks,
+      [&](size_t b) {
+        size_t begin = b * block;
+        size_t len = std::min<size_t>(block, total - begin);
+        Buffer transposed;
+        Status st = BackendDecompress(
+            backend_, input.subspan(starts[b], sizes[b]), len, &transposed);
+        if (!st.ok()) {
+          stats[b] = st;
+          return;
+        }
+        size_t elems = len / esize;
+        size_t whole_elems = (elems / 8) * 8;
+        size_t whole_bytes = whole_elems * esize;
+        uint8_t* dst = out->data() + base + begin;
+        BitUntranspose(transposed.data(), dst, whole_elems, esize);
+        std::copy(transposed.data() + whole_bytes, transposed.data() + len,
+                  dst + whole_bytes);
+      },
+      {/*grain=*/0, /*max_parallelism=*/static_cast<size_t>(threads_)});
   for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
   return Status::OK();
 }

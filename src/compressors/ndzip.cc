@@ -254,17 +254,17 @@ Status NdzipCompressImpl(ByteSpan input, const DataDesc& desc, int threads,
   const uint8_t* base = input.data();
 
   std::vector<Buffer> parts(nblocks);
-  {
-    ThreadPool pool(threads);
-    pool.ParallelFor(nblocks, [&](size_t b) {
-      W blk[kBlockElems];
-      GatherBlock(base, g, g.BlockOrigin(b), blk);
-      for (auto& w : blk) w = SignedToOrdered(w);
-      LorenzoForward(blk, g.sides);
-      for (auto& w : blk) w = ZigZagW(w);
-      EncodeBlockResiduals(blk, &parts[b]);
-    });
-  }
+  ThreadPool::Shared().ParallelFor(
+      nblocks,
+      [&](size_t b) {
+        W blk[kBlockElems];
+        GatherBlock(base, g, g.BlockOrigin(b), blk);
+        for (auto& w : blk) w = SignedToOrdered(w);
+        LorenzoForward(blk, g.sides);
+        for (auto& w : blk) w = ZigZagW(w);
+        EncodeBlockResiduals(blk, &parts[b]);
+      },
+      {/*grain=*/0, /*max_parallelism=*/static_cast<size_t>(threads)});
 
   PutVarint64(out, nblocks);
   for (const auto& p : parts) PutVarint64(out, p.size());
@@ -314,23 +314,23 @@ Status NdzipDecompressImpl(ByteSpan input, const DataDesc& desc, int threads,
   uint8_t* base = out->data() + base_off;
 
   std::vector<Status> stats(nblocks);
-  {
-    ThreadPool pool(threads);
-    pool.ParallelFor(nblocks, [&](size_t b) {
-      W blk[kBlockElems];
-      size_t pos = starts[b];
-      Status st = DecodeBlockResiduals(
-          ByteSpan(input.data(), starts[b] + sizes[b]), &pos, blk);
-      if (!st.ok()) {
-        stats[b] = st;
-        return;
-      }
-      for (auto& w : blk) w = UnZigZagW(w);
-      LorenzoInverse(blk, g.sides);
-      for (auto& w : blk) w = OrderedToSigned(w);
-      ScatterBlock(base, g, g.BlockOrigin(b), blk);
-    });
-  }
+  ThreadPool::Shared().ParallelFor(
+      nblocks,
+      [&](size_t b) {
+        W blk[kBlockElems];
+        size_t pos = starts[b];
+        Status st = DecodeBlockResiduals(
+            ByteSpan(input.data(), starts[b] + sizes[b]), &pos, blk);
+        if (!st.ok()) {
+          stats[b] = st;
+          return;
+        }
+        for (auto& w : blk) w = UnZigZagW(w);
+        LorenzoInverse(blk, g.sides);
+        for (auto& w : blk) w = OrderedToSigned(w);
+        ScatterBlock(base, g, g.BlockOrigin(b), blk);
+      },
+      {/*grain=*/0, /*max_parallelism=*/static_cast<size_t>(threads)});
   for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
 
   // Border elements.
@@ -356,7 +356,7 @@ Status NdzipDecompressImpl(ByteSpan input, const DataDesc& desc, int threads,
 }  // namespace
 
 NdzipCompressor::NdzipCompressor(const CompressorConfig& config)
-    : threads_(config.threads > 0 ? config.threads : 8) {
+    : threads_(ThreadPool::ResolveThreads(config.threads)) {
   traits_.name = "ndzip_cpu";
   traits_.year = 2021;
   traits_.domain = "HPC";

@@ -141,7 +141,7 @@ class FpcKernel {
 }  // namespace
 
 PfpcCompressor::PfpcCompressor(const CompressorConfig& config)
-    : threads_(config.threads > 0 ? config.threads : 8) {
+    : threads_(ThreadPool::ResolveThreads(config.threads)) {
   traits_.name = "pfpc";
   traits_.year = 2009;
   traits_.domain = "HPC";
@@ -166,15 +166,15 @@ Status PfpcCompressor::Compress(ByteSpan input, const DataDesc& desc,
   if (n_words == 0) nchunks = 0;
 
   std::vector<Buffer> parts(nchunks);
-  {
-    ThreadPool pool(nthreads);
-    pool.ParallelFor(nchunks, [&](size_t c) {
-      size_t begin = c * chunk_words;
-      size_t end = std::min(n_words, begin + chunk_words);
-      FpcKernel kernel(table_log_);
-      kernel.Compress(input.data() + begin * 8, end - begin, &parts[c]);
-    });
-  }
+  ThreadPool::Shared().ParallelFor(
+      nchunks,
+      [&](size_t c) {
+        size_t begin = c * chunk_words;
+        size_t end = std::min(n_words, begin + chunk_words);
+        FpcKernel kernel(table_log_);
+        kernel.Compress(input.data() + begin * 8, end - begin, &parts[c]);
+      },
+      {/*grain=*/1, /*max_parallelism=*/static_cast<size_t>(nthreads)});
 
   PutVarint64(out, nchunks);
   PutVarint64(out, chunk_words);
@@ -230,16 +230,16 @@ Status PfpcCompressor::Decompress(ByteSpan input, const DataDesc& desc,
 
   std::vector<Buffer> parts(nchunks);
   std::vector<Status> stats(nchunks);
-  {
-    ThreadPool pool(threads_);
-    pool.ParallelFor(nchunks, [&](size_t c) {
-      size_t begin = c * chunk_words;
-      size_t end = std::min<uint64_t>(total_words, begin + chunk_words);
-      FpcKernel kernel(table_log_);
-      stats[c] = kernel.Decompress(input.subspan(starts[c], sizes[c]),
-                                   end - begin, &parts[c]);
-    });
-  }
+  ThreadPool::Shared().ParallelFor(
+      nchunks,
+      [&](size_t c) {
+        size_t begin = c * chunk_words;
+        size_t end = std::min<uint64_t>(total_words, begin + chunk_words);
+        FpcKernel kernel(table_log_);
+        stats[c] = kernel.Decompress(input.subspan(starts[c], sizes[c]),
+                                     end - begin, &parts[c]);
+      },
+      {/*grain=*/1, /*max_parallelism=*/static_cast<size_t>(threads_)});
   for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
   for (const auto& p : parts) out->Append(p.span());
   out->Append(input.data() + off, tail);

@@ -1,13 +1,87 @@
 #include "compressors/transpose.h"
 
 #include <cstring>
+#include <initializer_list>
 
 namespace fcbench::compressors {
+
+namespace {
+
+/// Transposes an 8x8 byte matrix held in eight 64-bit words (row j =
+/// m[j], column k = byte lane k, little-endian). Classic three-stage
+/// block-swap network, self-inverse. Lets the f64 paths below move whole
+/// elements with single unaligned 64-bit loads/stores instead of the
+/// byte-at-a-time gather/scatter the reference loop used.
+inline void ByteMatrixTranspose8x8(uint64_t m[8]) {
+  for (int i = 0; i < 4; ++i) {
+    uint64_t& a = m[i];
+    uint64_t& b = m[i + 4];
+    uint64_t t = ((a >> 32) ^ b) & 0x00000000FFFFFFFFULL;
+    b ^= t;
+    a ^= t << 32;
+  }
+  for (int i : {0, 1, 4, 5}) {
+    uint64_t& a = m[i];
+    uint64_t& b = m[i + 2];
+    uint64_t t = ((a >> 16) ^ b) & 0x0000FFFF0000FFFFULL;
+    b ^= t;
+    a ^= t << 16;
+  }
+  for (int i : {0, 2, 4, 6}) {
+    uint64_t& a = m[i];
+    uint64_t& b = m[i + 1];
+    uint64_t t = ((a >> 8) ^ b) & 0x00FF00FF00FF00FFULL;
+    b ^= t;
+    a ^= t << 8;
+  }
+}
+
+}  // namespace
 
 void BitTranspose(const uint8_t* src, uint8_t* dst, size_t count,
                   size_t elem_size) {
   const size_t groups = count / 8;  // 8 elements per transposed word
   const size_t plane_bytes = groups;
+  if (elem_size == 8) {
+    // f64 fast path, byte-identical to the generic loop below
+    // (little-endian lanes). Eight groups (64 elements) per block: the
+    // element side moves through single unaligned 64-bit loads, and a
+    // second byte-matrix transpose across the groups turns the per-plane
+    // scatter into single unaligned 64-bit stores.
+    size_t g = 0;
+    for (; g + 8 <= groups; g += 8) {
+      uint64_t planes[8][8];  // [group-in-block][byte k] bit-plane words
+      for (size_t t = 0; t < 8; ++t) {
+        const uint8_t* base = src + (g + t) * 64;
+        uint64_t m[8];
+        for (size_t j = 0; j < 8; ++j) std::memcpy(&m[j], base + j * 8, 8);
+        ByteMatrixTranspose8x8(m);  // m[k] lane j = element j's byte k
+        for (size_t k = 0; k < 8; ++k) planes[t][k] = Transpose8x8(m[k]);
+      }
+      for (size_t k = 0; k < 8; ++k) {
+        uint64_t y[8];
+        for (size_t t = 0; t < 8; ++t) y[t] = planes[t][k];
+        ByteMatrixTranspose8x8(y);  // y[i] lane t = plane k*8+i, group g+t
+        for (size_t i = 0; i < 8; ++i) {
+          std::memcpy(dst + (k * 8 + i) * plane_bytes + g, &y[i], 8);
+        }
+      }
+    }
+    for (; g < groups; ++g) {  // tail groups, one at a time
+      const uint8_t* base = src + g * 64;
+      uint64_t m[8];
+      for (size_t j = 0; j < 8; ++j) std::memcpy(&m[j], base + j * 8, 8);
+      ByteMatrixTranspose8x8(m);
+      for (size_t k = 0; k < 8; ++k) {
+        uint64_t x = Transpose8x8(m[k]);
+        for (size_t i = 0; i < 8; ++i) {
+          dst[(k * 8 + i) * plane_bytes + g] =
+              static_cast<uint8_t>(x >> (8 * i));
+        }
+      }
+    }
+    return;
+  }
   for (size_t g = 0; g < groups; ++g) {
     const uint8_t* base = src + g * 8 * elem_size;
     for (size_t k = 0; k < elem_size; ++k) {
@@ -32,6 +106,45 @@ void BitUntranspose(const uint8_t* src, uint8_t* dst, size_t count,
                     size_t elem_size) {
   const size_t groups = count / 8;
   const size_t plane_bytes = groups;
+  if (elem_size == 8) {
+    // f64 fast path: exact mirror of the blocked forward — plane data
+    // arrives through single unaligned 64-bit loads, leaves through one
+    // 64-bit store per element.
+    size_t g = 0;
+    for (; g + 8 <= groups; g += 8) {
+      uint64_t planes[8][8];  // [group-in-block][byte k]
+      for (size_t k = 0; k < 8; ++k) {
+        uint64_t y[8];
+        for (size_t i = 0; i < 8; ++i) {
+          std::memcpy(&y[i], src + (k * 8 + i) * plane_bytes + g, 8);
+        }
+        ByteMatrixTranspose8x8(y);  // y[t] lane i = plane k*8+i, group g+t
+        for (size_t t = 0; t < 8; ++t) planes[t][k] = Transpose8x8(y[t]);
+      }
+      for (size_t t = 0; t < 8; ++t) {
+        uint8_t* base = dst + (g + t) * 64;
+        uint64_t m[8];
+        for (size_t k = 0; k < 8; ++k) m[k] = planes[t][k];
+        ByteMatrixTranspose8x8(m);  // m[j] = element j's 64-bit word
+        for (size_t j = 0; j < 8; ++j) std::memcpy(base + j * 8, &m[j], 8);
+      }
+    }
+    for (; g < groups; ++g) {  // tail groups
+      uint8_t* base = dst + g * 64;
+      uint64_t m[8];
+      for (size_t k = 0; k < 8; ++k) {
+        uint64_t x = 0;
+        for (size_t i = 0; i < 8; ++i) {
+          x |= static_cast<uint64_t>(src[(k * 8 + i) * plane_bytes + g])
+               << (8 * i);
+        }
+        m[k] = Transpose8x8(x);
+      }
+      ByteMatrixTranspose8x8(m);
+      for (size_t j = 0; j < 8; ++j) std::memcpy(base + j * 8, &m[j], 8);
+    }
+    return;
+  }
   for (size_t g = 0; g < groups; ++g) {
     uint8_t* base = dst + g * 8 * elem_size;
     for (size_t k = 0; k < elem_size; ++k) {

@@ -1,0 +1,237 @@
+#include "core/chunked.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/bitio.h"
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace fcbench {
+
+namespace {
+
+constexpr uint32_t kChunkedMagic = 0x4B504346u;  // "FCPK"
+constexpr uint64_t kChunkedVersion = 1;
+
+}  // namespace
+
+uint64_t ChunkedCompressor::Index::RawSizeOfChunk(size_t i) const {
+  uint64_t begin = chunk_raw_bytes * i;
+  return std::min<uint64_t>(chunk_raw_bytes, raw_bytes - begin);
+}
+
+Result<std::unique_ptr<Compressor>> ChunkedCompressor::Wrap(
+    std::string_view method, const CompressorConfig& config) {
+  auto wrapped =
+      std::make_unique<ChunkedCompressor>(std::string(method), config);
+  if (!wrapped->init_status_.ok()) return wrapped->init_status_;
+  return std::unique_ptr<Compressor>(std::move(wrapped));
+}
+
+std::unique_ptr<Compressor> ChunkedCompressor::Make(
+    std::string method, const CompressorConfig& config) {
+  return std::make_unique<ChunkedCompressor>(std::move(method), config);
+}
+
+ChunkedCompressor::ChunkedCompressor(std::string method,
+                                     const CompressorConfig& config)
+    : method_(std::move(method)),
+      inner_config_(config),
+      chunk_bytes_(config.chunk_bytes ? config.chunk_bytes
+                                      : kDefaultChunkBytes),
+      threads_(ThreadPool::ResolveThreads(config.threads)) {
+  // Inner methods always run single-threaded: outer chunks carry the
+  // parallelism, and thread-count-sensitive inner formats (pFPC) must not
+  // make par-* output depend on the thread budget.
+  inner_config_.threads = 1;
+
+  auto probe = CompressorRegistry::Global().Create(method_, inner_config_);
+  if (!probe.ok()) {
+    init_status_ = probe.status();
+    traits_.name = "par-" + method_;
+    return;
+  }
+  traits_ = probe.value()->traits();
+  traits_.name = "par-" + method_;
+  traits_.parallel = true;
+}
+
+Status ChunkedCompressor::Compress(ByteSpan input, const DataDesc& desc,
+                                   Buffer* out) {
+  FCB_RETURN_IF_ERROR(init_status_);
+  if (input.size() != desc.num_bytes()) {
+    return Status::InvalidArgument("chunked: desc/input size mismatch");
+  }
+  const size_t esize = DTypeSize(desc.dtype);
+  const size_t chunk_elems = std::max<size_t>(1, chunk_bytes_ / esize);
+  const uint64_t chunk_raw = chunk_elems * esize;
+  const uint64_t nchunks =
+      input.empty() ? 0 : (input.size() + chunk_raw - 1) / chunk_raw;
+
+  std::vector<Buffer> parts(nchunks);
+  std::vector<Status> stats(nchunks);
+  ThreadPool::Shared().ParallelFor(
+      nchunks,
+      [&](size_t c) {
+        uint64_t begin = c * chunk_raw;
+        uint64_t len = std::min<uint64_t>(chunk_raw, input.size() - begin);
+        DataDesc chunk_desc;
+        chunk_desc.dtype = desc.dtype;
+        chunk_desc.extent = {len / esize};
+        chunk_desc.precision_digits = desc.precision_digits;
+        // A fresh inner instance per chunk: Compressor instances are
+        // single-call; sharing one across concurrent chunks would race.
+        auto inner =
+            CompressorRegistry::Global().Create(method_, inner_config_);
+        if (!inner.ok()) {
+          stats[c] = inner.status();
+          return;
+        }
+        stats[c] = inner.value()->Compress(input.subspan(begin, len),
+                                           chunk_desc, &parts[c]);
+      },
+      {/*grain=*/1, /*max_parallelism=*/static_cast<size_t>(threads_)});
+  for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
+
+  Buffer header;
+  PutFixed(&header, kChunkedMagic);
+  PutVarint64(&header, kChunkedVersion);
+  PutVarint64(&header, input.size());
+  PutVarint64(&header, chunk_raw);
+  PutVarint64(&header, nchunks);
+  for (const auto& p : parts) PutVarint64(&header, p.size());
+  PutFixed(&header, XxHash64(header.span()));
+
+  out->Append(header.span());
+  for (const auto& p : parts) out->Append(p.span());
+  return Status::OK();
+}
+
+Result<ChunkedCompressor::Index> ChunkedCompressor::ReadIndex(
+    ByteSpan input) {
+  size_t off = 0;
+  uint32_t magic = 0;
+  uint64_t version = 0;
+  Index idx;
+  if (!GetFixed(input, &off, &magic) || magic != kChunkedMagic ||
+      !GetVarint64(input, &off, &version) || version != kChunkedVersion) {
+    return Status::Corruption("chunked: bad magic/version");
+  }
+  uint64_t nchunks = 0;
+  if (!GetVarint64(input, &off, &idx.raw_bytes) ||
+      !GetVarint64(input, &off, &idx.chunk_raw_bytes) ||
+      !GetVarint64(input, &off, &nchunks)) {
+    return Status::Corruption("chunked: truncated header");
+  }
+  // Structural plausibility before any allocation: the chunk count must
+  // follow from the sizes, and each directory entry needs >= 1 byte.
+  uint64_t expect_chunks =
+      idx.raw_bytes == 0
+          ? 0
+          : (idx.chunk_raw_bytes == 0
+                 ? ~uint64_t{0}
+                 : (idx.raw_bytes + idx.chunk_raw_bytes - 1) /
+                       idx.chunk_raw_bytes);
+  if (nchunks != expect_chunks || nchunks > input.size() - off) {
+    return Status::Corruption("chunked: implausible chunk directory");
+  }
+  idx.payload_sizes.resize(nchunks);
+  for (auto& s : idx.payload_sizes) {
+    if (!GetVarint64(input, &off, &s)) {
+      return Status::Corruption("chunked: truncated directory");
+    }
+  }
+  uint64_t want_hash = 0;
+  uint64_t got_hash = XxHash64(input.subspan(0, off));
+  if (!GetFixed(input, &off, &want_hash) || want_hash != got_hash) {
+    return Status::Corruption("chunked: directory checksum mismatch");
+  }
+  idx.payload_offsets.resize(nchunks);
+  size_t pos = off;
+  for (size_t c = 0; c < nchunks; ++c) {
+    idx.payload_offsets[c] = pos;
+    if (idx.payload_sizes[c] > input.size() - pos) {
+      return Status::Corruption("chunked: truncated chunk payloads");
+    }
+    pos += idx.payload_sizes[c];
+  }
+  if (pos != input.size()) {
+    return Status::Corruption("chunked: trailing bytes after payloads");
+  }
+  return idx;
+}
+
+Status ChunkedCompressor::DecodeOne(const Index& idx, ByteSpan input,
+                                    const DataDesc& desc, size_t chunk,
+                                    Buffer* out) {
+  const size_t esize = DTypeSize(desc.dtype);
+  const uint64_t raw = idx.RawSizeOfChunk(chunk);
+  DataDesc chunk_desc;
+  chunk_desc.dtype = desc.dtype;
+  chunk_desc.extent = {raw / esize};
+  chunk_desc.precision_digits = desc.precision_digits;
+  auto inner = CompressorRegistry::Global().Create(method_, inner_config_);
+  if (!inner.ok()) return inner.status();
+  size_t before = out->size();
+  FCB_RETURN_IF_ERROR(inner.value()->Decompress(
+      input.subspan(idx.payload_offsets[chunk], idx.payload_sizes[chunk]),
+      chunk_desc, out));
+  if (out->size() - before != raw) {
+    return Status::Corruption("chunked: chunk size mismatch after decode");
+  }
+  return Status::OK();
+}
+
+Status ChunkedCompressor::Decompress(ByteSpan input, const DataDesc& desc,
+                                     Buffer* out) {
+  FCB_RETURN_IF_ERROR(init_status_);
+  FCB_ASSIGN_OR_RETURN(Index idx, ReadIndex(input));
+  if (idx.raw_bytes != desc.num_bytes()) {
+    return Status::Corruption("chunked: declared size disagrees with desc");
+  }
+  const size_t esize = DTypeSize(desc.dtype);
+  if (idx.raw_bytes % esize != 0 || idx.chunk_raw_bytes % esize != 0) {
+    return Status::Corruption("chunked: sizes not element-aligned");
+  }
+
+  const size_t nchunks = idx.num_chunks();
+  const size_t base = out->size();
+  out->Resize(base + idx.raw_bytes);
+  std::vector<Status> stats(nchunks);
+  ThreadPool::Shared().ParallelFor(
+      nchunks,
+      [&](size_t c) {
+        Buffer part;
+        Status st = DecodeOne(idx, input, desc, c, &part);
+        if (!st.ok()) {
+          stats[c] = st;
+          return;
+        }
+        std::memcpy(out->data() + base + c * idx.chunk_raw_bytes,
+                    part.data(), part.size());
+      },
+      {/*grain=*/1, /*max_parallelism=*/static_cast<size_t>(threads_)});
+  for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
+  return Status::OK();
+}
+
+Status ChunkedCompressor::DecompressChunk(ByteSpan input,
+                                          const DataDesc& desc, size_t index,
+                                          Buffer* out) {
+  FCB_RETURN_IF_ERROR(init_status_);
+  FCB_ASSIGN_OR_RETURN(Index idx, ReadIndex(input));
+  if (idx.raw_bytes != desc.num_bytes()) {
+    return Status::Corruption("chunked: declared size disagrees with desc");
+  }
+  const size_t esize = DTypeSize(desc.dtype);
+  if (idx.raw_bytes % esize != 0 || idx.chunk_raw_bytes % esize != 0) {
+    return Status::Corruption("chunked: sizes not element-aligned");
+  }
+  if (index >= idx.num_chunks()) {
+    return Status::InvalidArgument("chunked: chunk index out of range");
+  }
+  return DecodeOne(idx, input, desc, index, out);
+}
+
+}  // namespace fcbench

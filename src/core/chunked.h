@@ -1,0 +1,96 @@
+#ifndef FCBENCH_CORE_CHUNKED_H_
+#define FCBENCH_CORE_CHUNKED_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/compressor.h"
+
+namespace fcbench {
+
+/// Generic chunk-parallel adapter: wraps any registry method, splits the
+/// input into fixed-size element-aligned chunks, compresses the chunks in
+/// parallel on the shared pool, and emits a framed container that decodes
+/// either in parallel or one chunk at a time (random access).
+///
+/// Container layout (all integers little-endian / varint):
+///   u32     magic "FCPK"
+///   varint  version (1)
+///   varint  raw_bytes         total uncompressed payload
+///   varint  chunk_raw_bytes   raw bytes per chunk (last chunk may be short)
+///   varint  num_chunks
+///   varint  payload_size[num_chunks]
+///   u64     xxh64 of every byte above (header + directory)
+///   payload bytes, concatenated in chunk order
+///
+/// Determinism: the layout is a pure function of (input, wrapped method,
+/// chunk_raw_bytes). `CompressorConfig::threads` only bounds execution
+/// parallelism — the inner method always runs with threads=1 so that
+/// thread-count-sensitive wrapped formats (pFPC's chunk directory) cannot
+/// leak scheduling into the bytes. Output is byte-identical for any
+/// thread count.
+class ChunkedCompressor : public Compressor {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 256 << 10;
+
+  /// Wraps registry method `method`; fails if the method is unknown.
+  static Result<std::unique_ptr<Compressor>> Wrap(
+      std::string_view method, const CompressorConfig& config = {});
+
+  /// Registry-facing factory: same as Wrap but never fails at
+  /// construction — an unknown base method surfaces as an error status
+  /// from Compress/Decompress instead.
+  static std::unique_ptr<Compressor> Make(std::string method,
+                                          const CompressorConfig& config);
+
+  ChunkedCompressor(std::string method, const CompressorConfig& config);
+
+  const CompressorTraits& traits() const override { return traits_; }
+  const std::string& base_method() const { return method_; }
+
+  Status Compress(ByteSpan input, const DataDesc& desc,
+                  Buffer* out) override;
+  Status Decompress(ByteSpan input, const DataDesc& desc,
+                    Buffer* out) override;
+
+  /// Parsed directory of a chunked stream; offsets index into the same
+  /// span that was passed to ReadIndex.
+  struct Index {
+    uint64_t raw_bytes = 0;
+    uint64_t chunk_raw_bytes = 0;
+    std::vector<uint64_t> payload_sizes;
+    std::vector<size_t> payload_offsets;
+
+    size_t num_chunks() const { return payload_sizes.size(); }
+    /// Raw (uncompressed) byte count of chunk `i`.
+    uint64_t RawSizeOfChunk(size_t i) const;
+  };
+
+  /// Validates and parses the container header + directory (checksummed;
+  /// truncation and bit corruption both surface as Corruption).
+  static Result<Index> ReadIndex(ByteSpan input);
+
+  /// Decodes only chunk `index`, appending its raw bytes to `out`. `desc`
+  /// is the descriptor of the *whole* array (as passed to Decompress);
+  /// used for element width and total-size validation. This is the
+  /// random-access path query engines use to touch one chunk of a column.
+  Status DecompressChunk(ByteSpan input, const DataDesc& desc, size_t index,
+                         Buffer* out);
+
+ private:
+  Status DecodeOne(const Index& idx, ByteSpan input, const DataDesc& desc,
+                   size_t chunk, Buffer* out);
+
+  CompressorTraits traits_;
+  std::string method_;
+  CompressorConfig inner_config_;  // threads pinned to 1; see class doc
+  size_t chunk_bytes_;
+  int threads_;
+  Status init_status_;
+};
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_CORE_CHUNKED_H_

@@ -1,6 +1,7 @@
 #ifndef FCBENCH_CORE_COMPRESSOR_H_
 #define FCBENCH_CORE_COMPRESSOR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -48,6 +49,10 @@ struct CompressorConfig {
   /// Block/page size in bytes for blockable methods; 0 = method default.
   /// Swept by the Table 10 experiment (4 KiB / 64 KiB / 8 MiB).
   size_t block_size = 0;
+  /// `par-<method>` adapters only: raw bytes per parallel chunk, rounded
+  /// down to a whole element count (0 = 256 KiB default). The chunked
+  /// wire format depends on this value but never on `threads`.
+  size_t chunk_bytes = 0;
   /// Effort level (search depth for dictionary methods).
   int level = 1;
   /// fpzip only: number of most-significant bits kept per value
@@ -85,13 +90,17 @@ class Compressor {
   virtual const gpusim::GpuTiming* last_gpu_timing() const { return nullptr; }
 };
 
-/// Factory signature used by the registry.
+/// Factory signature used by the registry. A std::function (not a bare
+/// function pointer) so adapter registrations — the `par-<method>`
+/// chunk-parallel wrappers — can close over the wrapped method's name.
 using CompressorFactory =
-    std::unique_ptr<Compressor> (*)(const CompressorConfig&);
+    std::function<std::unique_ptr<Compressor>(const CompressorConfig&)>;
 
 /// Central registry of every studied method. Names follow the paper:
 ///   pfpc, spdp, fpzip, bitshuffle_lz4, bitshuffle_zstd, ndzip_cpu, buff,
 ///   gorilla, chimp128, gfc, mpc, nv_lz4, nv_bitcomp, ndzip_gpu, dzip_nn
+/// plus a chunk-parallel `par-<method>` variant of every lossless CPU
+/// method (see core/chunked.h).
 class CompressorRegistry {
  public:
   static CompressorRegistry& Global();

@@ -10,6 +10,7 @@
 #include "compressors/ndzip.h"
 #include "compressors/pfpc.h"
 #include "compressors/spdp.h"
+#include "core/chunked.h"
 #include "core/compressor.h"
 #include "gpusim/gfc.h"
 #include "gpusim/mpc.h"
@@ -68,11 +69,11 @@ void CompressorRegistry::Register(std::string name,
                                   CompressorFactory factory) {
   for (auto& [n, f] : entries_) {
     if (n == name) {
-      f = factory;  // idempotent re-registration
+      f = std::move(factory);  // idempotent re-registration
       return;
     }
   }
-  entries_.emplace_back(std::move(name), factory);
+  entries_.emplace_back(std::move(name), std::move(factory));
 }
 
 Result<std::unique_ptr<Compressor>> CompressorRegistry::Create(
@@ -117,6 +118,21 @@ void RegisterAllCompressors() {
   r.Register("nv_bitcomp", &gpusim::NvBitcompSimCompressor::Make);
   r.Register("ndzip_gpu", &gpusim::NdzipGpuCompressor::Make);
   r.Register("dzip_nn", &nn::DzipNnCompressor::Make);
+
+  // Chunk-parallel `par-<method>` adapters (core/chunked.h) for every
+  // lossless CPU method. Excluded: the GPU-simulated methods (their
+  // modeled device timing would be lost behind the wrapper), buff (its
+  // documented lossy-without-precision exception would leak through the
+  // par- name), and dzip_nn (per-call model retraining makes chunked
+  // round trips impractically slow).
+  for (const char* base :
+       {"pfpc", "spdp", "fpzip", "bitshuffle_lz4", "bitshuffle_zstd",
+        "ndzip_cpu", "gorilla", "chimp128"}) {
+    r.Register(std::string("par-") + base,
+               [base](const CompressorConfig& config) {
+                 return ChunkedCompressor::Make(base, config);
+               });
+  }
 }
 
 }  // namespace fcbench

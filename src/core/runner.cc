@@ -86,8 +86,15 @@ RunResult BenchmarkRunner::RunOne(Compressor* comp,
   return r;
 }
 
-RunResult BenchmarkRunner::RunOne(const std::string& method,
+std::string BenchmarkRunner::ResolveMethod(const std::string& method) const {
+  if (!options_.parallel || method.rfind("par-", 0) == 0) return method;
+  std::string par = "par-" + method;
+  return CompressorRegistry::Global().Contains(par) ? par : method;
+}
+
+RunResult BenchmarkRunner::RunOne(const std::string& raw_method,
                                   const data::Dataset& ds) const {
+  const std::string method = ResolveMethod(raw_method);
   auto cr = CompressorRegistry::Global().Create(method, options_.config);
   if (!cr.ok()) {
     RunResult r;

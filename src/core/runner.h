@@ -44,6 +44,11 @@ class BenchmarkRunner {
     /// Verify round trips (skipped for BUFF on full-precision data, which
     /// is lossy by design; the result records exactness regardless).
     bool verify = true;
+    /// Opt-in parallel mode for the §5.2 protocol: methods that have a
+    /// chunk-parallel `par-<method>` registry variant are run through it
+    /// (results then carry the par- name). Methods without a variant run
+    /// unchanged, so a full sweep still covers the whole suite.
+    bool parallel = false;
     uint64_t seed = 42;
     CompressorConfig config;
   };
@@ -56,8 +61,13 @@ class BenchmarkRunner {
   /// Runs one method on one generated dataset.
   RunResult RunOne(Compressor* comp, const data::Dataset& ds) const;
 
-  /// Runs a method by registry name.
+  /// Runs a method by registry name. With options().parallel set, the
+  /// name is first resolved through ResolveMethod().
   RunResult RunOne(const std::string& method, const data::Dataset& ds) const;
+
+  /// The registry name the options map `method` to: "par-<method>" when
+  /// parallel mode is on and that variant exists, else `method` itself.
+  std::string ResolveMethod(const std::string& method) const;
 
   /// Full sweep: every method name x every dataset in `datasets`.
   /// Datasets are generated once and reused across methods.

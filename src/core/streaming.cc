@@ -1,5 +1,6 @@
 #include "core/streaming.h"
 
+#include "core/chunked.h"
 #include "util/bitio.h"
 #include "util/hash.h"
 
@@ -10,6 +11,14 @@ Result<StreamWriter> StreamWriter::Open(std::string_view method,
   StreamWriter w;
   FCB_ASSIGN_OR_RETURN(w.compressor_,
                        CompressorRegistry::Global().Create(method, config));
+  return w;
+}
+
+Result<StreamWriter> StreamWriter::OpenChunked(
+    std::string_view method, const CompressorConfig& config) {
+  StreamWriter w;
+  FCB_ASSIGN_OR_RETURN(w.compressor_,
+                       ChunkedCompressor::Wrap(method, config));
   return w;
 }
 
@@ -43,6 +52,14 @@ Result<StreamReader> StreamReader::Open(std::string_view method,
   StreamReader r;
   FCB_ASSIGN_OR_RETURN(r.compressor_,
                        CompressorRegistry::Global().Create(method, config));
+  return r;
+}
+
+Result<StreamReader> StreamReader::OpenChunked(
+    std::string_view method, const CompressorConfig& config) {
+  StreamReader r;
+  FCB_ASSIGN_OR_RETURN(r.compressor_,
+                       ChunkedCompressor::Wrap(method, config));
   return r;
 }
 

@@ -28,6 +28,16 @@ class StreamWriter {
   static Result<StreamWriter> Open(std::string_view method,
                                    const CompressorConfig& config = {});
 
+  /// Creates a writer whose frames are chunk-parallel containers of
+  /// `method` (core/chunked.h): each Append compresses its chunks on the
+  /// shared pool, which keeps an in-situ producer ahead of the simulation
+  /// even for large time steps. Works for any registry method, including
+  /// ones without a registered par- variant. Frame layout is unchanged —
+  /// the chunked container is just the payload — and payload bytes are
+  /// independent of the thread count.
+  static Result<StreamWriter> OpenChunked(std::string_view method,
+                                          const CompressorConfig& config = {});
+
   /// Compresses one chunk (a whole number of `dtype` elements) into a
   /// frame appended to `out`.
   Status Append(ByteSpan chunk, DType dtype, Buffer* out);
@@ -51,6 +61,11 @@ class StreamReader {
   /// e.g. the .fcz container or the ColumnStore manifest).
   static Result<StreamReader> Open(std::string_view method,
                                    const CompressorConfig& config = {});
+
+  /// Reader counterpart of StreamWriter::OpenChunked: decodes frames
+  /// whose payloads are chunk-parallel containers of `method`.
+  static Result<StreamReader> OpenChunked(std::string_view method,
+                                          const CompressorConfig& config = {});
 
   /// True when at least one more frame starts at the current position.
   bool HasNext(ByteSpan stream) const { return offset_ < stream.size(); }

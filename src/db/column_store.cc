@@ -5,6 +5,7 @@
 
 #include "util/bitio.h"
 #include "util/hash.h"
+#include "util/thread_pool.h"
 
 namespace fcbench::db {
 
@@ -92,29 +93,37 @@ Status ColumnStore::Write(const std::string& prefix,
     }
   }
 
-  for (size_t i = 0; i < columns.size(); ++i) {
-    const ColumnSpec& c = columns[i];
-    DataDesc desc;
-    desc.dtype = c.dtype;
-    desc.extent = {rows};
-    desc.precision_digits = c.precision_digits;
+  // One task per column: dtype conversion, page compression, and file
+  // write all run in parallel on the shared pool. Columns touch disjoint
+  // files, so the only shared state is the status vector.
+  std::vector<Status> stats(columns.size());
+  ThreadPool::Shared().ParallelFor(
+      columns.size(),
+      [&](size_t i) {
+        const ColumnSpec& c = columns[i];
+        DataDesc desc;
+        desc.dtype = c.dtype;
+        desc.extent = {rows};
+        desc.precision_digits = c.precision_digits;
 
-    Buffer bytes(rows * DTypeSize(c.dtype));
-    if (c.dtype == DType::kFloat32) {
-      float* dst = reinterpret_cast<float*>(bytes.data());
-      for (size_t r = 0; r < rows; ++r) {
-        dst[r] = static_cast<float>(c.values[r]);
-      }
-    } else {
-      std::memcpy(bytes.data(), c.values.data(), rows * 8);
-    }
+        Buffer bytes(rows * DTypeSize(c.dtype));
+        if (c.dtype == DType::kFloat32) {
+          float* dst = reinterpret_cast<float*>(bytes.data());
+          for (size_t r = 0; r < rows; ++r) {
+            dst[r] = static_cast<float>(c.values[r]);
+          }
+        } else {
+          std::memcpy(bytes.data(), c.values.data(), rows * 8);
+        }
 
-    PagedFile::Options opt;
-    opt.page_size = page_size;
-    opt.compressor = c.compressor;
-    FCB_RETURN_IF_ERROR(
-        PagedFile::Write(ColumnPath(prefix, i), bytes.span(), desc, opt));
-  }
+        PagedFile::Options opt;
+        opt.page_size = page_size;
+        opt.compressor = c.compressor;
+        stats[i] =
+            PagedFile::Write(ColumnPath(prefix, i), bytes.span(), desc, opt);
+      },
+      {/*grain=*/1});
+  for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
 
   Buffer manifest;
   PutFixed(&manifest, kManifestMagic);
@@ -185,6 +194,50 @@ Result<DataFrame> ColumnStore::Read(const std::string& prefix,
     out_cols.push_back(std::move(col));
   }
   return DataFrame::FromColumns(std::move(out_names), std::move(out_cols));
+}
+
+Result<std::vector<double>> ColumnStore::ReadRows(const std::string& prefix,
+                                                  const std::string& column,
+                                                  uint64_t row_begin,
+                                                  uint64_t row_count,
+                                                  ReadStats* stats) {
+  FCB_ASSIGN_OR_RETURN(Manifest m, ReadManifest(prefix));
+  size_t idx = m.names.size();
+  for (size_t i = 0; i < m.names.size(); ++i) {
+    if (m.names[i] == column) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == m.names.size()) {
+    return Status::InvalidArgument("column_store: no column '" + column +
+                                   "'");
+  }
+
+  const std::string path = ColumnPath(prefix, idx);
+  FCB_ASSIGN_OR_RETURN(DataDesc desc, PagedFile::ReadDesc(path));
+  const size_t esize = DTypeSize(desc.dtype);
+  PagedFile::ReadTiming timing;
+  FCB_ASSIGN_OR_RETURN(
+      Buffer bytes,
+      PagedFile::ReadByteRange(path, row_begin * esize, row_count * esize,
+                               &timing));
+  if (stats != nullptr) {
+    stats->io_seconds += timing.io_seconds;
+    stats->decode_seconds += timing.decode_seconds;
+    stats->bytes_decoded += timing.decoded_bytes;  // whole touched pages
+    auto fs = PagedFile::FileSize(path);
+    if (fs.ok()) stats->bytes_on_disk += fs.value();
+  }
+
+  std::vector<double> out(row_count);
+  if (desc.dtype == DType::kFloat32) {
+    const float* src = reinterpret_cast<const float*>(bytes.data());
+    for (uint64_t r = 0; r < row_count; ++r) out[r] = src[r];
+  } else if (row_count > 0) {
+    std::memcpy(out.data(), bytes.data(), row_count * 8);
+  }
+  return out;
 }
 
 Status ColumnStore::Drop(const std::string& prefix) {

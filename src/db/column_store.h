@@ -43,7 +43,10 @@ class ColumnStore {
     uint64_t bytes_decoded = 0;
   };
 
-  /// Writes `columns` (all the same length) under `prefix`.
+  /// Writes `columns` (all the same length) under `prefix`. Columns are
+  /// converted and compressed in parallel on the shared pool — one task
+  /// per column, so a wide table saturates the host even when every
+  /// column uses a serial method.
   static Status Write(const std::string& prefix,
                       const std::vector<ColumnSpec>& columns,
                       size_t page_size = 64 << 10);
@@ -58,6 +61,16 @@ class ColumnStore {
   static Result<DataFrame> Read(const std::string& prefix,
                                 const std::vector<std::string>& names = {},
                                 ReadStats* stats = nullptr);
+
+  /// Reads rows [row_begin, row_begin + row_count) of one column,
+  /// decoding only the pages that overlap the range (chunk-granular
+  /// pushdown for point/range queries; the rest of the column is never
+  /// decompressed).
+  static Result<std::vector<double>> ReadRows(const std::string& prefix,
+                                              const std::string& column,
+                                              uint64_t row_begin,
+                                              uint64_t row_count,
+                                              ReadStats* stats = nullptr);
 
   /// Removes all files written under `prefix`.
   static Status Drop(const std::string& prefix);

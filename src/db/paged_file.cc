@@ -211,9 +211,78 @@ Result<Buffer> PagedFile::Read(const std::string& path, ReadTiming* timing) {
   }
   if (timing != nullptr) {
     timing->decode_seconds = decode_timer.ElapsedSeconds();
+    timing->decoded_bytes = out.size();
   }
   if (out.size() != total_bytes) {
     return Status::Corruption("paged file: size mismatch after decode");
+  }
+  return out;
+}
+
+Result<Buffer> PagedFile::ReadByteRange(const std::string& path,
+                                        uint64_t offset, uint64_t length,
+                                        ReadTiming* timing) {
+  Timer io_timer;
+  auto file_r = ReadWholeFile(path);
+  if (!file_r.ok()) return file_r.status();
+  Buffer file = std::move(file_r).TakeValue();
+  if (timing != nullptr) timing->io_seconds = io_timer.ElapsedSeconds();
+
+  auto hr = ParseHeader(file.span());
+  if (!hr.ok()) return hr.status();
+  const ParsedHeader& h = hr.value();
+  const uint64_t total_bytes = h.desc.num_bytes();
+  if (offset > total_bytes || length > total_bytes - offset) {
+    return Status::OutOfRange("paged file: byte range past end of array");
+  }
+
+  Timer decode_timer;
+  Buffer out;
+  if (length == 0) return out;
+  const size_t first_page = static_cast<size_t>(offset / h.page);
+  const size_t last_page = static_cast<size_t>((offset + length - 1) / h.page);
+  if (last_page >= h.page_sizes.size()) {
+    return Status::Corruption("paged file: page directory short of range");
+  }
+
+  const bool raw = h.compressor == "none";
+  std::unique_ptr<Compressor> comp;
+  if (!raw) {
+    auto cr = CompressorRegistry::Global().Create(h.compressor);
+    if (!cr.ok()) return cr.status();
+    comp = std::move(cr).TakeValue();
+  }
+
+  size_t page_start = h.payload_offset;
+  for (size_t p = 0; p < first_page; ++p) page_start += h.page_sizes[p];
+  uint64_t page_raw_begin = static_cast<uint64_t>(first_page) * h.page;
+  Buffer decoded;  // raw bytes of the touched pages only
+  for (size_t p = first_page; p <= last_page; ++p) {
+    if (page_start + h.page_sizes[p] > file.size()) {
+      return Status::Corruption("paged file: truncated pages");
+    }
+    ByteSpan page_bytes = file.span().subspan(page_start, h.page_sizes[p]);
+    page_start += h.page_sizes[p];
+    size_t logical = static_cast<size_t>(
+        std::min<uint64_t>(h.page, total_bytes - uint64_t(p) * h.page));
+    if (raw) {
+      decoded.Append(page_bytes);
+    } else {
+      size_t before = decoded.size();
+      FCB_RETURN_IF_ERROR(
+          comp->Decompress(page_bytes, PageDesc(h.desc, logical), &decoded));
+      if (decoded.size() - before != logical) {
+        return Status::Corruption("paged file: page size mismatch");
+      }
+    }
+  }
+  if (decoded.size() < offset - page_raw_begin + length) {
+    return Status::Corruption("paged file: short page decode");
+  }
+  out.Append(decoded.data() + (offset - page_raw_begin), length);
+  if (timing != nullptr) {
+    timing->decode_seconds = decode_timer.ElapsedSeconds();
+    timing->decoded_bytes = decoded.size();
   }
   return out;
 }

@@ -33,6 +33,10 @@ class PagedFile {
   struct ReadTiming {
     double io_seconds = 0;
     double decode_seconds = 0;
+    /// Raw bytes actually decompressed. For ReadByteRange this counts the
+    /// whole touched pages, not just the returned slice — the honest
+    /// decode cost of a pushdown read.
+    uint64_t decoded_bytes = 0;
   };
 
   /// Compresses `data` page by page and writes the container to `path`.
@@ -42,6 +46,15 @@ class PagedFile {
   /// Reads the container back: file I/O and per-page decompression are
   /// timed separately. Returns the raw little-endian element bytes.
   static Result<Buffer> Read(const std::string& path, ReadTiming* timing);
+
+  /// Reads raw bytes [offset, offset + length) of the stored array,
+  /// decoding only the pages that overlap the range (chunk-granular
+  /// pushdown: a point or range query touches one page, not the column).
+  /// The file is still read whole — the saving is decode work, which
+  /// dominates for compressed columns (§6.2.2).
+  static Result<Buffer> ReadByteRange(const std::string& path,
+                                      uint64_t offset, uint64_t length,
+                                      ReadTiming* timing = nullptr);
 
   /// Reads only the stored metadata (no page decode).
   static Result<DataDesc> ReadDesc(const std::string& path);

@@ -9,24 +9,23 @@ namespace fcbench::gpusim {
 KernelStats SimtDevice::Launch(
     size_t num_warps, const std::function<void(WarpCtx&)>& warp_fn) const {
   if (num_warps == 0) return {};
-  size_t parts = std::min<size_t>(num_warps, host_threads_);
-  std::vector<KernelStats> partials(parts);
-  ThreadPool pool(parts);
-  size_t chunk = (num_warps + parts - 1) / parts;
-  for (size_t p = 0; p < parts; ++p) {
-    size_t begin = p * chunk;
-    size_t end = std::min(num_warps, begin + chunk);
-    if (begin >= end) break;
-    pool.Submit([&, p, begin, end] {
-      for (size_t w = begin; w < end; ++w) {
-        WarpCtx ctx(w, &partials[p]);
-        warp_fn(ctx);
-      }
-    });
-  }
-  pool.Wait();
+  // Shared pool (never a per-launch pool: Launch sits inside the
+  // GPU-simulated methods' Compress/Decompress paths). KernelStats
+  // counters are integers, so merge order cannot change the totals.
   KernelStats total;
-  for (const auto& s : partials) total += s;
+  std::mutex merge_mu;
+  ThreadPool::Shared().ParallelRanges(
+      num_warps,
+      [&](size_t begin, size_t end) {
+        KernelStats local;
+        for (size_t w = begin; w < end; ++w) {
+          WarpCtx ctx(w, &local);
+          warp_fn(ctx);
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        total += local;
+      },
+      /*max_ranges=*/static_cast<size_t>(std::max(host_threads_, 1)));
   return total;
 }
 

@@ -1,8 +1,34 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
 
 namespace fcbench {
+
+namespace {
+
+/// Set for the lifetime of a worker thread; lets ParallelFor detect that
+/// it is being called from inside one of its own pool's tasks (nested
+/// parallelism) and degrade to inline execution instead of deadlocking.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+/// Per-ParallelFor shared state: a dynamic work cursor plus a private
+/// join, so concurrent ParallelFor calls on the same (shared) pool never
+/// wait on each other's tasks.
+struct ForState {
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  size_t helpers_pending = 0;
+  std::exception_ptr first_exception;
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -21,6 +47,36 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+ThreadPool& ThreadPool::Shared() {
+  // Leaked deliberately: workers park in their condition wait at process
+  // exit, which sidesteps static-destruction-order joins from other
+  // translation units' destructors.
+  static ThreadPool* pool = new ThreadPool(
+      static_cast<size_t>(DefaultThreads()));
+  return *pool;
+}
+
+int ThreadPool::DefaultThreads() {
+  static const int resolved = [] {
+    if (const char* env = std::getenv("FCBENCH_THREADS")) {
+      char* end = nullptr;
+      long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) {
+        return static_cast<int>(std::min<long>(v, 512));
+      }
+      std::fprintf(stderr,
+                   "fcbench: ignoring invalid FCBENCH_THREADS='%s'\n", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }();
+  return resolved;
+}
+
+int ThreadPool::ResolveThreads(int configured) {
+  return configured > 0 ? configured : DefaultThreads();
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -35,27 +91,147 @@ void ThreadPool::Wait() {
   cv_done_.wait(lock, [this] { return inflight_ == 0; });
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  ParallelRanges(n, [&fn](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) fn(i);
-  });
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             ForOptions options) {
+  if (n == 0) return;
+
+  size_t participants = workers_.size() + 1;  // workers + calling thread
+  if (options.max_parallelism > 0) {
+    participants = std::min(participants, options.max_parallelism);
+  }
+
+  // Reentrant call from one of our own workers: the queue position this
+  // call would need may be behind the very task we are running, so run
+  // inline. Single-participant budgets take the same path.
+  if (participants <= 1 || tls_worker_pool == this) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  size_t grain = options.grain;
+  if (grain == 0) grain = std::max<size_t>(1, n / (participants * 4));
+
+  const size_t chunks = (n + grain - 1) / grain;
+  // One drain loop per participant; never more helpers than there are
+  // chunks beyond the one the caller will take.
+  const size_t helpers = std::min(participants - 1, chunks - 1);
+
+  auto state = std::make_shared<ForState>();
+  state->helpers_pending = helpers;
+
+  // The caller blocks until every helper finishes, so `fn` (a reference)
+  // and `state` outlive all users.
+  auto drain = [state, n, grain, &fn] {
+    for (;;) {
+      if (state->failed.load(std::memory_order_relaxed)) return;
+      size_t begin = state->next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      size_t end = std::min(n, begin + grain);
+      try {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->first_exception) {
+          state->first_exception = std::current_exception();
+        }
+        state->failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, drain] {
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        --state->helpers_pending;
+      }
+      state->cv.notify_all();
+    });
+  }
+
+  drain();
+
+  // The cursor is exhausted, but queued helper stubs must still be
+  // dequeued before `state` and `fn` can die. Rather than sleeping while
+  // they sit behind unrelated work on a shared pool, the caller helps
+  // drain the queue: its own stubs are in there somewhere, and executing
+  // the tasks ahead of them is at worst the same work the pool would do
+  // serially anyway. Once the queue is empty our stubs are either done or
+  // running on a worker, and a plain wait is bounded by one drain pass.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (state->helpers_pending == 0) break;
+    }
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+    }
+    if (task) {
+      RunTask(task);
+    } else {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait(lock, [&state] { return state->helpers_pending == 0; });
+      break;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    if (state->first_exception) std::rethrow_exception(state->first_exception);
+  }
 }
 
 void ThreadPool::ParallelRanges(
-    size_t n, const std::function<void(size_t, size_t)>& fn) {
+    size_t n, const std::function<void(size_t, size_t)>& fn,
+    size_t max_ranges) {
   if (n == 0) return;
-  size_t parts = std::min(n, workers_.size());
-  size_t chunk = (n + parts - 1) / parts;
-  for (size_t p = 0; p < parts; ++p) {
-    size_t begin = p * chunk;
-    size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    Submit([begin, end, &fn] { fn(begin, end); });
+  size_t parts = workers_.size() + 1;
+  if (max_ranges > 0) parts = std::min(parts, max_ranges);
+  parts = std::min(parts, n);
+  if (parts <= 1 || tls_worker_pool == this) {
+    fn(0, n);
+    return;
   }
-  Wait();
+  const size_t chunk = (n + parts - 1) / parts;
+  // Reuse the dynamic machinery with range-sized grains: each claimed
+  // chunk is exactly one contiguous range.
+  ParallelFor((n + chunk - 1) / chunk,
+              [&fn, n, chunk](size_t part) {
+                size_t begin = part * chunk;
+                size_t end = std::min(n, begin + chunk);
+                fn(begin, end);
+              },
+              {/*grain=*/1, /*max_parallelism=*/parts});
+}
+
+void ThreadPool::RunTask(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    // Raw Submit() tasks have no caller left to rethrow into; dying with
+    // a diagnostic beats the bare std::terminate an escaping exception
+    // used to cause. ParallelFor wraps its work in its own try/catch, so
+    // only contract violations reach this handler.
+    std::fprintf(stderr,
+                 "fcbench: ThreadPool task threw an exception; tasks must "
+                 "be no-throw (see util/thread_pool.h)\n");
+    std::terminate();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --inflight_;
+    if (inflight_ == 0) cv_done_.notify_all();
+  }
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -65,12 +241,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      --inflight_;
-      if (inflight_ == 0) cv_done_.notify_all();
-    }
+    RunTask(task);
   }
 }
 

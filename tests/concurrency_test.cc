@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/chunked.h"
 #include "core/compressor.h"
 #include "util/rng.h"
 
@@ -112,6 +113,152 @@ TEST(ConcurrencyTest, SharedInstanceSequentialReuse) {
           << name << " state leaked between calls (count=" << count << ")";
     }
   }
+}
+
+// --- chunk-parallel adapter -------------------------------------------------
+
+std::vector<uint8_t> ChunkTestData(size_t count) { return ThreadData(77, count); }
+
+DataDesc ChunkDesc(size_t count) {
+  DataDesc desc;
+  desc.dtype = DType::kFloat64;
+  desc.extent = {count};
+  return desc;
+}
+
+/// Small chunks so even modest inputs span many chunks.
+CompressorConfig ChunkConfig(int threads) {
+  CompressorConfig cfg;
+  cfg.threads = threads;
+  cfg.chunk_bytes = 4096;  // 512 f64 elements per chunk
+  return cfg;
+}
+
+TEST(ChunkedTest, RoundTripAcrossThreadCounts) {
+  RegisterAllCompressors();
+  constexpr size_t kCount = 5000;  // 9 full chunks + a short tail
+  const auto input = ChunkTestData(kCount);
+  const DataDesc desc = ChunkDesc(kCount);
+  for (const char* method : {"par-gorilla", "par-pfpc", "par-bitshuffle_lz4",
+                             "par-ndzip_cpu", "par-chimp128"}) {
+    for (int threads : {1, 2, 8}) {
+      auto comp = CompressorRegistry::Global()
+                      .Create(method, ChunkConfig(threads))
+                      .TakeValue();
+      Buffer enc, dec;
+      ASSERT_TRUE(comp->Compress(ByteSpan(input.data(), input.size()), desc,
+                                 &enc)
+                      .ok())
+          << method << " threads=" << threads;
+      ASSERT_TRUE(comp->Decompress(enc.span(), desc, &dec).ok())
+          << method << " threads=" << threads;
+      ASSERT_EQ(dec.size(), input.size()) << method;
+      EXPECT_EQ(std::memcmp(dec.data(), input.data(), input.size()), 0)
+          << method << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ChunkedTest, OutputByteIdenticalAcrossThreadCounts) {
+  RegisterAllCompressors();
+  constexpr size_t kCount = 5000;
+  const auto input = ChunkTestData(kCount);
+  const DataDesc desc = ChunkDesc(kCount);
+  // pfpc is the one wrapped format whose own layout is thread-sensitive;
+  // the adapter must insulate the container from that too.
+  for (const char* method : {"par-gorilla", "par-pfpc"}) {
+    Buffer reference;
+    ASSERT_TRUE(CompressorRegistry::Global()
+                    .Create(method, ChunkConfig(1))
+                    .TakeValue()
+                    ->Compress(ByteSpan(input.data(), input.size()), desc,
+                               &reference)
+                    .ok());
+    for (int threads : {2, 8}) {
+      Buffer enc;
+      ASSERT_TRUE(CompressorRegistry::Global()
+                      .Create(method, ChunkConfig(threads))
+                      .TakeValue()
+                      ->Compress(ByteSpan(input.data(), input.size()), desc,
+                                 &enc)
+                      .ok());
+      ASSERT_EQ(enc.size(), reference.size())
+          << method << ": stream length depends on thread count";
+      EXPECT_EQ(std::memcmp(enc.data(), reference.data(), enc.size()), 0)
+          << method << ": bytes depend on thread count (threads=" << threads
+          << ")";
+    }
+  }
+}
+
+TEST(ChunkedTest, TruncatedAndCorruptedDirectoryFailCleanly) {
+  RegisterAllCompressors();
+  constexpr size_t kCount = 5000;
+  const auto input = ChunkTestData(kCount);
+  const DataDesc desc = ChunkDesc(kCount);
+  auto comp = CompressorRegistry::Global()
+                  .Create("par-gorilla", ChunkConfig(2))
+                  .TakeValue();
+  Buffer enc;
+  ASSERT_TRUE(
+      comp->Compress(ByteSpan(input.data(), input.size()), desc, &enc).ok());
+
+  // Truncations everywhere in the header/directory region (and a few in
+  // the payloads) must decode to an error, never a crash or silent
+  // success.
+  for (size_t keep : {size_t{0}, size_t{3}, size_t{4}, size_t{9}, size_t{17},
+                      enc.size() / 2, enc.size() - 1}) {
+    Buffer dec;
+    Status st = comp->Decompress(enc.span().subspan(0, keep), desc, &dec);
+    EXPECT_FALSE(st.ok()) << "truncated to " << keep << " bytes";
+  }
+  // Bit flips anywhere in the header + directory + checksum region must
+  // all be caught by the directory checksum (payload integrity is the
+  // wrapped method's concern).
+  auto idx = ChunkedCompressor::ReadIndex(enc.span());
+  ASSERT_TRUE(idx.ok());
+  const size_t dir_end = idx.value().payload_offsets[0];
+  for (size_t victim = 0; victim < dir_end; ++victim) {
+    Buffer copy = Buffer::FromSpan(enc.span());
+    copy.data()[victim] ^= 0x40;
+    Buffer dec;
+    Status st = comp->Decompress(copy.span(), desc, &dec);
+    EXPECT_FALSE(st.ok()) << "flip at byte " << victim
+                          << " decoded successfully";
+  }
+}
+
+TEST(ChunkedTest, RandomAccessChunkDecodeMatchesFull) {
+  RegisterAllCompressors();
+  constexpr size_t kCount = 5000;
+  const auto input = ChunkTestData(kCount);
+  const DataDesc desc = ChunkDesc(kCount);
+  ChunkedCompressor comp("gorilla", ChunkConfig(2));
+  Buffer enc;
+  ASSERT_TRUE(
+      comp.Compress(ByteSpan(input.data(), input.size()), desc, &enc).ok());
+
+  auto idx = ChunkedCompressor::ReadIndex(enc.span());
+  ASSERT_TRUE(idx.ok());
+  ASSERT_EQ(idx.value().num_chunks(), 10u);  // ceil(5000 / 512)
+
+  uint64_t raw_off = 0;
+  for (size_t c = 0; c < idx.value().num_chunks(); ++c) {
+    Buffer chunk;
+    ASSERT_TRUE(comp.DecompressChunk(enc.span(), desc, c, &chunk).ok())
+        << "chunk " << c;
+    uint64_t want = idx.value().RawSizeOfChunk(c);
+    ASSERT_EQ(chunk.size(), want) << "chunk " << c;
+    EXPECT_EQ(std::memcmp(chunk.data(), input.data() + raw_off, want), 0)
+        << "chunk " << c << " differs from the full decode";
+    raw_off += want;
+  }
+  EXPECT_EQ(raw_off, input.size());
+
+  Buffer oob;
+  EXPECT_FALSE(
+      comp.DecompressChunk(enc.span(), desc, idx.value().num_chunks(), &oob)
+          .ok());
 }
 
 }  // namespace

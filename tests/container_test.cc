@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/container.h"
+#include "test_names.h"
 #include "util/hash.h"
 #include "util/rng.h"
 
@@ -156,7 +157,7 @@ INSTANTIATE_TEST_SUITE_P(
       RegisterAllCompressors();
       return CompressorRegistry::Global().Names();
     }()),
-    [](const auto& param_info) { return param_info.param; });
+    [](const auto& param_info) { return SanitizeTestName(param_info.param); });
 
 TEST(ContainerTest, RejectsUnknownMethod) {
   DataDesc desc;

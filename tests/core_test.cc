@@ -26,7 +26,50 @@ TEST(RegistryTest, AllFifteenMethodsRegistered) {
         "nv_bitcomp", "ndzip_gpu", "dzip_nn"}) {
     EXPECT_TRUE(set.count(expected)) << expected;
   }
-  EXPECT_EQ(names.size(), 15u);
+  // Every lossless CPU method also has a chunk-parallel par- variant.
+  for (const char* expected :
+       {"par-pfpc", "par-spdp", "par-fpzip", "par-bitshuffle_lz4",
+        "par-bitshuffle_zstd", "par-ndzip_cpu", "par-gorilla",
+        "par-chimp128"}) {
+    EXPECT_TRUE(set.count(expected)) << expected;
+  }
+  EXPECT_EQ(names.size(), 15u + 8u);
+}
+
+TEST(RunnerTest, ParallelModeResolvesParVariants) {
+  BenchmarkRunner::Options opt;
+  opt.parallel = true;
+  BenchmarkRunner runner(opt);
+  EXPECT_EQ(runner.ResolveMethod("gorilla"), "par-gorilla");
+  EXPECT_EQ(runner.ResolveMethod("par-gorilla"), "par-gorilla");  // no par-par-
+  EXPECT_EQ(runner.ResolveMethod("gfc"), "gfc");  // no par variant exists
+
+  BenchmarkRunner serial;
+  EXPECT_EQ(serial.ResolveMethod("gorilla"), "gorilla");
+}
+
+TEST(RunnerTest, ParallelModeRunsTheParVariant) {
+  BenchmarkRunner::Options opt;
+  opt.parallel = true;
+  opt.repeats = 1;
+  opt.dataset_bytes = 1 << 16;
+  BenchmarkRunner runner(opt);
+  auto ds = data::GenerateDataset(*data::FindDataset("msg-bt"), 1 << 16);
+  ASSERT_TRUE(ds.ok());
+  RunResult r = runner.RunOne(std::string("gorilla"), ds.value());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.method, "par-gorilla");  // result carries the resolved name
+  EXPECT_TRUE(r.round_trip_exact);
+}
+
+TEST(RegistryTest, ParVariantTraitsMirrorBase) {
+  auto& reg = CompressorRegistry::Global();
+  auto base = reg.Create("gorilla").TakeValue();
+  auto par = reg.Create("par-gorilla").TakeValue();
+  EXPECT_EQ(par->traits().name, "par-gorilla");
+  EXPECT_TRUE(par->traits().parallel);
+  EXPECT_EQ(par->traits().predictor, base->traits().predictor);
+  EXPECT_EQ(par->traits().arch, Arch::kCpu);
 }
 
 TEST(RegistryTest, CreateUnknownFails) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/compressor.h"
+#include "test_names.h"
 #include "util/rng.h"
 
 namespace fcbench {
@@ -151,7 +152,7 @@ INSTANTIATE_TEST_SUITE_P(
       RegisterAllCompressors();
       return CompressorRegistry::Global().Names();
     }()),
-    [](const auto& param_info) { return param_info.param; });
+    [](const auto& param_info) { return SanitizeTestName(param_info.param); });
 
 }  // namespace
 }  // namespace fcbench

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/compressor.h"
+#include "test_names.h"
 #include "util/float_bits.h"
 #include "util/rng.h"
 
@@ -110,7 +111,7 @@ TEST_P(GoldenRoundTripTest, SmallBufferBitExact) {
 INSTANTIATE_TEST_SUITE_P(AllCpuCompressors, GoldenRoundTripTest,
                          ::testing::ValuesIn(CpuMethodNames()),
                          [](const ::testing::TestParamInfo<std::string>& i) {
-                           return i.param;
+                           return SanitizeTestName(i.param);
                          });
 
 // BUFF's lossless contract: when the data really has `precision_digits`

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/compressor.h"
+#include "test_names.h"
 #include "util/rng.h"
 
 namespace fcbench {
@@ -146,9 +147,10 @@ INSTANTIATE_TEST_SUITE_P(
             SpecialPattern::kRandomBits),
         ::testing::Bool()),
     [](const auto& param_info) {
-      return std::get<0>(param_info.param) + "_" +
-             PatternName(std::get<1>(param_info.param)) +
-             (std::get<2>(param_info.param) ? "_f64" : "_f32");
+      return SanitizeTestName(std::get<0>(param_info.param) + "_" +
+                              PatternName(std::get<1>(param_info.param)) +
+                              (std::get<2>(param_info.param) ? "_f64"
+                                                             : "_f32"));
     });
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/streaming.h"
+#include "test_names.h"
 #include "util/rng.h"
 
 namespace fcbench {
@@ -69,7 +70,7 @@ INSTANTIATE_TEST_SUITE_P(
       RegisterAllCompressors();
       return CompressorRegistry::Global().Names();
     }()),
-    [](const auto& param_info) { return param_info.param; });
+    [](const auto& param_info) { return SanitizeTestName(param_info.param); });
 
 TEST(StreamingTest, MixedDtypesInOneStream) {
   RegisterAllCompressors();
@@ -152,6 +153,55 @@ TEST(StreamingTest, RejectsMisalignedChunk) {
 TEST(StreamingTest, UnknownMethodRejected) {
   EXPECT_FALSE(StreamWriter::Open("no_such_method").ok());
   EXPECT_FALSE(StreamReader::Open("no_such_method").ok());
+  EXPECT_FALSE(StreamWriter::OpenChunked("no_such_method").ok());
+  EXPECT_FALSE(StreamReader::OpenChunked("no_such_method").ok());
+}
+
+TEST(StreamingTest, ChunkedFramesRoundTripAndAreThreadCountInvariant) {
+  RegisterAllCompressors();
+  // Chunked writer wraps a method without a registered par- variant too;
+  // frames must round-trip and the stream bytes must not depend on the
+  // thread budget.
+  CompressorConfig cfg2;
+  cfg2.threads = 2;
+  cfg2.chunk_bytes = 2048;  // several chunks per frame
+  auto writer = StreamWriter::OpenChunked("gorilla", cfg2);
+  ASSERT_TRUE(writer.ok());
+  Buffer stream;
+  std::vector<std::vector<uint8_t>> steps;
+  for (uint64_t s = 0; s < 4; ++s) {
+    steps.push_back(TimeStep(s, 1500 + s * 41));
+    ASSERT_TRUE(writer.value()
+                    .Append(ByteSpan(steps.back().data(),
+                                     steps.back().size()),
+                            DType::kFloat64, &stream)
+                    .ok());
+  }
+
+  CompressorConfig cfg8 = cfg2;
+  cfg8.threads = 8;
+  auto writer8 = StreamWriter::OpenChunked("gorilla", cfg8);
+  ASSERT_TRUE(writer8.ok());
+  Buffer stream8;
+  for (uint64_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(writer8.value()
+                    .Append(ByteSpan(steps[s].data(), steps[s].size()),
+                            DType::kFloat64, &stream8)
+                    .ok());
+  }
+  ASSERT_EQ(stream.size(), stream8.size());
+  EXPECT_EQ(std::memcmp(stream.data(), stream8.data(), stream.size()), 0)
+      << "chunked frame bytes depend on thread count";
+
+  auto reader = StreamReader::OpenChunked("gorilla", cfg8);
+  ASSERT_TRUE(reader.ok());
+  for (uint64_t s = 0; s < 4; ++s) {
+    Buffer out;
+    ASSERT_TRUE(reader.value().Next(stream.span(), &out).ok()) << s;
+    ASSERT_EQ(out.size(), steps[s].size());
+    EXPECT_EQ(std::memcmp(out.data(), steps[s].data(), out.size()), 0) << s;
+  }
+  EXPECT_FALSE(reader.value().HasNext(stream.span()));
 }
 
 }  // namespace

@@ -1,0 +1,20 @@
+#ifndef FCBENCH_TESTS_TEST_NAMES_H_
+#define FCBENCH_TESTS_TEST_NAMES_H_
+
+#include <string>
+
+namespace fcbench {
+
+/// gtest parameterized-test names must be alphanumeric/underscore;
+/// registry names like "par-gorilla" are not. Shared by every suite that
+/// instantiates over CompressorRegistry names.
+inline std::string SanitizeTestName(std::string name) {
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_TESTS_TEST_NAMES_H_

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/bitio.h"
@@ -612,6 +615,66 @@ TEST(ThreadPoolTest, ParallelRangesPartition) {
 TEST(ThreadPoolTest, ZeroElementsNoCrash) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, SharedPoolCoversRangeFromManyCallers) {
+  // Concurrent ParallelFor calls on the one shared pool must each join
+  // exactly their own work.
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&failures] {
+      for (int round = 0; round < 20; ++round) {
+        std::vector<std::atomic<int>> hits(257);
+        ThreadPool::Shared().ParallelFor(
+            hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+        for (auto& h : hits) {
+          if (h.load() != 1) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A task that calls ParallelFor on its own pool must degrade to inline
+  // execution rather than deadlock on the occupied workers.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, MaxParallelismOneRunsInOrder) {
+  ThreadPool pool(4);
+  std::vector<size_t> order;
+  pool.ParallelFor(
+      10, [&order](size_t i) { order.push_back(i); },
+      {/*grain=*/0, /*max_parallelism=*/1});
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [](size_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsClampsOnlyTheFallback) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(3), 3);  // explicit requests honoured
+  EXPECT_EQ(ThreadPool::ResolveThreads(48), 48);
+  EXPECT_EQ(ThreadPool::ResolveThreads(0), ThreadPool::DefaultThreads());
+  EXPECT_EQ(ThreadPool::ResolveThreads(-1), ThreadPool::DefaultThreads());
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
 }
 
 // --- mem tracker -----------------------------------------------------------
