@@ -1,0 +1,237 @@
+// Adaptive-selection microbenchmark: oracle-vs-auto compression ratio
+// and selection overhead across the nine synthetic generator kinds.
+//
+// For one representative dataset per data::GenKind this bench
+//   1. compresses every chunk with every candidate method to build the
+//      per-chunk *oracle* (the best any fixed assignment could do) and
+//      the best/worst *single-method* baselines,
+//   2. runs auto-ratio cold (empty decision cache) and warm (second
+//      pass on the same instance) and records its ratio, throughput and
+//      the fraction of compression wall time spent selecting.
+//
+// The committed artifact BENCH_adaptive_selection.json records, per
+// dataset, rows "oracle", "auto-ratio", "best-single(<m>)",
+// "worst-single(<m>)" (cr column = compression ratio) and
+// "select-overhead-warm" / "select-overhead-cold" (cr column = fraction
+// of compression wall time spent in selection), plus harmonic-mean
+// "ALL" aggregate rows. Acceptance tracked here: auto-ratio within 5%
+// of the oracle's harmonic-mean CR, strictly better than the worst
+// single method, warm selection overhead < 10%.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "bench_common.h"
+#include "core/compressor.h"
+#include "select/auto_compressor.h"
+#include "select/selector.h"
+#include "util/entropy.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace fcbench;
+
+namespace {
+
+constexpr size_t kChunkBytes = 128 << 10;
+
+/// One representative dataset per synthetic generator kind.
+const char* kGenKindDataset[][2] = {
+    {"kSmoothField", "wave"},      {"kNoisyField", "msg-bt"},
+    {"kSparseField", "astro-mhd"}, {"kSensorWalk", "phone-gyro"},
+    {"kQuantizedTs", "citytemp"},  {"kMarketData", "jane-street"},
+    {"kSkyImage", "acs-wht"},      {"kHdrImage", "hdr-night"},
+    {"kTpcColumns", "tpcH-order"},
+};
+
+struct DatasetResult {
+  double oracle_cr = 0;
+  double auto_cr = 0;
+  double best_single_cr = 0;
+  double worst_single_cr = 0;
+  std::string best_single, worst_single;
+  double auto_ct_gbps = 0;
+  double auto_dt_gbps = 0;
+  double overhead_cold = 0;  // select seconds / compress wall, cold cache
+  double overhead_warm = 0;
+};
+
+DatasetResult RunDataset(const data::Dataset& ds) {
+  DatasetResult r;
+  const auto& candidates = select::Selector::DefaultCandidates();
+  const size_t esize = DTypeSize(ds.desc.dtype);
+  const size_t chunk_elems = kChunkBytes / esize;
+  const uint64_t chunk_raw = chunk_elems * esize;
+  const size_t nchunks =
+      (ds.bytes.size() + chunk_raw - 1) / chunk_raw;
+
+  // Per-chunk payload size for every candidate (chunk-parallel; each
+  // task owns one (chunk, method) cell).
+  std::vector<std::vector<uint64_t>> sizes(
+      candidates.size(), std::vector<uint64_t>(nchunks, 0));
+  ThreadPool::Shared().ParallelFor(nchunks * candidates.size(), [&](size_t t) {
+    const size_t m = t / nchunks;
+    const size_t c = t % nchunks;
+    const uint64_t begin = c * chunk_raw;
+    const uint64_t len =
+        std::min<uint64_t>(chunk_raw, ds.bytes.size() - begin);
+    DataDesc desc;
+    desc.dtype = ds.desc.dtype;
+    desc.extent = {len / esize};
+    CompressorConfig cfg;
+    cfg.threads = 1;
+    auto comp = CompressorRegistry::Global().Create(candidates[m], cfg);
+    Buffer out;
+    if (comp.ok() &&
+        comp.value()
+            ->Compress(ds.bytes.span().subspan(begin, len), desc, &out)
+            .ok()) {
+      sizes[m][c] = out.size();
+    }
+  });
+
+  uint64_t oracle_bytes = 0;
+  for (size_t c = 0; c < nchunks; ++c) {
+    uint64_t best = UINT64_MAX;
+    for (size_t m = 0; m < candidates.size(); ++m) {
+      if (sizes[m][c] > 0) best = std::min(best, sizes[m][c]);
+    }
+    oracle_bytes += best == UINT64_MAX ? chunk_raw : best;
+  }
+  r.oracle_cr = static_cast<double>(ds.bytes.size()) / oracle_bytes;
+
+  for (size_t m = 0; m < candidates.size(); ++m) {
+    uint64_t total = 0;
+    bool ok = true;
+    for (size_t c = 0; c < nchunks; ++c) {
+      if (sizes[m][c] == 0) ok = false;
+      total += sizes[m][c];
+    }
+    if (!ok) continue;
+    double cr = static_cast<double>(ds.bytes.size()) / total;
+    if (r.best_single.empty() || cr > r.best_single_cr) {
+      r.best_single_cr = cr;
+      r.best_single = candidates[m];
+    }
+    if (r.worst_single.empty() || cr < r.worst_single_cr) {
+      r.worst_single_cr = cr;
+      r.worst_single = candidates[m];
+    }
+  }
+
+  // auto-ratio: cold pass (empty decision cache), then a warm pass on
+  // the same instance. Selection seconds come from the trace; the
+  // overhead ratio is selection time over the whole compression wall.
+  CompressorConfig cfg;
+  cfg.chunk_bytes = kChunkBytes;
+  select::SelectionTrace cold_trace;
+  cfg.selection_trace = &cold_trace;
+  auto auto_comp = CompressorRegistry::Global().Create("auto-ratio", cfg);
+  if (!auto_comp.ok()) return r;
+
+  Buffer cold_out;
+  Timer cold_timer;
+  if (!auto_comp.value()
+           ->Compress(ds.bytes.span(), ds.desc, &cold_out)
+           .ok()) {
+    return r;
+  }
+  const double cold_wall = cold_timer.ElapsedSeconds();
+  r.overhead_cold = cold_trace.total_select_seconds() / cold_wall;
+
+  // The trace pointer was captured at construction; clear the cold
+  // entries so the warm pass is measured alone.
+  cold_trace.entries.clear();
+  Buffer warm_out;
+  Timer warm_timer;
+  if (!auto_comp.value()
+           ->Compress(ds.bytes.span(), ds.desc, &warm_out)
+           .ok()) {
+    return r;
+  }
+  const double warm_wall = warm_timer.ElapsedSeconds();
+  r.overhead_warm = cold_trace.total_select_seconds() / warm_wall;
+  r.auto_cr = static_cast<double>(ds.bytes.size()) / warm_out.size();
+  r.auto_ct_gbps = ds.bytes.size() / warm_wall / 1e9;
+
+  Buffer decoded;
+  Timer dec_timer;
+  if (auto_comp.value()->Decompress(warm_out.span(), ds.desc, &decoded).ok()) {
+    r.auto_dt_gbps = ds.bytes.size() / dec_timer.ElapsedSeconds() / 1e9;
+    if (decoded.size() != ds.bytes.size() ||
+        std::memcmp(decoded.data(), ds.bytes.data(), decoded.size()) != 0) {
+      std::fprintf(stderr, "WARNING: auto-ratio round trip NOT exact on %s\n",
+                   ds.info->name.c_str());
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Banner("micro_select: oracle-vs-auto adaptive selection",
+                "selector over the paper's lossless CPU suite");
+  const uint64_t bytes = bench::BenchBytes(1 << 20);
+  bench::JsonReporter json;
+  bench::TablePrinter table({"generator/dataset", "oracle", "auto", "best1",
+                             "worst1", "ovh-cold", "ovh-warm"},
+                            10, 24);
+
+  std::vector<double> oracle_crs, auto_crs, worst_crs;
+  bool all_within = true, all_beat_worst = true, all_overhead_ok = true;
+  for (const auto& [kind, name] : kGenKindDataset) {
+    const data::DatasetInfo* info = data::FindDataset(name);
+    auto ds = data::GenerateDataset(*info, bytes);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name,
+                   ds.status().ToString().c_str());
+      continue;
+    }
+    DatasetResult r = RunDataset(ds.value());
+    oracle_crs.push_back(r.oracle_cr);
+    auto_crs.push_back(r.auto_cr);
+    worst_crs.push_back(r.worst_single_cr);
+    all_within &= r.auto_cr >= 0.95 * r.oracle_cr;
+    all_beat_worst &= r.auto_cr > r.worst_single_cr;
+    all_overhead_ok &= r.overhead_warm < 0.10;
+
+    table.AddRow({std::string(kind) + "/" + name,
+                  bench::TablePrinter::Fmt(r.oracle_cr),
+                  bench::TablePrinter::Fmt(r.auto_cr),
+                  bench::TablePrinter::Fmt(r.best_single_cr),
+                  bench::TablePrinter::Fmt(r.worst_single_cr),
+                  bench::TablePrinter::Fmt(r.overhead_cold),
+                  bench::TablePrinter::Fmt(r.overhead_warm)});
+
+    json.Add("oracle", name, r.oracle_cr, 0, 0);
+    json.Add("auto-ratio", name, r.auto_cr, r.auto_ct_gbps, r.auto_dt_gbps);
+    json.Add("best-single(" + r.best_single + ")", name, r.best_single_cr,
+             0, 0);
+    json.Add("worst-single(" + r.worst_single + ")", name,
+             r.worst_single_cr, 0, 0);
+    json.Add("select-overhead-cold", name, r.overhead_cold, 0, 0);
+    json.Add("select-overhead-warm", name, r.overhead_warm, 0, 0);
+  }
+  table.Print();
+
+  const double hm_oracle = HarmonicMean(oracle_crs.data(), oracle_crs.size());
+  const double hm_auto = HarmonicMean(auto_crs.data(), auto_crs.size());
+  const double hm_worst = HarmonicMean(worst_crs.data(), worst_crs.size());
+  std::printf("\nharmonic-mean CR: oracle %.3f, auto-ratio %.3f (%.1f%% of "
+              "oracle), worst single %.3f\n",
+              hm_oracle, hm_auto, 100.0 * hm_auto / hm_oracle, hm_worst);
+  std::printf("auto within 5%% of oracle per dataset: %s; beats worst "
+              "single: %s; warm overhead < 10%%: %s\n",
+              all_within ? "yes" : "NO", all_beat_worst ? "yes" : "NO",
+              all_overhead_ok ? "yes" : "NO");
+  json.Add("oracle", "ALL", hm_oracle, 0, 0);
+  json.Add("auto-ratio", "ALL", hm_auto, 0, 0);
+  json.Add("worst-single", "ALL", hm_worst, 0, 0);
+
+  const std::string json_path = bench::JsonOutputPath(
+      argc, argv, "BENCH_adaptive_selection.json");
+  if (!json_path.empty()) json.WriteToFile(json_path);
+  return 0;
+}

@@ -1,15 +1,71 @@
-// Compressor selection: runs a scaled-down benchmark sweep and asks the
-// §7.3 recommendation engine which method to use per domain and
-// objective — the "map to assist users in selecting the most suitable
-// compressors" the paper concludes with.
+// Compressor selection, offline and online. First runs a scaled-down
+// benchmark sweep and asks the §7.3 recommendation engine which method
+// to use per domain and objective (the paper's static "map to assist
+// users in selecting the most suitable compressors"). Then drives the
+// online per-chunk selector (src/select/) over one dataset per domain
+// and prints each chunk's decision, so the two answers — one from
+// benchmark sweeps, one from the data itself — can be compared side by
+// side.
 
 #include <cstdio>
 
 #include "core/recommend.h"
 #include "core/runner.h"
 #include "data/dataset.h"
+#include "select/auto_compressor.h"
+#include "select/selector.h"
 
 using namespace fcbench;
+
+namespace {
+
+void RunOnlineSelection(const data::DatasetInfo& info, Objective objective,
+                        const std::string& offline_pick) {
+  constexpr uint64_t kBytes = 1 << 20;
+  constexpr size_t kChunkBytes = 128 << 10;
+  auto ds = data::GenerateDataset(info, kBytes);
+  if (!ds.ok()) {
+    std::printf("  %s: %s\n", info.name.c_str(),
+                ds.status().ToString().c_str());
+    return;
+  }
+
+  select::SelectionTrace trace;
+  CompressorConfig config;
+  config.chunk_bytes = kChunkBytes;
+  config.selection_trace = &trace;
+  auto comp = CompressorRegistry::Global().Create(
+      select::AutoMethodName(objective), config);
+  if (!comp.ok()) {
+    std::printf("  %s\n", comp.status().ToString().c_str());
+    return;
+  }
+  Buffer out;
+  Status st = comp.value()->Compress(ds.value().bytes.span(),
+                                     ds.value().desc, &out);
+  if (!st.ok()) {
+    std::printf("  compress failed: %s\n", st.ToString().c_str());
+    return;
+  }
+
+  std::printf("dataset %s (%s, objective=%s): offline map says %s\n",
+              info.name.c_str(),
+              std::string(data::DomainName(info.domain)).c_str(),
+              std::string(ObjectiveName(objective)).c_str(),
+              offline_pick.c_str());
+  std::printf("  online: %zu -> %zu bytes (ratio %.3f), per chunk:\n",
+              ds.value().bytes.size(), out.size(),
+              static_cast<double>(ds.value().bytes.size()) / out.size());
+  for (const auto& e : trace.entries) {
+    std::printf("    chunk %llu: %-16s %s\n",
+                static_cast<unsigned long long>(e.chunk_index),
+                e.decision.method.c_str(),
+                e.decision.cache_hit ? "(decision cache)"
+                                     : e.decision.rationale.c_str());
+  }
+}
+
+}  // namespace
 
 int main() {
   std::printf("running a scaled benchmark sweep to build the "
@@ -29,7 +85,7 @@ int main() {
   RecommendationEngine engine(std::move(results));
   std::printf("%s\n", engine.RenderMap().c_str());
 
-  // Scenario queries a downstream user might ask.
+  // Scenario queries a downstream user might ask of the offline map.
   struct Query {
     const char* description;
     data::Domain domain;
@@ -50,6 +106,31 @@ int main() {
                 "end-to-end %.2f ms)\n",
                 q.description, rec.method.c_str(), rec.rationale.c_str(),
                 rec.harmonic_cr, rec.mean_wall_ms);
+  }
+
+  // The same questions answered online, per chunk, from the data itself
+  // (src/select/): one representative dataset per domain. The offline
+  // map gives one method per (domain, objective); the online selector
+  // is free to switch methods mid-dataset when the data changes.
+  std::printf("\n--- online per-chunk selection vs the offline map ---\n\n");
+  struct OnlineCase {
+    const char* dataset;
+    data::Domain domain;
+    Objective objective;
+  };
+  for (const OnlineCase& c : {
+           OnlineCase{"msg-bt", data::Domain::kHpc,
+                      Objective::kStorageReduction},
+           OnlineCase{"citytemp", data::Domain::kTimeSeries,
+                      Objective::kSpeed},
+           OnlineCase{"acs-wht", data::Domain::kObservation,
+                      Objective::kBalanced},
+           OnlineCase{"tpcH-order", data::Domain::kDatabase,
+                      Objective::kStorageReduction},
+       }) {
+    auto rec = engine.Recommend(c.domain, c.objective);
+    RunOnlineSelection(*data::FindDataset(c.dataset), c.objective,
+                       rec.method);
   }
   return 0;
 }

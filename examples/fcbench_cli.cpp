@@ -3,9 +3,15 @@
 //
 //   fcbench_cli list
 //   fcbench_cli compress   <method> <in.raw> <out.fcz> --dtype=f32 [--dims=AxBxC]
+//   fcbench_cli compress   --method=auto --explain <in.raw> <out.fcz> --dtype=f64
 //   fcbench_cli decompress <in.fcz> <out.raw>
 //   fcbench_cli bench      <method> <in.raw> --dtype=f64 [--repeats=N]
 //   fcbench_cli gen        <dataset> <out.raw> [--bytes=N]
+//
+// The method can be given positionally or as --method=<name>; the auto
+// selectors (auto, auto-speed, auto-ratio) pick a concrete method per
+// chunk from the data, and --explain prints each chunk's features,
+// probe scores and winner (the selection trace).
 //
 // The .fcz container (core/container.h) stores method name + DataDesc +
 // xxHash64 checksums, so decompression is self-describing and any file
@@ -20,6 +26,7 @@
 #include "core/container.h"
 #include "core/runner.h"
 #include "data/dataset.h"
+#include "select/selector.h"
 #include "util/bitio.h"
 #include "util/timer.h"
 
@@ -58,6 +65,24 @@ std::string FlagValue(int argc, char** argv, const std::string& name,
     }
   }
   return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Arguments that are not --flags, in order (argv[1] — the command — is
+/// element 0). Lets the method be given positionally or via --method=.
+std::vector<std::string> Positionals(int argc, char** argv) {
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) pos.emplace_back(argv[i]);
+  }
+  return pos;
 }
 
 Result<DataDesc> ParseDesc(int argc, char** argv, size_t raw_bytes) {
@@ -105,12 +130,21 @@ int CmdList() {
 }
 
 int CmdCompress(int argc, char** argv) {
-  if (argc < 5) {
-    std::fprintf(stderr, "usage: fcbench_cli compress <method> <in> <out> "
-                         "--dtype=f32|f64 [--dims=AxB] [--precision=N]\n");
+  std::string method = FlagValue(argc, argv, "method", "");
+  auto pos = Positionals(argc, argv);
+  size_t next = 1;
+  if (method.empty() && pos.size() > next) method = pos[next++];
+  if (method.empty() || pos.size() < next + 2) {
+    std::fprintf(stderr,
+                 "usage: fcbench_cli compress <method> <in> <out> "
+                 "--dtype=f32|f64 [--dims=AxB] [--precision=N]\n"
+                 "       fcbench_cli compress --method=auto [--explain] "
+                 "<in> <out> --dtype=f32|f64\n");
     return 2;
   }
-  auto raw = ReadFile(argv[2 + 1]);
+  const std::string in_path = pos[next];
+  const std::string out_path = pos[next + 1];
+  auto raw = ReadFile(in_path);
   if (!raw.ok()) {
     std::fprintf(stderr, "%s\n", raw.status().ToString().c_str());
     return 1;
@@ -120,17 +154,20 @@ int CmdCompress(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", desc.status().ToString().c_str());
     return 1;
   }
-  std::string method = argv[2];
+  const bool explain = HasFlag(argc, argv, "explain");
+  select::SelectionTrace trace;
+  CompressorConfig config;
+  if (explain) config.selection_trace = &trace;
   Buffer out;
   Timer timer;
   Status st = FczContainer::Pack(method, desc.value(), raw.value().span(),
-                                 CompressorConfig{}, &out);
+                                 config, &out);
   double secs = timer.ElapsedSeconds();
   if (!st.ok()) {
     std::fprintf(stderr, "compress: %s\n", st.ToString().c_str());
     return 1;
   }
-  st = WriteFile(argv[4], out.span());
+  st = WriteFile(out_path, out.span());
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -139,6 +176,15 @@ int CmdCompress(int argc, char** argv) {
               method.c_str(), raw.value().size(), out.size(),
               static_cast<double>(raw.value().size()) / out.size(), secs,
               raw.value().size() / secs / 1e6);
+  if (explain) {
+    if (trace.entries.empty()) {
+      std::printf("(--explain: '%s' records no selection trace; use an "
+                  "auto method)\n",
+                  method.c_str());
+    } else {
+      std::printf("selection trace:\n%s", trace.ToString().c_str());
+    }
+  }
   return 0;
 }
 
@@ -173,12 +219,16 @@ int CmdDecompress(int argc, char** argv) {
 }
 
 int CmdBench(int argc, char** argv) {
-  if (argc < 4) {
+  std::string method = FlagValue(argc, argv, "method", "");
+  auto pos = Positionals(argc, argv);
+  size_t next = 1;
+  if (method.empty() && pos.size() > next) method = pos[next++];
+  if (method.empty() || pos.size() < next + 1) {
     std::fprintf(stderr, "usage: fcbench_cli bench <method> <in> "
                          "--dtype=f32|f64 [--repeats=N]\n");
     return 2;
   }
-  auto raw = ReadFile(argv[3]);
+  auto raw = ReadFile(pos[next]);
   if (!raw.ok()) {
     std::fprintf(stderr, "%s\n", raw.status().ToString().c_str());
     return 1;
@@ -203,7 +253,7 @@ int CmdBench(int argc, char** argv) {
   BenchmarkRunner::Options opt;
   opt.repeats = repeats > 0 ? repeats : 3;
   BenchmarkRunner runner(opt);
-  auto r = runner.RunOne(argv[2], ds);
+  auto r = runner.RunOne(method, ds);
   if (!r.ok) {
     std::fprintf(stderr, "bench failed: %s\n", r.error.c_str());
     return 1;

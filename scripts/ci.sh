@@ -4,10 +4,12 @@
 # Usage:
 #   scripts/ci.sh               # full lane: build everything, run all tests
 #   scripts/ci.sh --smoke       # fast lane: unit-labeled tests only
-#   scripts/ci.sh --perf-smoke  # perf lane: Release build, run micro_bitio
-#                               # and micro_parallel (threads 1/2/4 scaling
-#                               # curve; + a reduced micro_codecs pass when
-#                               # built) and write BENCH_*.json artifacts;
+#   scripts/ci.sh --perf-smoke  # perf lane: Release build, run micro_bitio,
+#                               # micro_parallel (threads 1/2/4 scaling
+#                               # curve) and micro_select (oracle-vs-auto
+#                               # adaptive selection; + a reduced
+#                               # micro_codecs pass when built) and write
+#                               # BENCH_*.json artifacts;
 #                               # no thresholds are enforced — the JSON
 #                               # records the perf trajectory only
 #
@@ -50,6 +52,12 @@ if [[ "${1:-}" == "--perf-smoke" ]]; then
   FCBENCH_BENCH_REPEATS=${FCBENCH_BENCH_REPEATS:-3} \
     "${BUILD_DIR}/bench/micro_parallel" --threads=1,2,4 \
     --json=BENCH_parallel_scaling.json
+  # Adaptive-selection trajectory: oracle-vs-auto CR and selection
+  # overhead across the nine synthetic generators (uploaded with the
+  # other BENCH_*.json artifacts). Smaller default scale than the other
+  # benches: the oracle compresses every chunk with every candidate.
+  FCBENCH_BENCH_BYTES=${FCBENCH_BENCH_BYTES:-1048576} \
+    "${BUILD_DIR}/bench/micro_select" --json=BENCH_adaptive_selection.json
   if [[ -x "${BUILD_DIR}/bench/micro_codecs" ]]; then
     "${BUILD_DIR}/bench/micro_codecs" \
       --benchmark_filter='BM_(Huffman|Fse|Simple8b|TimestampCodec)' \

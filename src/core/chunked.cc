@@ -1,6 +1,7 @@
 #include "core/chunked.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 
 #include "util/bitio.h"
@@ -11,14 +12,33 @@ namespace fcbench {
 
 namespace {
 
-constexpr uint32_t kChunkedMagic = 0x4B504346u;  // "FCPK"
-constexpr uint64_t kChunkedVersion = 1;
+/// Adapter names may never appear inside a mixed method table: a
+/// container that nests auto/par decoders could recurse on hostile
+/// input. Only plain base methods are storable.
+bool IsPlainMethodName(std::string_view name) {
+  if (name.empty() || name.size() > ChunkedCompressor::kMaxMethodNameLen) {
+    return false;
+  }
+  if (name.rfind("par-", 0) == 0 || name.rfind("auto", 0) == 0) return false;
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
 uint64_t ChunkedCompressor::Index::RawSizeOfChunk(size_t i) const {
   uint64_t begin = chunk_raw_bytes * i;
   return std::min<uint64_t>(chunk_raw_bytes, raw_bytes - begin);
+}
+
+std::string_view ChunkedCompressor::Index::MethodOfChunk(size_t i) const {
+  if (version != kVersionMixed || i >= method_ids.size()) return {};
+  return methods[method_ids[i]];
 }
 
 Result<std::unique_ptr<Compressor>> ChunkedCompressor::Wrap(
@@ -94,17 +114,54 @@ Status ChunkedCompressor::Compress(ByteSpan input, const DataDesc& desc,
       {/*grain=*/1, /*max_parallelism=*/static_cast<size_t>(threads_)});
   for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
 
-  Buffer header;
-  PutFixed(&header, kChunkedMagic);
-  PutVarint64(&header, kChunkedVersion);
-  PutVarint64(&header, input.size());
-  PutVarint64(&header, chunk_raw);
-  PutVarint64(&header, nchunks);
-  for (const auto& p : parts) PutVarint64(&header, p.size());
-  PutFixed(&header, XxHash64(header.span()));
-
-  out->Append(header.span());
+  std::vector<uint64_t> payload_sizes(parts.size());
+  for (size_t c = 0; c < parts.size(); ++c) payload_sizes[c] = parts[c].size();
+  FCB_RETURN_IF_ERROR(WriteDirectory(input.size(), chunk_raw, {}, {},
+                                     payload_sizes, out));
   for (const auto& p : parts) out->Append(p.span());
+  return Status::OK();
+}
+
+Status ChunkedCompressor::WriteDirectory(
+    uint64_t raw_bytes, uint64_t chunk_raw_bytes,
+    const std::vector<std::string>& methods,
+    const std::vector<uint32_t>& method_ids,
+    const std::vector<uint64_t>& payload_sizes, Buffer* out) {
+  const bool mixed = !methods.empty();
+  if (mixed && (methods.size() > kMaxMethods ||
+                method_ids.size() != payload_sizes.size())) {
+    return Status::InvalidArgument("chunked: malformed method directory");
+  }
+  for (const auto& m : methods) {
+    if (!IsPlainMethodName(m)) {
+      return Status::InvalidArgument("chunked: '" + m +
+                                     "' is not a storable method name");
+    }
+  }
+  for (uint32_t id : method_ids) {
+    if (id >= methods.size()) {
+      return Status::InvalidArgument("chunked: method id out of range");
+    }
+  }
+  Buffer header;
+  PutFixed(&header, kMagic);
+  PutVarint64(&header, mixed ? kVersionMixed : kVersionSingle);
+  PutVarint64(&header, raw_bytes);
+  PutVarint64(&header, chunk_raw_bytes);
+  if (mixed) {
+    PutVarint64(&header, methods.size());
+    for (const auto& m : methods) {
+      PutVarint64(&header, m.size());
+      header.Append(m.data(), m.size());
+    }
+  }
+  PutVarint64(&header, payload_sizes.size());
+  if (mixed) {
+    for (uint32_t id : method_ids) PutVarint64(&header, id);
+  }
+  for (uint64_t s : payload_sizes) PutVarint64(&header, s);
+  PutFixed(&header, XxHash64(header.span()));
+  out->Append(header.span());
   return Status::OK();
 }
 
@@ -112,16 +169,41 @@ Result<ChunkedCompressor::Index> ChunkedCompressor::ReadIndex(
     ByteSpan input) {
   size_t off = 0;
   uint32_t magic = 0;
-  uint64_t version = 0;
   Index idx;
-  if (!GetFixed(input, &off, &magic) || magic != kChunkedMagic ||
-      !GetVarint64(input, &off, &version) || version != kChunkedVersion) {
+  if (!GetFixed(input, &off, &magic) || magic != kMagic ||
+      !GetVarint64(input, &off, &idx.version) ||
+      (idx.version != kVersionSingle && idx.version != kVersionMixed)) {
     return Status::Corruption("chunked: bad magic/version");
   }
-  uint64_t nchunks = 0;
   if (!GetVarint64(input, &off, &idx.raw_bytes) ||
-      !GetVarint64(input, &off, &idx.chunk_raw_bytes) ||
-      !GetVarint64(input, &off, &nchunks)) {
+      !GetVarint64(input, &off, &idx.chunk_raw_bytes)) {
+    return Status::Corruption("chunked: truncated header");
+  }
+  if (idx.version == kVersionMixed) {
+    uint64_t nmethods = 0;
+    if (!GetVarint64(input, &off, &nmethods) || nmethods == 0 ||
+        nmethods > kMaxMethods) {
+      return Status::Corruption("chunked: implausible method table");
+    }
+    idx.methods.reserve(nmethods);
+    for (uint64_t m = 0; m < nmethods; ++m) {
+      uint64_t len = 0;
+      if (!GetVarint64(input, &off, &len) || len > kMaxMethodNameLen ||
+          len > input.size() - off) {
+        return Status::Corruption("chunked: truncated method table");
+      }
+      std::string name(reinterpret_cast<const char*>(input.data() + off),
+                       len);
+      off += len;
+      if (!IsPlainMethodName(name)) {
+        return Status::Corruption(
+            "chunked: non-storable method name in table");
+      }
+      idx.methods.push_back(std::move(name));
+    }
+  }
+  uint64_t nchunks = 0;
+  if (!GetVarint64(input, &off, &nchunks)) {
     return Status::Corruption("chunked: truncated header");
   }
   // Structural plausibility before any allocation: the chunk count must
@@ -135,6 +217,19 @@ Result<ChunkedCompressor::Index> ChunkedCompressor::ReadIndex(
                        idx.chunk_raw_bytes);
   if (nchunks != expect_chunks || nchunks > input.size() - off) {
     return Status::Corruption("chunked: implausible chunk directory");
+  }
+  if (idx.version == kVersionMixed) {
+    idx.method_ids.resize(nchunks);
+    for (auto& id : idx.method_ids) {
+      uint64_t raw_id = 0;
+      if (!GetVarint64(input, &off, &raw_id)) {
+        return Status::Corruption("chunked: truncated method ids");
+      }
+      if (raw_id >= idx.methods.size()) {
+        return Status::Corruption("chunked: chunk method id out of range");
+      }
+      id = static_cast<uint32_t>(raw_id);
+    }
   }
   idx.payload_sizes.resize(nchunks);
   for (auto& s : idx.payload_sizes) {
@@ -162,16 +257,22 @@ Result<ChunkedCompressor::Index> ChunkedCompressor::ReadIndex(
   return idx;
 }
 
-Status ChunkedCompressor::DecodeOne(const Index& idx, ByteSpan input,
-                                    const DataDesc& desc, size_t chunk,
-                                    Buffer* out) {
+Status ChunkedCompressor::DecodeChunkWithIndex(
+    const Index& idx, ByteSpan input, const DataDesc& desc, size_t chunk,
+    std::string_view fallback_method, const CompressorConfig& inner_config,
+    Buffer* out) {
   const size_t esize = DTypeSize(desc.dtype);
   const uint64_t raw = idx.RawSizeOfChunk(chunk);
   DataDesc chunk_desc;
   chunk_desc.dtype = desc.dtype;
   chunk_desc.extent = {raw / esize};
   chunk_desc.precision_digits = desc.precision_digits;
-  auto inner = CompressorRegistry::Global().Create(method_, inner_config_);
+  std::string_view method = idx.MethodOfChunk(chunk);
+  if (method.empty()) method = fallback_method;
+  if (method.empty()) {
+    return Status::Corruption("chunked: stream names no method for chunk");
+  }
+  auto inner = CompressorRegistry::Global().Create(method, inner_config);
   if (!inner.ok()) return inner.status();
   size_t before = out->size();
   FCB_RETURN_IF_ERROR(inner.value()->Decompress(
@@ -181,6 +282,13 @@ Status ChunkedCompressor::DecodeOne(const Index& idx, ByteSpan input,
     return Status::Corruption("chunked: chunk size mismatch after decode");
   }
   return Status::OK();
+}
+
+Status ChunkedCompressor::DecodeOne(const Index& idx, ByteSpan input,
+                                    const DataDesc& desc, size_t chunk,
+                                    Buffer* out) {
+  return DecodeChunkWithIndex(idx, input, desc, chunk, method_,
+                              inner_config_, out);
 }
 
 Status ChunkedCompressor::Decompress(ByteSpan input, const DataDesc& desc,

@@ -17,13 +17,24 @@ namespace fcbench {
 ///
 /// Container layout (all integers little-endian / varint):
 ///   u32     magic "FCPK"
-///   varint  version (1)
+///   varint  version (1 = single method, 2 = mixed methods)
 ///   varint  raw_bytes         total uncompressed payload
 ///   varint  chunk_raw_bytes   raw bytes per chunk (last chunk may be short)
+///   [v2]    varint num_methods, then per method: varint len, name bytes
 ///   varint  num_chunks
+///   [v2]    varint method_id[num_chunks]   index into the method table
 ///   varint  payload_size[num_chunks]
 ///   u64     xxh64 of every byte above (header + directory)
 ///   payload bytes, concatenated in chunk order
+///
+/// Version 1 streams carry no method metadata — the wrapping layer (the
+/// par-<m> registry name, a ColumnStore manifest) names the method.
+/// Version 2 streams are self-describing mixed-method containers: every
+/// chunk names its own method via the table, which is what the online
+/// selector (select/auto_compressor.h) emits. Both versions checksum
+/// the whole header+directory, and a v2 method table may only name
+/// plain base methods — adapter names (par-*, auto*) are rejected at
+/// parse time so a hostile container cannot nest decoders.
 ///
 /// Determinism: the layout is a pure function of (input, wrapped method,
 /// chunk_raw_bytes). `CompressorConfig::threads` only bounds execution
@@ -34,6 +45,12 @@ namespace fcbench {
 class ChunkedCompressor : public Compressor {
  public:
   static constexpr size_t kDefaultChunkBytes = 256 << 10;
+  static constexpr uint32_t kMagic = 0x4B504346u;  // "FCPK"
+  static constexpr uint64_t kVersionSingle = 1;
+  static constexpr uint64_t kVersionMixed = 2;
+  /// Directory plausibility bounds shared by writer and reader.
+  static constexpr uint64_t kMaxMethods = 64;
+  static constexpr uint64_t kMaxMethodNameLen = 48;
 
   /// Wraps registry method `method`; fails if the method is unknown.
   static Result<std::unique_ptr<Compressor>> Wrap(
@@ -58,19 +75,48 @@ class ChunkedCompressor : public Compressor {
   /// Parsed directory of a chunked stream; offsets index into the same
   /// span that was passed to ReadIndex.
   struct Index {
+    uint64_t version = kVersionSingle;
     uint64_t raw_bytes = 0;
     uint64_t chunk_raw_bytes = 0;
+    /// Mixed containers only (version 2): method table + per-chunk ids.
+    std::vector<std::string> methods;
+    std::vector<uint32_t> method_ids;
     std::vector<uint64_t> payload_sizes;
     std::vector<size_t> payload_offsets;
 
     size_t num_chunks() const { return payload_sizes.size(); }
     /// Raw (uncompressed) byte count of chunk `i`.
     uint64_t RawSizeOfChunk(size_t i) const;
+    /// Method recorded for chunk `i`; empty for version-1 streams (the
+    /// wrapping layer knows the method).
+    std::string_view MethodOfChunk(size_t i) const;
   };
 
   /// Validates and parses the container header + directory (checksummed;
-  /// truncation and bit corruption both surface as Corruption).
+  /// truncation and bit corruption both surface as Corruption). Mixed
+  /// (v2) directories additionally validate every per-chunk method id
+  /// against the method table and every table entry against the
+  /// plain-method naming rule.
   static Result<Index> ReadIndex(ByteSpan input);
+
+  /// Serializes a header+directory for `payload_sizes` chunks,
+  /// appending to `out`. With a non-empty `methods` table (and matching
+  /// `method_ids`) a version-2 mixed directory is written; otherwise
+  /// version 1. The payload bytes follow the returned header verbatim.
+  static Status WriteDirectory(uint64_t raw_bytes, uint64_t chunk_raw_bytes,
+                               const std::vector<std::string>& methods,
+                               const std::vector<uint32_t>& method_ids,
+                               const std::vector<uint64_t>& payload_sizes,
+                               Buffer* out);
+
+  /// Decodes chunk `chunk` of a parsed container: uses the directory's
+  /// recorded method for mixed streams, `fallback_method` for v1
+  /// streams. Shared by the par-* adapter and the auto selector.
+  static Status DecodeChunkWithIndex(const Index& idx, ByteSpan input,
+                                     const DataDesc& desc, size_t chunk,
+                                     std::string_view fallback_method,
+                                     const CompressorConfig& inner_config,
+                                     Buffer* out);
 
   /// Decodes only chunk `index`, appending its raw bytes to `out`. `desc`
   /// is the descriptor of the *whole* array (as passed to Decompress);

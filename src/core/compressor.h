@@ -12,6 +12,10 @@
 #include "util/buffer.h"
 #include "util/status.h"
 
+namespace fcbench::select {
+struct SelectionTrace;
+}  // namespace fcbench::select
+
 namespace fcbench {
 
 /// Hardware platform a method targets (Table 1 "arch.").
@@ -59,6 +63,15 @@ struct CompressorConfig {
   /// (0 = lossless). fpzip is the one studied method with a native lossy
   /// mode (paper §3.1: "provides both lossless and lossy compression").
   int fpzip_precision_bits = 0;
+  /// auto/auto-speed/auto-ratio only: probe sample bytes per chunk
+  /// (0 = $FCBENCH_SELECT_PROBE_BYTES or 16 KiB) and decision-cache
+  /// capacity (<0 = $FCBENCH_SELECT_CACHE or 1024; 0 disables).
+  size_t select_probe_bytes = 0;
+  int select_cache = -1;
+  /// auto* only: when non-null, per-chunk selection decisions are
+  /// appended here (the --explain API). Not owned; must outlive every
+  /// Compress call. See select/selector.h.
+  select::SelectionTrace* selection_trace = nullptr;
 };
 
 /// Abstract lossless floating-point compressor; every §3/§4 method
@@ -100,7 +113,8 @@ using CompressorFactory =
 ///   pfpc, spdp, fpzip, bitshuffle_lz4, bitshuffle_zstd, ndzip_cpu, buff,
 ///   gorilla, chimp128, gfc, mpc, nv_lz4, nv_bitcomp, ndzip_gpu, dzip_nn
 /// plus a chunk-parallel `par-<method>` variant of every lossless CPU
-/// method (see core/chunked.h).
+/// method (see core/chunked.h) and the online adaptive selectors `auto`,
+/// `auto-speed`, `auto-ratio` (see select/auto_compressor.h).
 class CompressorRegistry {
  public:
   static CompressorRegistry& Global();

@@ -1,0 +1,33 @@
+#ifndef FCBENCH_CORE_OBJECTIVE_H_
+#define FCBENCH_CORE_OBJECTIVE_H_
+
+#include <string_view>
+
+namespace fcbench {
+
+/// What the user optimizes for (paper §7.3's three recommendation rows).
+/// Shared by the offline RecommendationEngine (core/recommend.h) and the
+/// online per-chunk selector (select/selector.h): both answer "which
+/// method?", one from benchmark sweeps, the other from the data itself.
+enum class Objective {
+  kStorageReduction,  // best compression ratio
+  kSpeed,             // shortest end-to-end wall time
+  kBalanced,          // rank-sum of ratio and wall time
+};
+
+/// Canonical short name used in rationales, traces and CLI flags.
+inline std::string_view ObjectiveName(Objective o) {
+  switch (o) {
+    case Objective::kStorageReduction:
+      return "storage";
+    case Objective::kSpeed:
+      return "speed";
+    case Objective::kBalanced:
+      return "balanced";
+  }
+  return "?";
+}
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_CORE_OBJECTIVE_H_

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "select/features.h"
 #include "util/entropy.h"
 
 namespace fcbench {
@@ -70,13 +71,24 @@ Recommendation RecommendationEngine::Recommend(data::Domain domain,
       best.mean_wall_ms = wall;
     }
   }
+  // Same metric vocabulary as the online selector's rationales
+  // (select/features.h), so the offline map and --explain traces agree
+  // on what the words mean.
   std::ostringstream os;
-  os << "best "
-     << (objective == Objective::kStorageReduction
-             ? "harmonic-mean CR"
-             : objective == Objective::kSpeed ? "end-to-end time"
-                                              : "ratio/time balance")
-     << " on " << data::DomainName(domain) << " datasets";
+  os << "objective=" << ObjectiveName(objective) << ": best ";
+  switch (objective) {
+    case Objective::kStorageReduction:
+      os << select::kVocabHarmonicCr;
+      break;
+    case Objective::kSpeed:
+      os << select::kVocabWallMs;
+      break;
+    case Objective::kBalanced:
+      os << "(" << select::kVocabHarmonicCr << "-1)/"
+         << select::kVocabWallMs;
+      break;
+  }
+  os << " on " << data::DomainName(domain) << " datasets";
   best.rationale = os.str();
   return best;
 }
@@ -95,34 +107,56 @@ Recommendation RecommendationEngine::RecommendGeneral() const {
     rows.push_back({method, HarmonicMean(a.crs.data(), a.crs.size()),
                     ArithmeticMean(a.walls.data(), a.walls.size())});
   }
+  // Tied metric values share their average rank (standard rank-sum);
+  // the historical per-position ranks made equal-CR methods rank in
+  // whatever order the sort left them.
   std::vector<double> rank_sum(rows.size(), 0);
-  {
+  auto add_ranks = [&](auto key, bool descending) {
     std::vector<size_t> idx(rows.size());
     for (size_t i = 0; i < rows.size(); ++i) idx[i] = i;
     std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
-      return rows[a].hcr > rows[b].hcr;
+      return descending ? key(rows[a]) > key(rows[b])
+                        : key(rows[a]) < key(rows[b]);
     });
-    for (size_t pos = 0; pos < idx.size(); ++pos) {
-      rank_sum[idx[pos]] += static_cast<double>(pos);
+    for (size_t pos = 0; pos < idx.size();) {
+      size_t end = pos + 1;
+      while (end < idx.size() &&
+             key(rows[idx[end]]) == key(rows[idx[pos]])) {
+        ++end;
+      }
+      const double avg =
+          (static_cast<double>(pos) + static_cast<double>(end - 1)) / 2.0;
+      for (size_t k = pos; k < end; ++k) rank_sum[idx[k]] += avg;
+      pos = end;
     }
-    std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
-      return rows[a].wall < rows[b].wall;
-    });
-    for (size_t pos = 0; pos < idx.size(); ++pos) {
-      rank_sum[idx[pos]] += static_cast<double>(pos);
-    }
-  }
+  };
+  add_ranks([](const Row& r) { return r.hcr; }, /*descending=*/true);
+  add_ranks([](const Row& r) { return r.wall; }, /*descending=*/false);
+
   Recommendation best;
   double best_rank = 1e300;
+  bool first = true;
   for (size_t i = 0; i < rows.size(); ++i) {
-    if (rank_sum[i] < best_rank) {
+    // Equal rank sums break toward the better compressor, then the
+    // lexicographically smaller name, so the map is deterministic.
+    const bool wins =
+        first || rank_sum[i] < best_rank ||
+        (rank_sum[i] == best_rank &&
+         (rows[i].hcr > best.harmonic_cr ||
+          (rows[i].hcr == best.harmonic_cr && rows[i].method < best.method)));
+    if (wins) {
+      first = false;
       best_rank = rank_sum[i];
       best.method = rows[i].method;
       best.harmonic_cr = rows[i].hcr;
       best.mean_wall_ms = rows[i].wall;
     }
   }
-  best.rationale = "lowest rank-sum of harmonic CR and end-to-end time";
+  std::ostringstream os;
+  os << "objective=" << ObjectiveName(Objective::kBalanced) << ": lowest "
+     << select::kVocabRankSum << " of " << select::kVocabHarmonicCr
+     << " and " << select::kVocabWallMs;
+  best.rationale = os.str();
   return best;
 }
 

@@ -4,19 +4,16 @@
 #include <string>
 #include <vector>
 
+#include "core/objective.h"
 #include "core/runner.h"
 #include "data/dataset.h"
 
 namespace fcbench {
 
-/// What the user optimizes for (paper §7.3's three recommendation rows).
-enum class Objective {
-  kStorageReduction,  // best compression ratio
-  kSpeed,             // shortest end-to-end wall time
-  kBalanced,          // rank-sum of ratio and wall time
-};
-
-/// One recommendation with its supporting evidence.
+/// One recommendation with its supporting evidence. `rationale` is
+/// phrased in the same metric vocabulary the online selector's traces
+/// use (select/features.h: harmonic_cr, wall_ms, rank_sum), so offline
+/// map and online --explain output read as one system.
 struct Recommendation {
   std::string method;
   double harmonic_cr = 0;
@@ -35,7 +32,10 @@ class RecommendationEngine {
   Recommendation Recommend(data::Domain domain, Objective objective) const;
 
   /// Best all-round method across every domain (the paper's "general
-  /// users" row; rank-sum over CR and end-to-end time).
+  /// users" row; rank-sum over CR and end-to-end time, tied metric
+  /// values sharing their average rank). Rank-sum ties break toward the
+  /// higher harmonic CR, then the lexicographically smaller name, so
+  /// the map is deterministic.
   Recommendation RecommendGeneral() const;
 
   /// Renders the full recommendation map as text.

@@ -17,6 +17,7 @@
 #include "gpusim/ndzip_gpu.h"
 #include "gpusim/nvcomp_sim.h"
 #include "nn/nn_coder.h"
+#include "select/auto_compressor.h"
 
 namespace fcbench {
 
@@ -131,6 +132,19 @@ void RegisterAllCompressors() {
     r.Register(std::string("par-") + base,
                [base](const CompressorConfig& config) {
                  return ChunkedCompressor::Make(base, config);
+               });
+  }
+
+  // Online adaptive selectors (select/auto_compressor.h): per-chunk
+  // method choice over the same lossless CPU suite, one registration per
+  // §7.3 objective. Their mixed-method containers are self-describing,
+  // so decoding never needs to know which objective produced them.
+  for (Objective objective :
+       {Objective::kBalanced, Objective::kSpeed,
+        Objective::kStorageReduction}) {
+    r.Register(std::string(select::AutoMethodName(objective)),
+               [objective](const CompressorConfig& config) {
+                 return select::AutoCompressor::Make(objective, config);
                });
   }
 }

@@ -88,6 +88,9 @@ RunResult BenchmarkRunner::RunOne(Compressor* comp,
 
 std::string BenchmarkRunner::ResolveMethod(const std::string& method) const {
   if (!options_.parallel || method.rfind("par-", 0) == 0) return method;
+  // The auto selectors are chunk-parallel already; there is no par-auto
+  // to prefer, the name passes through unchanged.
+  if (method.rfind("auto", 0) == 0) return method;
   std::string par = "par-" + method;
   return CompressorRegistry::Global().Contains(par) ? par : method;
 }

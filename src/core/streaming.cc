@@ -1,6 +1,7 @@
 #include "core/streaming.h"
 
 #include "core/chunked.h"
+#include "select/auto_compressor.h"
 #include "util/bitio.h"
 #include "util/hash.h"
 
@@ -16,6 +17,9 @@ Result<StreamWriter> StreamWriter::Open(std::string_view method,
 
 Result<StreamWriter> StreamWriter::OpenChunked(
     std::string_view method, const CompressorConfig& config) {
+  // The auto selectors already emit chunk-parallel containers; wrapping
+  // them again would nest frames for no benefit.
+  if (select::ParseAutoMethod(method, nullptr)) return Open(method, config);
   StreamWriter w;
   FCB_ASSIGN_OR_RETURN(w.compressor_,
                        ChunkedCompressor::Wrap(method, config));
@@ -57,6 +61,7 @@ Result<StreamReader> StreamReader::Open(std::string_view method,
 
 Result<StreamReader> StreamReader::OpenChunked(
     std::string_view method, const CompressorConfig& config) {
+  if (select::ParseAutoMethod(method, nullptr)) return Open(method, config);
   StreamReader r;
   FCB_ASSIGN_OR_RETURN(r.compressor_,
                        ChunkedCompressor::Wrap(method, config));

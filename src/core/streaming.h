@@ -34,7 +34,9 @@ class StreamWriter {
   /// even for large time steps. Works for any registry method, including
   /// ones without a registered par- variant. Frame layout is unchanged —
   /// the chunked container is just the payload — and payload bytes are
-  /// independent of the thread count.
+  /// independent of the thread count. The auto selectors (`auto`,
+  /// `auto-speed`, `auto-ratio`) are accepted too and used directly:
+  /// their mixed-method containers are already chunk-parallel.
   static Result<StreamWriter> OpenChunked(std::string_view method,
                                           const CompressorConfig& config = {});
 

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "select/auto_compressor.h"
+#include "select/selector.h"
 #include "util/bitio.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
@@ -12,6 +14,10 @@ namespace fcbench::db {
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x534D4346u;  // "FCMS"
+/// Manifest layout version: v2 added the per-column resolved-method
+/// footer entries (the online selector's choices must be persisted, or
+/// a reader could not name what compressed each column).
+constexpr uint64_t kManifestVersion = 2;
 
 std::string ColumnPath(const std::string& prefix, size_t index) {
   return prefix + "." + std::to_string(index) + ".col";
@@ -45,6 +51,7 @@ Result<Buffer> ReadWholeFile(const std::string& path) {
 
 struct Manifest {
   std::vector<std::string> names;
+  std::vector<std::string> methods;  // resolved; parallel to names
 };
 
 Result<Manifest> ReadManifest(const std::string& prefix) {
@@ -52,21 +59,30 @@ Result<Manifest> ReadManifest(const std::string& prefix) {
   ByteSpan in = raw.span();
   size_t off = 0;
   uint32_t magic = 0;
-  uint64_t ncols = 0, hash = 0;
+  uint64_t version = 0, ncols = 0, hash = 0;
   if (!GetFixed(in, &off, &magic) || magic != kManifestMagic ||
+      !GetVarint64(in, &off, &version) || version != kManifestVersion ||
       !GetVarint64(in, &off, &ncols) || ncols > 4096) {
     return Status::Corruption("column_store: bad manifest header");
   }
   Manifest m;
-  for (uint64_t c = 0; c < ncols; ++c) {
+  auto read_string = [&](size_t max_len, std::string* out) {
     uint64_t len = 0;
-    if (!GetVarint64(in, &off, &len) || len > 256 ||
-        off + len > in.size()) {
-      return Status::Corruption("column_store: bad column name");
+    if (!GetVarint64(in, &off, &len) || len > max_len ||
+        len > in.size() - off) {
+      return false;
     }
-    m.names.emplace_back(reinterpret_cast<const char*>(in.data() + off),
-                         len);
+    out->assign(reinterpret_cast<const char*>(in.data() + off), len);
     off += len;
+    return true;
+  };
+  for (uint64_t c = 0; c < ncols; ++c) {
+    std::string name, method;
+    if (!read_string(256, &name) || !read_string(64, &method)) {
+      return Status::Corruption("column_store: bad column entry");
+    }
+    m.names.push_back(std::move(name));
+    m.methods.push_back(std::move(method));
   }
   if (!GetFixed(in, &off, &hash) ||
       hash != XxHash64(in.subspan(0, off - sizeof(uint64_t)))) {
@@ -93,10 +109,13 @@ Status ColumnStore::Write(const std::string& prefix,
     }
   }
 
-  // One task per column: dtype conversion, page compression, and file
-  // write all run in parallel on the shared pool. Columns touch disjoint
-  // files, so the only shared state is the status vector.
+  // One task per column: dtype conversion, method selection, page
+  // compression, and file write all run in parallel on the shared pool.
+  // Columns touch disjoint files and disjoint result slots, and each
+  // auto column gets its own Selector, so task order cannot influence
+  // any outcome.
   std::vector<Status> stats(columns.size());
+  std::vector<std::string> resolved(columns.size());
   ThreadPool::Shared().ParallelFor(
       columns.size(),
       [&](size_t i) {
@@ -116,9 +135,21 @@ Status ColumnStore::Write(const std::string& prefix,
           std::memcpy(bytes.data(), c.values.data(), rows * 8);
         }
 
+        // Online per-column selection: probe the column's own bytes and
+        // persist the concrete winner, so the choice is made once at
+        // write time and the manifest names a plain decodable method.
+        resolved[i] = c.compressor;
+        Objective objective;
+        if (select::ParseAutoMethod(c.compressor, &objective)) {
+          select::Selector::Config sel_cfg;
+          sel_cfg.objective = objective;
+          select::Selector selector(sel_cfg);
+          resolved[i] = selector.Choose(bytes.span(), desc).method;
+        }
+
         PagedFile::Options opt;
         opt.page_size = page_size;
-        opt.compressor = c.compressor;
+        opt.compressor = resolved[i];
         stats[i] =
             PagedFile::Write(ColumnPath(prefix, i), bytes.span(), desc, opt);
       },
@@ -127,10 +158,13 @@ Status ColumnStore::Write(const std::string& prefix,
 
   Buffer manifest;
   PutFixed(&manifest, kManifestMagic);
+  PutVarint64(&manifest, kManifestVersion);
   PutVarint64(&manifest, columns.size());
-  for (const auto& c : columns) {
-    PutVarint64(&manifest, c.name.size());
-    manifest.Append(c.name.data(), c.name.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    PutVarint64(&manifest, columns[i].name.size());
+    manifest.Append(columns[i].name.data(), columns[i].name.size());
+    PutVarint64(&manifest, resolved[i].size());
+    manifest.Append(resolved[i].data(), resolved[i].size());
   }
   PutFixed(&manifest, XxHash64(manifest.span()));
   return WriteWholeFile(ManifestPath(prefix), manifest.span());
@@ -140,6 +174,12 @@ Result<std::vector<std::string>> ColumnStore::ListColumns(
     const std::string& prefix) {
   FCB_ASSIGN_OR_RETURN(Manifest m, ReadManifest(prefix));
   return m.names;
+}
+
+Result<std::vector<std::string>> ColumnStore::ListMethods(
+    const std::string& prefix) {
+  FCB_ASSIGN_OR_RETURN(Manifest m, ReadManifest(prefix));
+  return m.methods;
 }
 
 Result<DataFrame> ColumnStore::Read(const std::string& prefix,

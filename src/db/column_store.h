@@ -19,7 +19,7 @@ namespace fcbench::db {
 /// bitshuffle::zstd for a noisy one.
 ///
 /// On disk:
-///   <prefix>.manifest          column directory (names, methods, dtypes)
+///   <prefix>.manifest          column directory (names + resolved methods)
 ///   <prefix>.<index>.col       one PagedFile per column
 class ColumnStore {
  public:
@@ -27,6 +27,10 @@ class ColumnStore {
   struct ColumnSpec {
     std::string name;
     /// Registry name of the compression filter ("none" = raw pages).
+    /// The auto selectors ("auto", "auto-speed", "auto-ratio") are
+    /// accepted: Write probes the column's own bytes through
+    /// select::Selector and persists the winning *concrete* method in
+    /// the manifest footer, so readers never re-run selection.
     std::string compressor = "none";
     DType dtype = DType::kFloat64;
     /// Decimal digits for BUFF's lossless bound; 0 = full precision.
@@ -53,6 +57,12 @@ class ColumnStore {
 
   /// Lists the column names recorded in the manifest.
   static Result<std::vector<std::string>> ListColumns(
+      const std::string& prefix);
+
+  /// Lists the per-column compression methods recorded in the manifest
+  /// footer, in column order. Auto-selected columns report the concrete
+  /// method the selector chose at write time (never "auto*").
+  static Result<std::vector<std::string>> ListMethods(
       const std::string& prefix);
 
   /// Reads the named columns (projection pushdown: unrequested columns

@@ -1,0 +1,173 @@
+#include "select/features.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <type_traits>
+#include <vector>
+
+#include "util/entropy.h"
+
+namespace fcbench::select {
+
+namespace {
+
+/// Word entropy of the sample via a small open-addressing histogram.
+/// Exact over the sample's words (every word counted); the flat table
+/// replaces util/entropy.h's unordered_map because feature extraction
+/// runs on every chunk even when the decision cache is warm, and the
+/// node-based map dominated that cost.
+template <typename W>
+double SampleWordEntropy(const uint8_t* data, size_t n_words) {
+  if (n_words == 0) return 0.0;
+  // 2x the sample word count keeps linear probing at <= 50% load; sized
+  // per call so small samples touch little memory.
+  const size_t kSlots = std::bit_ceil(std::max<size_t>(n_words * 2, 256));
+  std::vector<uint64_t> keys(kSlots, 0);
+  std::vector<uint32_t> counts(kSlots, 0);
+  bool zero_seen = false;
+  uint32_t zero_count = 0;
+  for (size_t i = 0; i < n_words; ++i) {
+    W w;
+    std::memcpy(&w, data + i * sizeof(W), sizeof(W));
+    if (w == 0) {  // 0 doubles as the empty-slot marker
+      zero_seen = true;
+      ++zero_count;
+      continue;
+    }
+    uint64_t h = static_cast<uint64_t>(w) * 0x9e3779b97f4a7c15ULL;
+    size_t slot = (h >> 32) & (kSlots - 1);
+    while (counts[slot] != 0 && keys[slot] != w) {
+      slot = (slot + 1) & (kSlots - 1);
+    }
+    keys[slot] = w;
+    ++counts[slot];
+  }
+  double h = 0.0;
+  const double inv = 1.0 / static_cast<double>(n_words);
+  auto add = [&](uint32_t c) {
+    double p = static_cast<double>(c) * inv;
+    h -= p * std::log2(p);
+  };
+  if (zero_seen) add(zero_count);
+  for (size_t s = 0; s < kSlots; ++s) {
+    if (counts[s] != 0) add(counts[s]);
+  }
+  return h;
+}
+
+/// Buckets x in [lo, hi] into [0, levels).
+uint64_t Bucket(double x, double lo, double hi, uint64_t levels) {
+  if (!(x > lo)) return 0;
+  if (x >= hi) return levels - 1;
+  return static_cast<uint64_t>((x - lo) / (hi - lo) *
+                               static_cast<double>(levels));
+}
+
+template <typename W>
+void Accumulate(ByteSpan sample, ChunkFeatures* f) {
+  constexpr int kWidth = sizeof(W) * 8;
+  constexpr int kMantissa = (kWidth == 64) ? 52 : 23;
+  using F = std::conditional_t<kWidth == 64, double, float>;
+
+  const size_t n = sample.size() / sizeof(W);
+  if (n == 0) return;
+
+  double lz_sum = 0, tz_sum = 0, mant_tz_sum = 0;
+  size_t repeats = 0, mono = 0, mono_pairs = 0;
+  W prev = 0;
+  double prev_delta = 0;
+  bool have_prev_delta = false;
+  F prev_val = 0;
+  for (size_t i = 0; i < n; ++i) {
+    W w;
+    std::memcpy(&w, sample.data() + i * sizeof(W), sizeof(W));
+    const W mant = w & ((W(1) << kMantissa) - 1);
+    mant_tz_sum += mant == 0 ? kMantissa
+                             : std::min(std::countr_zero(mant), kMantissa);
+    F val;
+    std::memcpy(&val, &w, sizeof(F));
+    if (i > 0) {
+      const W x = w ^ prev;
+      lz_sum += x == 0 ? kWidth : std::countl_zero(x);
+      tz_sum += x == 0 ? kWidth : std::countr_zero(x);
+      if (x == 0) ++repeats;
+      if (std::isfinite(static_cast<double>(val)) &&
+          std::isfinite(static_cast<double>(prev_val))) {
+        double delta = static_cast<double>(val) -
+                       static_cast<double>(prev_val);
+        if (have_prev_delta) {
+          ++mono_pairs;
+          if ((delta >= 0) == (prev_delta >= 0)) ++mono;
+        }
+        prev_delta = delta;
+        have_prev_delta = true;
+      } else {
+        have_prev_delta = false;
+      }
+    }
+    prev = w;
+    prev_val = val;
+  }
+  if (n > 1) {
+    f->xor_lz = lz_sum / static_cast<double>(n - 1);
+    f->xor_tz = tz_sum / static_cast<double>(n - 1);
+    f->repeat_ratio = static_cast<double>(repeats) /
+                      static_cast<double>(n - 1);
+  }
+  f->mantissa_tz = mant_tz_sum / static_cast<double>(n);
+  if (mono_pairs > 0) {
+    f->delta_mono = static_cast<double>(mono) /
+                    static_cast<double>(mono_pairs);
+  }
+}
+
+}  // namespace
+
+uint64_t ChunkFeatures::Signature(DType dtype) const {
+  const double width = dtype == DType::kFloat32 ? 32.0 : 64.0;
+  const double mant = dtype == DType::kFloat32 ? 23.0 : 52.0;
+  uint64_t sig = dtype == DType::kFloat32 ? 0 : 1;
+  sig = sig << 4 | Bucket(byte_entropy, 0, 8, 16);
+  sig = sig << 4 | Bucket(word_entropy, 0, width, 16);
+  sig = sig << 4 | Bucket(xor_lz, 0, width, 16);
+  sig = sig << 4 | Bucket(xor_tz, 0, width, 16);
+  sig = sig << 4 | Bucket(mantissa_tz, 0, mant, 16);
+  sig = sig << 3 | Bucket(delta_mono, 0, 1, 8);
+  sig = sig << 3 | Bucket(repeat_ratio, 0, 1, 8);
+  return sig;
+}
+
+std::string ChunkFeatures::ToString() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << kVocabByteEntropy << "=" << byte_entropy << " "  //
+     << kVocabWordEntropy << "=" << word_entropy << " "  //
+     << kVocabXorLz << "=" << xor_lz << " "              //
+     << kVocabXorTz << "=" << xor_tz << " "              //
+     << kVocabDeltaMono << "=" << delta_mono << " "      //
+     << kVocabMantissaTz << "=" << mantissa_tz << " "    //
+     << kVocabRepeatRatio << "=" << repeat_ratio;
+  return os.str();
+}
+
+ChunkFeatures ExtractChunkFeatures(ByteSpan sample, DType dtype) {
+  ChunkFeatures f;
+  const size_t esize = DTypeSize(dtype);
+  ByteSpan whole = sample.subspan(0, sample.size() / esize * esize);
+  f.byte_entropy = ByteEntropyBits(whole);
+  if (dtype == DType::kFloat32) {
+    f.word_entropy =
+        SampleWordEntropy<uint32_t>(whole.data(), whole.size() / esize);
+    Accumulate<uint32_t>(whole, &f);
+  } else {
+    f.word_entropy =
+        SampleWordEntropy<uint64_t>(whole.data(), whole.size() / esize);
+    Accumulate<uint64_t>(whole, &f);
+  }
+  return f;
+}
+
+}  // namespace fcbench::select

@@ -1,0 +1,61 @@
+#ifndef FCBENCH_SELECT_FEATURES_H_
+#define FCBENCH_SELECT_FEATURES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/format.h"
+#include "util/buffer.h"
+
+namespace fcbench::select {
+
+/// Shared feature vocabulary. Every surface that explains a decision —
+/// the online selector's rationale/trace, the offline §7.3
+/// recommendation map, the CLI --explain output — names signals with
+/// these exact strings, so a user can correlate "why gorilla here?"
+/// across tools.
+inline constexpr std::string_view kVocabByteEntropy = "byte_entropy";
+inline constexpr std::string_view kVocabWordEntropy = "word_entropy";
+inline constexpr std::string_view kVocabXorLz = "xor_lz";
+inline constexpr std::string_view kVocabXorTz = "xor_tz";
+inline constexpr std::string_view kVocabDeltaMono = "delta_mono";
+inline constexpr std::string_view kVocabMantissaTz = "mantissa_tz";
+inline constexpr std::string_view kVocabRepeatRatio = "repeat_ratio";
+inline constexpr std::string_view kVocabSampleCr = "sample_cr";
+inline constexpr std::string_view kVocabHarmonicCr = "harmonic_cr";
+inline constexpr std::string_view kVocabWallMs = "wall_ms";
+inline constexpr std::string_view kVocabRankSum = "rank_sum";
+
+/// Cheap per-chunk signals computed from a small sample (selector.h
+/// probes ~4-16 KiB). Each feature is a predictor-family proxy:
+/// XOR zero runs -> Gorilla/Chimp, mantissa trailing zeros -> quantized
+/// decimal data, monotone deltas -> prediction coders, entropies ->
+/// whether anything can win at all.
+struct ChunkFeatures {
+  double byte_entropy = 0;  // bits/byte in [0, 8]
+  double word_entropy = 0;  // bits/word in [0, 8*esize]
+  double xor_lz = 0;        // mean leading-zero bits of consecutive XORs
+  double xor_tz = 0;        // mean trailing-zero bits of consecutive XORs
+  double delta_mono = 0;    // fraction of consecutive deltas keeping sign
+  double mantissa_tz = 0;   // mean trailing-zero bits inside the mantissa
+  double repeat_ratio = 0;  // fraction of values equal to their predecessor
+
+  /// Quantized signature: buckets every feature coarsely and packs the
+  /// buckets (plus the dtype) into one integer. Two chunks with the same
+  /// signature are similar enough that the selector's decision cache
+  /// reuses one probe result for both.
+  uint64_t Signature(DType dtype) const;
+
+  /// Renders "byte_entropy=2.13 word_entropy=... " using the shared
+  /// vocabulary above.
+  std::string ToString() const;
+};
+
+/// Extracts features from `sample` (interpreted as dtype elements; a
+/// trailing partial element is ignored). Deterministic: same bytes, same
+/// features, on every platform.
+ChunkFeatures ExtractChunkFeatures(ByteSpan sample, DType dtype);
+
+}  // namespace fcbench::select
+
+#endif  // FCBENCH_SELECT_FEATURES_H_

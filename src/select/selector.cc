@@ -1,0 +1,279 @@
+#include "select/selector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/compressor.h"
+
+namespace fcbench::select {
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+size_t ResolveProbeBytes(size_t configured) {
+  size_t bytes = configured != 0
+                     ? configured
+                     : EnvSize("FCBENCH_SELECT_PROBE_BYTES", 16 << 10);
+  return std::clamp<size_t>(bytes, 1 << 10, 1 << 20);
+}
+
+/// Number of scattered segments a sample is assembled from.
+constexpr size_t kSampleSegments = 8;
+/// Byte budget of the feature sample (runs on every chunk, warm or not).
+constexpr size_t kFeatureBytes = 4 << 10;
+
+size_t ResolveCacheCapacity(int configured) {
+  if (configured >= 0) return static_cast<size_t>(configured);
+  // Clamp before the int narrowing below: a hostile/typo'd env value
+  // (e.g. -1 parsed as ULLONG_MAX) must not wrap negative and disable
+  // eviction. 2^20 signatures is far beyond the ~2^27 signature space a
+  // real stream exercises a fraction of.
+  return std::min<size_t>(EnvSize("FCBENCH_SELECT_CACHE", 1024), 1 << 20);
+}
+
+}  // namespace
+
+size_t SelectionTrace::cache_hits() const {
+  size_t hits = 0;
+  for (const auto& e : entries) hits += e.decision.cache_hit ? 1 : 0;
+  return hits;
+}
+
+double SelectionTrace::total_select_seconds() const {
+  double s = 0;
+  for (const auto& e : entries) s += e.select_seconds;
+  return s;
+}
+
+std::string SelectionTrace::ToString() const {
+  std::ostringstream os;
+  for (const auto& e : entries) {
+    os << "chunk " << e.chunk_index << " (" << e.raw_bytes
+       << " raw bytes): " << e.decision.method << "  [" << e.decision.rationale
+       << "]\n    " << e.decision.features.ToString() << "\n";
+    for (const auto& c : e.decision.candidates) {
+      os << "    probe " << c.method << ": ";
+      if (c.ok) {
+        os << kVocabSampleCr << "=" << c.sample_cr << " score=" << c.score;
+      } else {
+        os << "failed";
+      }
+      os << "\n";
+    }
+  }
+  os << "selected " << entries.size() << " chunks, " << cache_hits()
+     << " decision-cache hits\n";
+  return os.str();
+}
+
+Selector::Selector(Config config) : config_(std::move(config)) {
+  config_.probe_bytes = ResolveProbeBytes(config_.probe_bytes);
+  config_.cache_capacity =
+      static_cast<int>(ResolveCacheCapacity(config_.cache_capacity));
+  if (config_.candidates.empty()) config_.candidates = DefaultCandidates();
+}
+
+const std::vector<std::string>& Selector::DefaultCandidates() {
+  static const std::vector<std::string>* candidates =
+      new std::vector<std::string>{"pfpc",           "spdp",
+                                   "fpzip",          "bitshuffle_lz4",
+                                   "bitshuffle_zstd", "ndzip_cpu",
+                                   "gorilla",        "chimp128"};
+  return *candidates;
+}
+
+double Selector::ModeledSpeed(std::string_view method) {
+  struct Row {
+    std::string_view method;
+    double weight;
+  };
+  // Relative single-thread compression throughput, Table 5 ordering.
+  static constexpr Row kModel[] = {
+      {"bitshuffle_lz4", 2.2}, {"gorilla", 1.6},  {"ndzip_cpu", 1.4},
+      {"pfpc", 1.2},           {"chimp128", 1.0}, {"bitshuffle_zstd", 0.9},
+      {"spdp", 0.5},           {"fpzip", 0.35},
+  };
+  for (const Row& r : kModel) {
+    if (r.method == method) return r.weight;
+  }
+  return 0.5;
+}
+
+std::vector<std::string> Selector::Shortlist(const ChunkFeatures& f) const {
+  if (config_.objective != Objective::kSpeed) {
+    // Ratio/balanced probing keeps the full candidate set: the probe is
+    // cheap relative to the chunk, and pruning is what opens a gap to
+    // the per-chunk oracle.
+    return config_.candidates;
+  }
+  // Speed: probe only the modeled-fast half, plus any slower method the
+  // features single out as likely to win by a margin (strong XOR
+  // structure -> chimp128; heavy repeats or quantized mantissas ->
+  // bitshuffle_zstd's dictionary).
+  std::vector<std::string> ranked = config_.candidates;
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const std::string& a, const std::string& b) {
+                     return ModeledSpeed(a) > ModeledSpeed(b);
+                   });
+  std::vector<std::string> list(
+      ranked.begin(), ranked.begin() + (ranked.size() + 1) / 2);
+  auto add = [&](std::string_view m) {
+    for (const auto& have : list) {
+      if (have == m) return;
+    }
+    for (const auto& cand : config_.candidates) {
+      if (cand == m) {
+        list.push_back(cand);
+        return;
+      }
+    }
+  };
+  if (f.xor_lz + f.xor_tz > 24 || f.repeat_ratio > 0.25) add("chimp128");
+  if (f.repeat_ratio > 0.25 || f.mantissa_tz > 16) add("bitshuffle_zstd");
+  return list;
+}
+
+void Selector::CacheInsert(uint64_t signature, const std::string& method) {
+  const size_t capacity = static_cast<size_t>(config_.cache_capacity);
+  if (capacity == 0) return;
+  if (cache_.emplace(signature, method).second) {
+    cache_order_.push_back(signature);
+    while (cache_.size() > capacity) {
+      cache_.erase(cache_order_.front());
+      cache_order_.pop_front();
+    }
+  }
+}
+
+Decision Selector::Choose(ByteSpan chunk, const DataDesc& desc) {
+  const size_t esize = DTypeSize(desc.dtype);
+  // Samples are assembled from evenly spaced segments across the whole
+  // chunk rather than a prefix: non-stationary chunks (a sparse field's
+  // active region, an image's bright patch) would otherwise show the
+  // probe data unlike what most of the chunk looks like. Deterministic:
+  // segment positions depend only on sizes.
+  auto scatter = [&](size_t want_bytes, Buffer* storage) -> ByteSpan {
+    const size_t total_elems = chunk.size() / esize;
+    const size_t want_elems = std::min(chunk.size(), want_bytes) / esize;
+    const size_t seg_elems = want_elems / kSampleSegments;
+    if (total_elems <= want_elems || seg_elems == 0) {
+      return chunk.subspan(0, want_elems * esize);
+    }
+    storage->Reserve(kSampleSegments * seg_elems * esize);
+    for (size_t s = 0; s < kSampleSegments; ++s) {
+      const size_t begin_elem =
+          s * (total_elems - seg_elems) / (kSampleSegments - 1);
+      storage->Append(chunk.data() + begin_elem * esize,
+                      seg_elems * esize);
+    }
+    return storage->span();
+  };
+
+  // Features come from a smaller sample than the probes: feature
+  // extraction runs on *every* chunk — including decision-cache hits —
+  // so it must stay well under the cost of compressing the chunk, while
+  // probes only run on cache misses and earn their keep.
+  Buffer feature_storage;
+  ByteSpan feature_sample =
+      scatter(std::min<size_t>(config_.probe_bytes, kFeatureBytes),
+              &feature_storage);
+
+  Decision d;
+  d.features = ExtractChunkFeatures(feature_sample, desc.dtype);
+  d.signature = d.features.Signature(desc.dtype);
+
+  if (auto it = cache_.find(d.signature); it != cache_.end()) {
+    ++hits_;
+    d.method = it->second;
+    d.cache_hit = true;
+    std::ostringstream os;
+    os << "decision cache hit, signature=0x" << std::hex << d.signature;
+    d.rationale = os.str();
+    return d;
+  }
+  ++misses_;
+
+  Buffer probe_storage;
+  ByteSpan sample = scatter(config_.probe_bytes, &probe_storage);
+  const size_t sample_elems = sample.size() / esize;
+
+  DataDesc sample_desc;
+  sample_desc.dtype = desc.dtype;
+  sample_desc.extent = {sample_elems};
+  sample_desc.precision_digits = desc.precision_digits;
+
+  CompressorConfig probe_config;
+  probe_config.threads = 1;
+
+  double best_score = 0;
+  size_t best = SIZE_MAX;
+  for (const std::string& method : Shortlist(d.features)) {
+    CandidateScore cs;
+    cs.method = method;
+    Buffer probe_out;
+    auto comp = CompressorRegistry::Global().Create(method, probe_config);
+    if (comp.ok() && !sample.empty() &&
+        comp.value()->Compress(sample, sample_desc, &probe_out).ok() &&
+        !probe_out.empty()) {
+      cs.ok = true;
+      cs.sample_cr =
+          static_cast<double>(sample.size()) / probe_out.size();
+      switch (config_.objective) {
+        case Objective::kStorageReduction:
+          cs.score = cs.sample_cr;
+          break;
+        case Objective::kSpeed:
+          // Wall time is ~bytes/throughput; the ratio only matters as a
+          // deterministic tie-breaker among similar-speed methods.
+          cs.score = ModeledSpeed(method) *
+                     (1.0 + 0.01 * std::min(cs.sample_cr, 100.0));
+          break;
+        case Objective::kBalanced:
+          // Mirrors the offline (harmonic_cr - 1) / wall_ms criterion.
+          cs.score = std::max(cs.sample_cr - 1.0, 0.0) *
+                         ModeledSpeed(method) +
+                     1e-6 * ModeledSpeed(method);
+          break;
+      }
+      if (best == SIZE_MAX || cs.score > best_score) {
+        best = d.candidates.size();
+        best_score = cs.score;
+      }
+    }
+    d.candidates.push_back(std::move(cs));
+  }
+
+  if (best == SIZE_MAX) {
+    // Every probe failed: fall back to the method whose worst case is a
+    // stored block when it is a candidate, else to the first configured
+    // candidate.
+    const auto& cands = config_.candidates;
+    d.method = std::find(cands.begin(), cands.end(), "bitshuffle_lz4") !=
+                       cands.end()
+                   ? "bitshuffle_lz4"
+                   : cands.front();
+    d.rationale = "all probes failed; fallback";
+  } else {
+    d.method = d.candidates[best].method;
+    std::ostringstream os;
+    os.precision(3);
+    os << "objective=" << ObjectiveName(config_.objective) << ": best "
+       << kVocabSampleCr << "=" << d.candidates[best].sample_cr
+       << " score=" << d.candidates[best].score << " over "
+       << d.candidates.size() << " probes";
+    d.rationale = os.str();
+  }
+  CacheInsert(d.signature, d.method);
+  return d;
+}
+
+}  // namespace fcbench::select

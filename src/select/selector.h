@@ -1,0 +1,123 @@
+#ifndef FCBENCH_SELECT_SELECTOR_H_
+#define FCBENCH_SELECT_SELECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/format.h"
+#include "core/objective.h"
+#include "select/features.h"
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace fcbench::select {
+
+/// Probe result for one shortlisted candidate: the sample's compression
+/// ratio under that method plus the objective-weighted score.
+struct CandidateScore {
+  std::string method;
+  double sample_cr = 0;  // sample bytes / probe output bytes
+  double score = 0;      // objective-dependent; higher wins
+  bool ok = false;       // probe compression succeeded
+};
+
+/// One per-chunk selection with its full supporting evidence — the unit
+/// of the explain/trace API.
+struct Decision {
+  std::string method;
+  ChunkFeatures features;
+  uint64_t signature = 0;
+  bool cache_hit = false;
+  /// Probe scores in shortlist order; empty when the decision came from
+  /// the cache.
+  std::vector<CandidateScore> candidates;
+  /// Human-readable explanation built from the features.h vocabulary.
+  std::string rationale;
+};
+
+/// Per-chunk record of what the selector saw and chose. Attach one to
+/// CompressorConfig::selection_trace to capture decisions from any
+/// auto-* compression (CLI --explain, ColumnStore, benches).
+struct SelectionTrace {
+  struct Entry {
+    uint64_t chunk_index = 0;
+    uint64_t raw_bytes = 0;
+    Decision decision;
+    double select_seconds = 0;  // feature + probe + cache time
+  };
+  std::vector<Entry> entries;
+
+  size_t cache_hits() const;
+  double total_select_seconds() const;
+  /// One line per chunk: index, size, winner, cache/probe evidence,
+  /// features. The --explain rendering.
+  std::string ToString() const;
+};
+
+/// Online per-chunk compressor selection (the paper's cross-domain
+/// takeaway made operational: no method wins everywhere, so pick per
+/// chunk from the data). Pipeline per Choose() call:
+///
+///   1. extract ChunkFeatures from a small sample (~probe_bytes);
+///   2. decision cache lookup by quantized feature signature — steady
+///      streams skip re-probing entirely;
+///   3. on a miss, shortlist candidates by the features, compress the
+///      sample with each, score by the configured Objective, cache the
+///      winner.
+///
+/// Every step is deterministic (fixed sampling, static speed model, no
+/// wall-clock input), so containers built from selections are
+/// byte-identical across runs and thread counts. Instances are not
+/// thread-safe; use one Selector per writer (same contract as
+/// Compressor).
+class Selector {
+ public:
+  struct Config {
+    Objective objective = Objective::kBalanced;
+    /// Probe sample bytes; 0 = $FCBENCH_SELECT_PROBE_BYTES or 16 KiB,
+    /// clamped to [1 KiB, 1 MiB].
+    size_t probe_bytes = 0;
+    /// Decision-cache capacity (signatures); negative =
+    /// $FCBENCH_SELECT_CACHE or 1024; 0 disables caching.
+    int cache_capacity = -1;
+    /// Candidate methods; empty = DefaultCandidates().
+    std::vector<std::string> candidates;
+  };
+
+  explicit Selector(Config config);
+
+  Decision Choose(ByteSpan chunk, const DataDesc& desc);
+
+  const Config& config() const { return config_; }
+  size_t cache_hits() const { return hits_; }
+  size_t cache_misses() const { return misses_; }
+
+  /// The lossless CPU methods the paper evaluates, minus buff (its
+  /// lossy-without-precision exception must not hide behind "auto") —
+  /// the same exclusion rule as the par-* adapters.
+  static const std::vector<std::string>& DefaultCandidates();
+
+  /// Static relative-throughput model (GB/s-scale weights following the
+  /// paper's Table 5 CPU ordering). Deterministic by design: scoring
+  /// from measured probe time would make the chosen method — and thus
+  /// the container bytes — vary run to run. Unknown methods weigh 0.5.
+  static double ModeledSpeed(std::string_view method);
+
+ private:
+  std::vector<std::string> Shortlist(const ChunkFeatures& f) const;
+  void CacheInsert(uint64_t signature, const std::string& method);
+
+  Config config_;
+  std::unordered_map<uint64_t, std::string> cache_;
+  std::deque<uint64_t> cache_order_;  // FIFO eviction
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace fcbench::select
+
+#endif  // FCBENCH_SELECT_SELECTOR_H_

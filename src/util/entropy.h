@@ -12,9 +12,12 @@ namespace fcbench {
 /// per-dataset statistic; the synthetic dataset generators are calibrated
 /// against it.
 ///
-/// For word sizes above 2 bytes, an exact histogram over 2^32/2^64 symbols
-/// is infeasible; like common practice we estimate via a hash-based
-/// distinct-value histogram over sampled words.
+/// For word sizes above 2 bytes on inputs past 2^17 words, an exact
+/// histogram over 2^32/2^64 symbols is infeasible; like common practice
+/// we estimate via a hash-based distinct-value histogram over 2^16
+/// sampled words. Sampling is driven by a fixed-seed deterministic
+/// generator, so the estimate is reproducible bit-for-bit across calls
+/// and platforms (the selector's feature signatures depend on that).
 double ShannonEntropyBits(ByteSpan data, int word_size);
 
 /// Byte-level entropy (bits per byte, in [0, 8]).

@@ -14,6 +14,7 @@
 
 #include "core/chunked.h"
 #include "core/compressor.h"
+#include "select/auto_compressor.h"
 #include "util/rng.h"
 
 namespace fcbench {
@@ -259,6 +260,121 @@ TEST(ChunkedTest, RandomAccessChunkDecodeMatchesFull) {
   EXPECT_FALSE(
       comp.DecompressChunk(enc.span(), desc, idx.value().num_chunks(), &oob)
           .ok());
+}
+
+// --- mixed-method (auto) frames ---------------------------------------------
+
+/// Two-regime corpus: a smooth sensor walk followed by high-entropy
+/// random bits, so a per-chunk selector has a real reason to switch
+/// methods mid-stream.
+std::vector<uint8_t> TwoRegimeData(size_t count) {
+  Rng rng(123);
+  std::vector<uint8_t> bytes(count * 8);
+  double x = 500.0;
+  for (size_t i = 0; i < count / 2; ++i) {
+    x += rng.Normal() * 0.25;
+    std::memcpy(&bytes[i * 8], &x, 8);
+  }
+  for (size_t i = count / 2; i < count; ++i) {
+    uint64_t w = rng.Next() >> 4;  // positive finite doubles
+    std::memcpy(&bytes[i * 8], &w, 8);
+  }
+  return bytes;
+}
+
+TEST(ChunkedTest, AutoRoundTripsByteIdenticallyAcrossThreadCounts) {
+  RegisterAllCompressors();
+  constexpr size_t kCount = 5000;
+  const auto input = TwoRegimeData(kCount);
+  const DataDesc desc = ChunkDesc(kCount);
+  for (const char* method : {"auto", "auto-speed", "auto-ratio"}) {
+    Buffer reference;
+    ASSERT_TRUE(CompressorRegistry::Global()
+                    .Create(method, ChunkConfig(1))
+                    .TakeValue()
+                    ->Compress(ByteSpan(input.data(), input.size()), desc,
+                               &reference)
+                    .ok())
+        << method;
+    for (int threads : {2, 8}) {
+      Buffer enc, dec;
+      auto comp = CompressorRegistry::Global()
+                      .Create(method, ChunkConfig(threads))
+                      .TakeValue();
+      ASSERT_TRUE(comp->Compress(ByteSpan(input.data(), input.size()), desc,
+                                 &enc)
+                      .ok())
+          << method << " threads=" << threads;
+      ASSERT_EQ(enc.size(), reference.size())
+          << method << ": mixed-frame length depends on thread count";
+      EXPECT_EQ(std::memcmp(enc.data(), reference.data(), enc.size()), 0)
+          << method << ": mixed-frame bytes depend on thread count";
+      ASSERT_TRUE(comp->Decompress(enc.span(), desc, &dec).ok()) << method;
+      ASSERT_EQ(dec.size(), input.size()) << method;
+      EXPECT_EQ(std::memcmp(dec.data(), input.data(), input.size()), 0)
+          << method << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ChunkedTest, MixedFrameRandomAccessMatchesFullDecode) {
+  RegisterAllCompressors();
+  constexpr size_t kCount = 5000;
+  const auto input = TwoRegimeData(kCount);
+  const DataDesc desc = ChunkDesc(kCount);
+  select::AutoCompressor comp(Objective::kStorageReduction, ChunkConfig(2));
+  Buffer enc;
+  ASSERT_TRUE(
+      comp.Compress(ByteSpan(input.data(), input.size()), desc, &enc).ok());
+
+  auto idx = ChunkedCompressor::ReadIndex(enc.span());
+  ASSERT_TRUE(idx.ok());
+  ASSERT_EQ(idx.value().version, ChunkedCompressor::kVersionMixed);
+  ASSERT_EQ(idx.value().num_chunks(), 10u);
+  ASSERT_EQ(idx.value().method_ids.size(), 10u);
+
+  uint64_t raw_off = 0;
+  for (size_t c = 0; c < idx.value().num_chunks(); ++c) {
+    EXPECT_FALSE(idx.value().MethodOfChunk(c).empty()) << c;
+    Buffer chunk;
+    ASSERT_TRUE(comp.DecompressChunk(enc.span(), desc, c, &chunk).ok())
+        << "chunk " << c;
+    uint64_t want = idx.value().RawSizeOfChunk(c);
+    ASSERT_EQ(chunk.size(), want) << "chunk " << c;
+    EXPECT_EQ(std::memcmp(chunk.data(), input.data() + raw_off, want), 0)
+        << "chunk " << c << " differs from the original";
+    raw_off += want;
+  }
+  EXPECT_EQ(raw_off, input.size());
+
+  Buffer oob;
+  EXPECT_FALSE(
+      comp.DecompressChunk(enc.span(), desc, idx.value().num_chunks(), &oob)
+          .ok());
+}
+
+TEST(ChunkedTest, ParAdapterDecodesMixedFramesViaRecordedMethods) {
+  // A v2 frame names its own methods, so any chunked decoder can decode
+  // it regardless of the method it was constructed with — the recorded
+  // per-chunk method wins over the fallback.
+  RegisterAllCompressors();
+  constexpr size_t kCount = 3000;
+  const auto input = TwoRegimeData(kCount);
+  const DataDesc desc = ChunkDesc(kCount);
+  Buffer enc;
+  ASSERT_TRUE(CompressorRegistry::Global()
+                  .Create("auto-ratio", ChunkConfig(2))
+                  .TakeValue()
+                  ->Compress(ByteSpan(input.data(), input.size()), desc,
+                             &enc)
+                  .ok());
+  auto par = CompressorRegistry::Global()
+                 .Create("par-gorilla", ChunkConfig(2))
+                 .TakeValue();
+  Buffer dec;
+  ASSERT_TRUE(par->Decompress(enc.span(), desc, &dec).ok());
+  ASSERT_EQ(dec.size(), input.size());
+  EXPECT_EQ(std::memcmp(dec.data(), input.data(), input.size()), 0);
 }
 
 }  // namespace

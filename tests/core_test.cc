@@ -33,7 +33,11 @@ TEST(RegistryTest, AllFifteenMethodsRegistered) {
         "par-chimp128"}) {
     EXPECT_TRUE(set.count(expected)) << expected;
   }
-  EXPECT_EQ(names.size(), 15u + 8u);
+  // Plus the three online adaptive selectors (one per §7.3 objective).
+  for (const char* expected : {"auto", "auto-speed", "auto-ratio"}) {
+    EXPECT_TRUE(set.count(expected)) << expected;
+  }
+  EXPECT_EQ(names.size(), 15u + 8u + 3u);
 }
 
 TEST(RunnerTest, ParallelModeResolvesParVariants) {
@@ -43,9 +47,40 @@ TEST(RunnerTest, ParallelModeResolvesParVariants) {
   EXPECT_EQ(runner.ResolveMethod("gorilla"), "par-gorilla");
   EXPECT_EQ(runner.ResolveMethod("par-gorilla"), "par-gorilla");  // no par-par-
   EXPECT_EQ(runner.ResolveMethod("gfc"), "gfc");  // no par variant exists
+  // The selectors are chunk-parallel already; no par- prefix applies.
+  EXPECT_EQ(runner.ResolveMethod("auto"), "auto");
+  EXPECT_EQ(runner.ResolveMethod("auto-ratio"), "auto-ratio");
 
   BenchmarkRunner serial;
   EXPECT_EQ(serial.ResolveMethod("gorilla"), "gorilla");
+}
+
+TEST(RunnerTest, AutoMethodRunsThroughTheProtocol) {
+  BenchmarkRunner::Options opt;
+  opt.repeats = 1;
+  opt.dataset_bytes = 1 << 16;
+  BenchmarkRunner runner(opt);
+  auto ds = data::GenerateDataset(*data::FindDataset("citytemp"), 1 << 16);
+  ASSERT_TRUE(ds.ok());
+  RunResult r = runner.RunOne(std::string("auto"), ds.value());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.method, "auto");
+  EXPECT_TRUE(r.round_trip_exact);
+  EXPECT_GT(r.cr, 1.0);
+}
+
+TEST(RegistryTest, AutoTraits) {
+  auto& reg = CompressorRegistry::Global();
+  for (const char* name : {"auto", "auto-speed", "auto-ratio"}) {
+    auto c = reg.Create(name);
+    ASSERT_TRUE(c.ok()) << name;
+    const auto& t = c.value()->traits();
+    EXPECT_EQ(t.name, name);
+    EXPECT_TRUE(t.parallel) << name;
+    EXPECT_EQ(t.arch, Arch::kCpu) << name;
+    EXPECT_TRUE(t.supports_f32) << name;
+    EXPECT_TRUE(t.supports_f64) << name;
+  }
 }
 
 TEST(RunnerTest, ParallelModeRunsTheParVariant) {
@@ -216,6 +251,103 @@ TEST(RecommendTest, PicksBestPerObjective) {
             "fastsmall");
   std::string map = eng.RenderMap();
   EXPECT_NE(map.find("storage/HPC"), std::string::npos);
+}
+
+// Helper shared by the RecommendGeneral tests: one ok result per
+// (method, dataset) with the given cr and end-to-end wall split.
+RunResult MakeResult(const char* m, const char* d, double cr, double wall) {
+  RunResult r;
+  r.method = m;
+  r.dataset = d;
+  r.ok = true;
+  r.cr = cr;
+  r.comp_wall_ms = wall / 2;
+  r.decomp_wall_ms = wall / 2;
+  return r;
+}
+
+TEST(RecommendTest, GeneralUsesRankSumAcrossMetrics) {
+  // CR ranks {big:0, allround:1, fast:2}; wall ranks {fast:0,
+  // allround:1, big:2}; every sum is 2, and the three-way rank-sum tie
+  // must break toward the highest harmonic CR -> "big".
+  std::vector<RunResult> results;
+  for (const char* d : {"msg-bt", "citytemp"}) {
+    results.push_back(MakeResult("big", d, 4.0, 100.0));
+    results.push_back(MakeResult("allround", d, 3.5, 5.0));
+    results.push_back(MakeResult("fast", d, 1.1, 4.0));
+  }
+  RecommendationEngine eng(results);
+  auto g = eng.RecommendGeneral();
+  EXPECT_EQ(g.method, "big");
+  EXPECT_NEAR(g.harmonic_cr, 4.0, 1e-12);
+}
+
+TEST(RecommendTest, GeneralRankSumTieBreaksTowardHigherCr) {
+  // Two methods, perfectly mirrored ranks (each is first on one metric
+  // and second on the other): the tie must break toward the higher
+  // harmonic CR, deterministically.
+  std::vector<RunResult> results;
+  for (const char* d : {"msg-bt", "citytemp"}) {
+    results.push_back(MakeResult("squeezer", d, 3.0, 50.0));
+    results.push_back(MakeResult("sprinter", d, 1.5, 2.0));
+  }
+  RecommendationEngine eng(results);
+  auto g = eng.RecommendGeneral();
+  EXPECT_EQ(g.method, "squeezer");
+  // The rationale speaks the shared selector vocabulary.
+  EXPECT_NE(g.rationale.find("rank_sum"), std::string::npos);
+  EXPECT_NE(g.rationale.find("harmonic_cr"), std::string::npos);
+  EXPECT_NE(g.rationale.find("wall_ms"), std::string::npos);
+}
+
+TEST(RecommendTest, GeneralTiedMetricsShareAverageRank) {
+  // "a" and "b" have identical CR everywhere; whichever the sort visits
+  // first must not get an artificial full-rank advantage. With shared
+  // average CR ranks, wall time alone decides: "b" is faster.
+  std::vector<RunResult> results;
+  for (const char* d : {"msg-bt", "citytemp"}) {
+    results.push_back(MakeResult("a", d, 2.0, 10.0));
+    results.push_back(MakeResult("b", d, 2.0, 5.0));
+    results.push_back(MakeResult("c", d, 1.2, 1.0));
+  }
+  RecommendationEngine eng(results);
+  EXPECT_EQ(eng.RecommendGeneral().method, "b");
+}
+
+TEST(RecommendTest, RenderMapListsEveryObjectiveAndGeneralRow) {
+  std::vector<RunResult> results;
+  for (const char* d : {"msg-bt", "citytemp", "acs-wht", "tpcH-order"}) {
+    results.push_back(MakeResult("m1", d, 2.0, 10.0));
+    results.push_back(MakeResult("m2", d, 1.5, 2.0));
+  }
+  RecommendationEngine eng(results);
+  std::string map = eng.RenderMap();
+  for (const char* needle :
+       {"storage/HPC", "storage/TS", "storage/OBS", "storage/DB",
+        "speed/HPC", "speed/TS", "speed/OBS", "speed/DB", "general:"}) {
+    EXPECT_NE(map.find(needle), std::string::npos) << needle << "\n" << map;
+  }
+  EXPECT_NE(map.find("m1"), std::string::npos);
+}
+
+TEST(RecommendTest, RationaleUsesSelectorVocabulary) {
+  std::vector<RunResult> results;
+  for (const char* d : {"msg-bt", "turbulence"}) {
+    results.push_back(MakeResult("m1", d, 2.0, 10.0));
+    results.push_back(MakeResult("m2", d, 1.5, 2.0));
+  }
+  RecommendationEngine eng(results);
+  auto storage =
+      eng.Recommend(data::Domain::kHpc, Objective::kStorageReduction);
+  EXPECT_NE(storage.rationale.find("objective=storage"), std::string::npos)
+      << storage.rationale;
+  EXPECT_NE(storage.rationale.find("harmonic_cr"), std::string::npos);
+  auto speed = eng.Recommend(data::Domain::kHpc, Objective::kSpeed);
+  EXPECT_NE(speed.rationale.find("objective=speed"), std::string::npos);
+  EXPECT_NE(speed.rationale.find("wall_ms"), std::string::npos);
+  auto balanced = eng.Recommend(data::Domain::kHpc, Objective::kBalanced);
+  EXPECT_NE(balanced.rationale.find("objective=balanced"),
+            std::string::npos);
 }
 
 // --- NN coder ----------------------------------------------------------

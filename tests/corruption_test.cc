@@ -12,8 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "core/chunked.h"
 #include "core/compressor.h"
 #include "test_names.h"
+#include "util/bitio.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace fcbench {
@@ -153,6 +156,154 @@ INSTANTIATE_TEST_SUITE_P(
       return CompressorRegistry::Global().Names();
     }()),
     [](const auto& param_info) { return SanitizeTestName(param_info.param); });
+
+// --- mixed-method (FCPK v2) frames ------------------------------------------
+//
+// The auto selectors ride the generic sweep above; these tests attack
+// what is new in version 2 — the method table and per-chunk method ids —
+// with *valid checksums*, so the directory checksum cannot mask the
+// specific validation under test. A hostile but checksum-correct mixed
+// frame must still decode to a clean Status, never a crash.
+
+/// Builds an FCPK v2 header+directory byte-for-byte (bypassing the
+/// writer's own validation) with a correct trailing checksum, followed
+/// by `payload`.
+Buffer CraftMixedFrame(uint64_t raw_bytes, uint64_t chunk_raw_bytes,
+                       const std::vector<std::string>& methods,
+                       const std::vector<uint64_t>& method_ids,
+                       const std::vector<uint64_t>& payload_sizes,
+                       ByteSpan payload) {
+  Buffer header;
+  PutFixed(&header, ChunkedCompressor::kMagic);
+  PutVarint64(&header, ChunkedCompressor::kVersionMixed);
+  PutVarint64(&header, raw_bytes);
+  PutVarint64(&header, chunk_raw_bytes);
+  PutVarint64(&header, methods.size());
+  for (const auto& m : methods) {
+    PutVarint64(&header, m.size());
+    header.Append(m.data(), m.size());
+  }
+  PutVarint64(&header, payload_sizes.size());
+  for (uint64_t id : method_ids) PutVarint64(&header, id);
+  for (uint64_t s : payload_sizes) PutVarint64(&header, s);
+  PutFixed(&header, XxHash64(header.span()));
+  header.Append(payload);
+  return header;
+}
+
+class MixedFrameCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterAllCompressors();
+    desc_.dtype = DType::kFloat64;
+    desc_.extent = {1024};
+    input_ = SmoothData(DType::kFloat64, 1024, 7);
+    CompressorConfig cfg;
+    cfg.chunk_bytes = 2048;  // 4 chunks of 256 f64 elements
+    auto_ = CompressorRegistry::Global().Create("auto", cfg).TakeValue();
+    ASSERT_TRUE(auto_
+                    ->Compress(ByteSpan(input_.data(), input_.size()), desc_,
+                               &frame_)
+                    .ok());
+    auto idx = ChunkedCompressor::ReadIndex(frame_.span());
+    ASSERT_TRUE(idx.ok());
+    idx_ = idx.TakeValue();
+    ASSERT_EQ(idx_.num_chunks(), 4u);
+    ASSERT_GE(idx_.methods.size(), 1u);
+  }
+
+  /// Valid payload slices from the real frame, so only the directory
+  /// field under test is hostile.
+  std::vector<uint64_t> RealPayloadSizes() const {
+    return idx_.payload_sizes;
+  }
+  ByteSpan RealPayload() const {
+    return frame_.span().subspan(idx_.payload_offsets[0]);
+  }
+
+  DataDesc desc_;
+  std::vector<uint8_t> input_;
+  std::unique_ptr<Compressor> auto_;
+  Buffer frame_;
+  ChunkedCompressor::Index idx_;
+};
+
+TEST_F(MixedFrameCorruption, OutOfRangeMethodIdRejectedCleanly) {
+  // Chunk 2 claims method id 9 with only |methods| entries; checksum is
+  // valid, so only the id validation can catch it.
+  std::vector<uint64_t> ids(idx_.method_ids.begin(), idx_.method_ids.end());
+  ids[2] = 9;
+  Buffer evil = CraftMixedFrame(input_.size(), idx_.chunk_raw_bytes,
+                                idx_.methods, ids, RealPayloadSizes(),
+                                RealPayload());
+  auto parsed = ChunkedCompressor::ReadIndex(evil.span());
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+  Buffer out;
+  Status st = auto_->Decompress(evil.span(), desc_, &out);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(MixedFrameCorruption, AdapterNamesInMethodTableRejected) {
+  // par-*/auto* names inside the table would let a hostile frame nest
+  // decoders; both must be rejected at parse time.
+  for (const char* adapter : {"par-gorilla", "auto", "auto-ratio"}) {
+    std::vector<uint64_t> ids(idx_.method_ids.size(), 0);
+    Buffer evil = CraftMixedFrame(input_.size(), idx_.chunk_raw_bytes,
+                                  {adapter}, ids, RealPayloadSizes(),
+                                  RealPayload());
+    Buffer out;
+    Status st = auto_->Decompress(evil.span(), desc_, &out);
+    EXPECT_FALSE(st.ok()) << adapter;
+  }
+}
+
+TEST_F(MixedFrameCorruption, UnknownMethodNameFailsAtDecode) {
+  // Structurally plausible but unregistered method name: the parse may
+  // accept it, but decoding must surface a clean error.
+  std::vector<uint64_t> ids(idx_.method_ids.size(), 0);
+  Buffer evil = CraftMixedFrame(input_.size(), idx_.chunk_raw_bytes,
+                                {"zpaq9000"}, ids, RealPayloadSizes(),
+                                RealPayload());
+  Buffer out;
+  Status st = auto_->Decompress(evil.span(), desc_, &out);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(MixedFrameCorruption, OversizedMethodTableRejected) {
+  std::vector<std::string> methods(ChunkedCompressor::kMaxMethods + 1,
+                                   "gorilla");
+  std::vector<uint64_t> ids(idx_.method_ids.size(), 0);
+  Buffer evil = CraftMixedFrame(input_.size(), idx_.chunk_raw_bytes,
+                                methods, ids, RealPayloadSizes(),
+                                RealPayload());
+  EXPECT_FALSE(ChunkedCompressor::ReadIndex(evil.span()).ok());
+}
+
+TEST_F(MixedFrameCorruption, MethodIdByteFlipsCaughtByChecksum) {
+  // Every byte of the genuine header+directory (which includes the
+  // method table and ids) is checksummed: any flip must fail cleanly.
+  const size_t dir_end = idx_.payload_offsets[0];
+  for (size_t victim = 0; victim < dir_end; ++victim) {
+    Buffer copy = Buffer::FromSpan(frame_.span());
+    copy.data()[victim] ^= 0x04;
+    Buffer out;
+    Status st = auto_->Decompress(copy.span(), desc_, &out);
+    EXPECT_FALSE(st.ok()) << "flip at byte " << victim;
+  }
+}
+
+TEST_F(MixedFrameCorruption, TruncatedMixedFramesFailCleanly) {
+  // Truncations across the whole frame — inside the method table, the
+  // id list, the checksum, and the payloads — must all error.
+  for (size_t keep = 0; keep < frame_.size();
+       keep += frame_.size() / 97 + 1) {
+    Buffer out;
+    Status st =
+        auto_->Decompress(frame_.span().subspan(0, keep), desc_, &out);
+    EXPECT_FALSE(st.ok()) << "truncated to " << keep << " bytes";
+  }
+}
 
 }  // namespace
 }  // namespace fcbench
