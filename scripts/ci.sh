@@ -6,8 +6,9 @@
 #   scripts/ci.sh --smoke       # fast lane: unit-labeled tests only
 #   scripts/ci.sh --perf-smoke  # perf lane: Release build, run micro_bitio,
 #                               # micro_parallel (threads 1/2/4 scaling
-#                               # curve) and micro_select (oracle-vs-auto
-#                               # adaptive selection; + a reduced
+#                               # curve), micro_select (oracle-vs-auto
+#                               # adaptive selection) and micro_ingest
+#                               # (WAL ingest/recovery; + a reduced
 #                               # micro_codecs pass when built) and write
 #                               # BENCH_*.json artifacts;
 #                               # no thresholds are enforced — the JSON
@@ -58,6 +59,11 @@ if [[ "${1:-}" == "--perf-smoke" ]]; then
   # benches: the oracle compresses every chunk with every candidate.
   FCBENCH_BENCH_BYTES=${FCBENCH_BENCH_BYTES:-1048576} \
     "${BUILD_DIR}/bench/micro_select" --json=BENCH_adaptive_selection.json
+  # Ingest-engine trajectory: WAL append throughput under the three
+  # durability policies, recovery replay speed, flushed-segment CR.
+  FCBENCH_BENCH_BYTES=${FCBENCH_BENCH_BYTES:-2097152} \
+  FCBENCH_BENCH_REPEATS=${FCBENCH_BENCH_REPEATS:-3} \
+    "${BUILD_DIR}/bench/micro_ingest" --json=BENCH_ingest_throughput.json
   if [[ -x "${BUILD_DIR}/bench/micro_codecs" ]]; then
     "${BUILD_DIR}/bench/micro_codecs" \
       --benchmark_filter='BM_(Huffman|Fse|Simple8b|TimestampCodec)' \

@@ -78,6 +78,9 @@ Status StreamReader::Next(ByteSpan stream, Buffer* out) {
       !GetFixed(stream, &off, &hash)) {
     return Status::Corruption("stream: bad frame header");
   }
+  // Overflow-safe form: off <= stream.size() after the header parse, so
+  // the subtraction cannot wrap (`off + payload_bytes` could, for a
+  // hostile 64-bit length).
   if (payload_bytes > stream.size() - off) {
     return Status::Corruption("stream: truncated frame payload");
   }
@@ -96,9 +99,16 @@ Status StreamReader::Next(ByteSpan stream, Buffer* out) {
   desc.dtype = dtype;
   desc.extent = {raw_bytes / esize};
   size_t before = out->size();
-  FCB_RETURN_IF_ERROR(compressor_->Decompress(payload, desc, out));
-  if (out->size() - before != raw_bytes) {
-    return Status::Corruption("stream: frame size mismatch after decode");
+  Status st = compressor_->Decompress(payload, desc, out);
+  if (st.ok() && out->size() - before != raw_bytes) {
+    st = Status::Corruption("stream: frame size mismatch after decode");
+  }
+  if (!st.ok()) {
+    // A failed decode must not leak partial output: roll `out` back to
+    // its pre-call size so the caller's buffer holds exactly the frames
+    // that decoded successfully.
+    out->Resize(before);
+    return st;
   }
   offset_ = off + payload_bytes;
   return Status::OK();

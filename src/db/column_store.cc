@@ -1,11 +1,11 @@
 #include "db/column_store.h"
 
-#include <cstdio>
 #include <cstring>
 
 #include "select/auto_compressor.h"
 #include "select/selector.h"
 #include "util/bitio.h"
+#include "util/fs.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
@@ -27,35 +27,13 @@ std::string ManifestPath(const std::string& prefix) {
   return prefix + ".manifest";
 }
 
-Status WriteWholeFile(const std::string& path, ByteSpan data) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IoError("cannot open " + path);
-  size_t put = std::fwrite(data.data(), 1, data.size(), f);
-  std::fclose(f);
-  if (put != data.size()) return Status::IoError("short write " + path);
-  return Status::OK();
-}
-
-Result<Buffer> ReadWholeFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IoError("cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  Buffer buf(static_cast<size_t>(size));
-  size_t got = std::fread(buf.data(), 1, buf.size(), f);
-  std::fclose(f);
-  if (got != buf.size()) return Status::IoError("short read " + path);
-  return buf;
-}
-
 struct Manifest {
   std::vector<std::string> names;
   std::vector<std::string> methods;  // resolved; parallel to names
 };
 
 Result<Manifest> ReadManifest(const std::string& prefix) {
-  FCB_ASSIGN_OR_RETURN(Buffer raw, ReadWholeFile(ManifestPath(prefix)));
+  FCB_ASSIGN_OR_RETURN(Buffer raw, fs::ReadFile(ManifestPath(prefix)));
   ByteSpan in = raw.span();
   size_t off = 0;
   uint32_t magic = 0;
@@ -167,7 +145,12 @@ Status ColumnStore::Write(const std::string& prefix,
     manifest.Append(resolved[i].data(), resolved[i].size());
   }
   PutFixed(&manifest, XxHash64(manifest.span()));
-  return WriteWholeFile(ManifestPath(prefix), manifest.span());
+  // The manifest is published last, atomically, and only after every
+  // column file it names is durably on disk (PagedFile::Write is
+  // temp-file + rename + fsync): a crash anywhere in Write leaves either
+  // the previous table or the complete new one — never a manifest
+  // pointing at missing or torn column files.
+  return fs::WriteFileAtomic(ManifestPath(prefix), manifest.span());
 }
 
 Result<std::vector<std::string>> ColumnStore::ListColumns(
@@ -284,11 +267,12 @@ Status ColumnStore::Drop(const std::string& prefix) {
   auto m = ReadManifest(prefix);
   if (m.ok()) {
     for (size_t i = 0; i < m.value().names.size(); ++i) {
-      std::remove(ColumnPath(prefix, i).c_str());
+      fs::RemoveFile(ColumnPath(prefix, i));
+      fs::RemoveFile(ColumnPath(prefix, i) + fs::kTempSuffix);
     }
   }
-  std::remove(ManifestPath(prefix).c_str());
-  return Status::OK();
+  fs::RemoveFile(ManifestPath(prefix) + fs::kTempSuffix);
+  return fs::RemoveFile(ManifestPath(prefix));
 }
 
 }  // namespace fcbench::db

@@ -1,0 +1,623 @@
+#include "db/lsm/lsm_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "db/column_store.h"
+#include "util/bitio.h"
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace fcbench::db::lsm {
+
+namespace {
+
+constexpr uint32_t kEngineMagic = 0x4D4C4346u;  // "FCLM"
+constexpr uint64_t kEngineVersion = 1;
+constexpr const char* kManifestName = "MANIFEST";
+/// Longest run one compaction round will merge (bounds peak memory).
+constexpr size_t kMaxCompactRun = 32;
+
+struct ManifestState {
+  std::vector<ColumnDef> schema;
+  uint64_t next_segment_id = 0;
+  uint64_t wal_floor = 0;
+  std::vector<SegmentInfo> segments;
+};
+
+void SerializeManifest(const ManifestState& m, Buffer* out) {
+  PutFixed(out, kEngineMagic);
+  PutVarint64(out, kEngineVersion);
+  PutVarint64(out, m.schema.size());
+  for (const auto& c : m.schema) {
+    PutVarint64(out, c.name.size());
+    out->Append(c.name.data(), c.name.size());
+    out->PushBack(c.dtype == DType::kFloat64 ? 1 : 0);
+    out->PushBack(static_cast<uint8_t>(c.precision_digits));
+  }
+  PutVarint64(out, m.next_segment_id);
+  PutVarint64(out, m.wal_floor);
+  PutVarint64(out, m.segments.size());
+  for (const auto& s : m.segments) {
+    PutVarint64(out, s.id);
+    PutVarint64(out, s.rows);
+    PutVarint64(out, s.level);
+  }
+  PutFixed(out, XxHash64(out->span()));
+}
+
+Result<ManifestState> ParseManifest(ByteSpan in) {
+  ManifestState m;
+  size_t off = 0;
+  uint32_t magic = 0;
+  uint64_t version = 0, ncols = 0;
+  if (!GetFixed(in, &off, &magic) || magic != kEngineMagic ||
+      !GetVarint64(in, &off, &version) || version != kEngineVersion ||
+      !GetVarint64(in, &off, &ncols) || ncols == 0 || ncols > 4096) {
+    return Status::Corruption("lsm: bad engine manifest header");
+  }
+  for (uint64_t c = 0; c < ncols; ++c) {
+    ColumnDef def;
+    uint64_t name_len = 0;
+    if (!GetVarint64(in, &off, &name_len) || name_len > 256 ||
+        name_len > in.size() - off) {
+      return Status::Corruption("lsm: bad manifest column name");
+    }
+    def.name.assign(reinterpret_cast<const char*>(in.data() + off),
+                    name_len);
+    off += name_len;
+    uint8_t dtype = 0, digits = 0;
+    if (!GetFixed(in, &off, &dtype) || dtype > 1 ||
+        !GetFixed(in, &off, &digits)) {
+      return Status::Corruption("lsm: bad manifest column entry");
+    }
+    def.dtype = dtype ? DType::kFloat64 : DType::kFloat32;
+    def.precision_digits = digits;
+    m.schema.push_back(std::move(def));
+  }
+  uint64_t nsegs = 0;
+  if (!GetVarint64(in, &off, &m.next_segment_id) ||
+      !GetVarint64(in, &off, &m.wal_floor) ||
+      !GetVarint64(in, &off, &nsegs) || nsegs > (1u << 20)) {
+    return Status::Corruption("lsm: bad manifest segment directory");
+  }
+  for (uint64_t s = 0; s < nsegs; ++s) {
+    SegmentInfo info;
+    uint64_t level = 0;
+    if (!GetVarint64(in, &off, &info.id) ||
+        !GetVarint64(in, &off, &info.rows) ||
+        !GetVarint64(in, &off, &level) || level > (1u << 20)) {
+      return Status::Corruption("lsm: bad manifest segment entry");
+    }
+    info.level = static_cast<uint32_t>(level);
+    m.segments.push_back(info);
+  }
+  uint64_t hash = 0;
+  if (!GetFixed(in, &off, &hash) || off != in.size() ||
+      hash != XxHash64(in.subspan(0, off - sizeof(uint64_t)))) {
+    return Status::Corruption("lsm: manifest checksum mismatch");
+  }
+  return m;
+}
+
+bool SchemaMatches(const std::vector<ColumnDef>& a,
+                   const std::vector<ColumnDef>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != b[i].name || a[i].dtype != b[i].dtype ||
+        a[i].precision_digits != b[i].precision_digits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses the id out of a segment file name ("seg-000007.manifest",
+/// "seg-000007.0.col", ...); false for non-segment names.
+bool ParseSegmentId(const std::string& name, uint64_t* id) {
+  if (name.compare(0, 4, "seg-") != 0) return false;
+  uint64_t v = 0;
+  size_t i = 4;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+    ++i;
+  }
+  if (i == 4 || i == name.size() || name[i] != '.') return false;
+  *id = v;
+  return true;
+}
+
+/// f64 -> column dtype -> f64, so memtable reads agree bit-for-bit with
+/// what a flushed segment will hand back.
+double RoundTripValue(double v, DType dtype) {
+  if (dtype == DType::kFloat32) return static_cast<double>(
+      static_cast<float>(v));
+  return v;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IngestEngine>> IngestEngine::Open(
+    const std::string& dir, const std::vector<ColumnDef>& schema,
+    const EngineOptions& options) {
+  auto eng = std::unique_ptr<IngestEngine>(new IngestEngine());
+  eng->dir_ = dir;
+  eng->opt_ = options;
+  FCB_RETURN_IF_ERROR(fs::CreateDir(dir));
+
+  const std::string mpath = fs::JoinPath(dir, kManifestName);
+  if (fs::FileExists(mpath)) {
+    FCB_ASSIGN_OR_RETURN(Buffer raw, fs::ReadFile(mpath));
+    FCB_ASSIGN_OR_RETURN(ManifestState m, ParseManifest(raw.span()));
+    if (!schema.empty() && !SchemaMatches(schema, m.schema)) {
+      return Status::InvalidArgument("lsm: schema mismatch with manifest");
+    }
+    // Keep caller-side compressor overrides when the shapes match;
+    // adopt the stored schema wholesale when none was given.
+    eng->schema_ = schema.empty() ? m.schema : schema;
+    eng->next_segment_id_ = m.next_segment_id;
+    eng->wal_floor_ = m.wal_floor;
+    eng->segments_ = m.segments;
+  } else {
+    if (schema.empty()) {
+      return Status::InvalidArgument("lsm: new engine needs a schema");
+    }
+    for (const auto& c : schema) {
+      if (c.name.empty() || c.name.size() > 256) {
+        return Status::InvalidArgument("lsm: bad column name");
+      }
+    }
+    eng->schema_ = schema;
+    // The schema must be durable before the first WAL record refers to
+    // it, so an empty engine is recoverable from its very first byte.
+    FCB_RETURN_IF_ERROR(eng->PersistManifestLocked());
+  }
+
+  // Sweep unpublished state: stale atomic-write temps, segment files a
+  // crashed flush/compaction wrote but never referenced from the
+  // manifest, and WAL segments below the floor (their rows live in
+  // published segments).
+  std::vector<bool> live;  // indexed by segment id
+  for (const auto& s : eng->segments_) {
+    if (s.id >= live.size()) live.resize(s.id + 1, false);
+    live[s.id] = true;
+  }
+  FCB_ASSIGN_OR_RETURN(std::vector<std::string> names, fs::ListDir(dir));
+  for (const auto& name : names) {
+    const std::string path = fs::JoinPath(dir, name);
+    uint64_t id = 0, seq = 0;
+    if (fs::IsTempPath(name)) {
+      FCB_RETURN_IF_ERROR(fs::RemoveFile(path));
+    } else if (ParseSegmentId(name, &id)) {
+      if (id >= live.size() || !live[id]) {
+        FCB_RETURN_IF_ERROR(fs::RemoveFile(path));
+      }
+    } else if (Wal::ParseSegmentFileName(name, &seq)) {
+      if (seq < eng->wal_floor_) FCB_RETURN_IF_ERROR(fs::RemoveFile(path));
+    }
+  }
+
+  // Replay the WAL into a fresh memtable — prefix-truncating recovery;
+  // a torn tail is expected after a crash, never an error.
+  eng->mem_ = std::make_unique<MemTable>(eng->schema_.size());
+  FCB_ASSIGN_OR_RETURN(WalReader::Replay replay,
+                       WalReader::ReplayDir(dir, eng->wal_floor_));
+  bool stop = false;
+  for (const auto& rec : replay.records) {
+    FCB_RETURN_IF_ERROR(eng->ApplyWalRecord(rec, &stop));
+    if (stop) break;
+  }
+
+  // New appends go to a segment past everything on disk — recovery never
+  // appends to a possibly-torn file.
+  uint64_t next_seq = eng->wal_floor_;
+  if (replay.any_segments) {
+    next_seq = std::max(next_seq, replay.max_seq_seen + 1);
+  }
+  Wal::Options wopt;
+  wopt.segment_bytes = options.wal_segment_bytes;
+  wopt.sync_on_commit = options.sync_on_commit;
+  FCB_ASSIGN_OR_RETURN(eng->wal_, Wal::Open(dir, next_seq, wopt));
+  return eng;
+}
+
+IngestEngine::~IngestEngine() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] {
+    return !flush_inflight_ && !compact_inflight_ && bg_tasks_ == 0 &&
+           active_readers_ == 0;
+  });
+  lk.unlock();
+  if (wal_ != nullptr) wal_->Close();
+}
+
+std::string IngestEngine::SegPrefix(uint64_t id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu",
+                static_cast<unsigned long long>(id));
+  return fs::JoinPath(dir_, buf);
+}
+
+Status IngestEngine::PersistManifestLocked() {
+  ManifestState m;
+  m.schema = schema_;
+  m.next_segment_id = next_segment_id_;
+  m.wal_floor = wal_floor_;
+  m.segments = segments_;
+  Buffer buf;
+  SerializeManifest(m, &buf);
+  return fs::WriteFileAtomic(fs::JoinPath(dir_, kManifestName), buf.span(),
+                             /*durable=*/true);
+}
+
+Status IngestEngine::ApplyWalRecord(const WalRecord& rec, bool* stop) {
+  if (rec.type != Wal::kTypeRows) return Status::OK();  // forward compat
+  ByteSpan in = rec.payload.span();
+  size_t off = 0;
+  uint64_t nrows = 0;
+  const size_t ncols = schema_.size();
+  const size_t row_bytes = ncols * sizeof(double);
+  if (!GetVarint64(in, &off, &nrows) ||
+      nrows > (in.size() - off) / row_bytes ||
+      nrows * row_bytes != in.size() - off) {
+    // A checksum-valid record with a malformed payload: stop applying —
+    // the rows before it are still a consistent prefix.
+    *stop = true;
+    return Status::OK();
+  }
+  if (nrows == 0) return Status::OK();
+  std::vector<double> rows(nrows * ncols);
+  std::memcpy(rows.data(), in.data() + off, nrows * row_bytes);
+  mem_->AppendRows(rows.data(), nrows);
+  return Status::OK();
+}
+
+Status IngestEngine::Append(const std::vector<double>& row) {
+  return AppendBatch(row);
+}
+
+Status IngestEngine::AppendBatch(const std::vector<double>& rows_row_major) {
+  const size_t ncols = schema_.size();
+  if (ncols == 0 || rows_row_major.size() % ncols != 0) {
+    return Status::InvalidArgument("lsm: batch is not whole rows");
+  }
+  const size_t nrows = rows_row_major.size() / ncols;
+  if (nrows == 0) return Status::OK();
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!bg_error_.ok()) return bg_error_;
+
+  Buffer payload;
+  PutVarint64(&payload, nrows);
+  payload.Append(rows_row_major.data(),
+                 rows_row_major.size() * sizeof(double));
+  FCB_RETURN_IF_ERROR(wal_->Append(Wal::kTypeRows, payload.span()));
+  // Group commit: the whole batch costs one write and (when configured)
+  // one fsync. After this point the batch survives a crash.
+  FCB_RETURN_IF_ERROR(wal_->Commit());
+  mem_->AppendRows(rows_row_major.data(), nrows);
+
+  if (mem_->bytes() >= opt_.memtable_bytes) {
+    bool scheduled = false;
+    FCB_RETURN_IF_ERROR(PrepareFlushLocked(lk, &scheduled));
+    if (scheduled) {
+      if (opt_.background_flush) {
+        ++bg_tasks_;
+        ThreadPool::Shared().Submit([this] {
+          DoFlushAndPublish();
+          std::lock_guard<std::mutex> g(mu_);
+          --bg_tasks_;
+          cv_.notify_all();
+        });
+      } else {
+        lk.unlock();
+        DoFlushAndPublish();
+        lk.lock();
+      }
+    }
+  }
+  return bg_error_;
+}
+
+Status IngestEngine::PrepareFlushLocked(std::unique_lock<std::mutex>& lk,
+                                        bool* scheduled) {
+  *scheduled = false;
+  // Backpressure: at most one immutable memtable — an appender that
+  // fills the live memtable while a flush is running waits here.
+  cv_.wait(lk, [&] { return !flush_inflight_; });
+  if (!bg_error_.ok()) return bg_error_;
+  if (mem_->empty()) return Status::OK();
+  FCB_RETURN_IF_ERROR(wal_->Commit());
+  // Rotate so every record of the flushing memtable lives in a segment
+  // strictly below the new sequence number; publishing the flush then
+  // simply advances the floor to it.
+  FCB_RETURN_IF_ERROR(wal_->Rotate());
+  imm_ = std::shared_ptr<const MemTable>(mem_.release());
+  mem_ = std::make_unique<MemTable>(schema_.size());
+  imm_floor_ = wal_->seq();
+  imm_seg_id_ = next_segment_id_++;
+  flush_inflight_ = true;
+  *scheduled = true;
+  return Status::OK();
+}
+
+void IngestEngine::DoFlushAndPublish() {
+  std::shared_ptr<const MemTable> imm;
+  uint64_t seg_id = 0, floor = 0;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    imm = imm_;
+    seg_id = imm_seg_id_;
+    floor = imm_floor_;
+  }
+
+  // Compress and write the segment off-lock. Columns are *copied* out of
+  // the immutable memtable: concurrent ReadColumn calls still see it.
+  std::vector<ColumnStore::ColumnSpec> specs(schema_.size());
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    specs[c].name = schema_[c].name;
+    specs[c].compressor = schema_[c].compressor.empty()
+                              ? opt_.flush_compressor
+                              : schema_[c].compressor;
+    specs[c].dtype = schema_[c].dtype;
+    specs[c].precision_digits = schema_[c].precision_digits;
+    specs[c].values = imm->column(c);
+  }
+  Status st = ColumnStore::Write(SegPrefix(seg_id), specs, opt_.page_size);
+
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (st.ok()) {
+      const uint64_t prev_floor = wal_floor_;
+      segments_.push_back(SegmentInfo{seg_id, imm->rows(), 0});
+      wal_floor_ = floor;
+      st = PersistManifestLocked();
+      if (!st.ok()) {
+        // Publish failed: disk still holds the previous manifest; put
+        // the in-memory view back in step with it. The rows stay safe
+        // in the WAL (floor unchanged).
+        segments_.pop_back();
+        wal_floor_ = prev_floor;
+      }
+    }
+    if (!st.ok()) bg_error_ = st;
+    imm_.reset();
+    flush_inflight_ = false;
+    cv_.notify_all();
+  }
+
+  if (st.ok()) {
+    DeleteWalBelowFloor();
+    if (opt_.compact_fanout >= 2) {
+      bool merged = false;
+      CompactOnce(opt_.compact_fanout, &merged);  // best-effort tiering
+    }
+  }
+}
+
+void IngestEngine::DeleteWalBelowFloor() {
+  uint64_t floor = 0;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    floor = wal_floor_;
+  }
+  auto names = fs::ListDir(dir_);
+  if (!names.ok()) return;  // cleaned up at next Open
+  for (const auto& name : names.value()) {
+    uint64_t seq = 0;
+    if (Wal::ParseSegmentFileName(name, &seq) && seq < floor) {
+      fs::RemoveFile(fs::JoinPath(dir_, name));
+    }
+  }
+}
+
+Status IngestEngine::Flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  bool scheduled = false;
+  FCB_RETURN_IF_ERROR(PrepareFlushLocked(lk, &scheduled));
+  if (!scheduled) return bg_error_;
+  lk.unlock();
+  DoFlushAndPublish();
+  lk.lock();
+  return bg_error_;
+}
+
+Status IngestEngine::WaitForFlush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !flush_inflight_ && bg_tasks_ == 0; });
+  return bg_error_;
+}
+
+uint64_t IngestEngine::SmallRowsThresholdLocked() const {
+  if (opt_.compact_small_rows > 0) return opt_.compact_small_rows;
+  const size_t ncols = std::max<size_t>(1, schema_.size());
+  const uint64_t memtable_rows =
+      std::max<uint64_t>(1, opt_.memtable_bytes / (sizeof(double) * ncols));
+  return 4 * memtable_rows;
+}
+
+Status IngestEngine::Compact() {
+  bool merged = false;
+  return CompactOnce(2, &merged);
+}
+
+Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
+  *merged = false;
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !compact_inflight_; });
+  if (!bg_error_.ok()) return bg_error_;
+
+  // First adjacent run of >= min_run small segments, oldest first.
+  const uint64_t small = SmallRowsThresholdLocked();
+  size_t run_begin = 0, run_len = 0;
+  for (size_t i = 0; i < segments_.size();) {
+    if (segments_[i].rows <= small) {
+      size_t j = i;
+      while (j < segments_.size() && segments_[j].rows <= small &&
+             j - i < kMaxCompactRun) {
+        ++j;
+      }
+      if (j - i >= min_run) {
+        run_begin = i;
+        run_len = j - i;
+        break;
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (run_len == 0) return Status::OK();
+
+  std::vector<SegmentInfo> run(segments_.begin() + run_begin,
+                               segments_.begin() + run_begin + run_len);
+  const uint64_t new_id = next_segment_id_++;
+  compact_inflight_ = true;
+  lk.unlock();
+
+  // Merge off-lock: concatenate each column across the run and
+  // re-compress cold data with the ratio-biased selector.
+  uint64_t total_rows = 0;
+  uint32_t max_level = 0;
+  for (const auto& s : run) {
+    total_rows += s.rows;
+    max_level = std::max(max_level, s.level);
+  }
+  std::vector<ColumnStore::ColumnSpec> specs(schema_.size());
+  Status st;
+  for (size_t c = 0; c < schema_.size() && st.ok(); ++c) {
+    specs[c].name = schema_[c].name;
+    specs[c].compressor = opt_.compact_compressor;
+    specs[c].dtype = schema_[c].dtype;
+    specs[c].precision_digits = schema_[c].precision_digits;
+    specs[c].values.reserve(total_rows);
+    for (const auto& s : run) {
+      auto r = ColumnStore::ReadRows(SegPrefix(s.id), schema_[c].name, 0,
+                                     s.rows);
+      if (!r.ok()) {
+        st = r.status();
+        break;
+      }
+      const auto& vals = r.value();
+      specs[c].values.insert(specs[c].values.end(), vals.begin(),
+                             vals.end());
+    }
+  }
+  if (st.ok()) {
+    st = ColumnStore::Write(SegPrefix(new_id), specs, opt_.page_size);
+  }
+
+  lk.lock();
+  if (st.ok()) {
+    // The run is still contiguous: only compaction (single-flight)
+    // removes segments, flushes only append.
+    size_t idx = segments_.size();
+    for (size_t i = 0; i < segments_.size(); ++i) {
+      if (segments_[i].id == run.front().id) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx + run_len <= segments_.size()) {
+      std::vector<SegmentInfo> backup(segments_.begin() + idx,
+                                      segments_.begin() + idx + run_len);
+      segments_.erase(segments_.begin() + idx,
+                      segments_.begin() + idx + run_len);
+      segments_.insert(segments_.begin() + idx,
+                       SegmentInfo{new_id, total_rows, max_level + 1});
+      st = PersistManifestLocked();
+      if (!st.ok()) {
+        segments_.erase(segments_.begin() + idx);
+        segments_.insert(segments_.begin() + idx, backup.begin(),
+                         backup.end());
+      }
+    } else {
+      st = Status::Internal("lsm: compaction run disappeared");
+    }
+  }
+  if (!st.ok()) {
+    // A half-written merged segment is unreferenced state; the next
+    // Open sweeps it. In-memory and on-disk views are both unchanged,
+    // so a failed compaction does not wedge the engine.
+    compact_inflight_ = false;
+    cv_.notify_all();
+    return st;
+  }
+  // Old files can only be deleted once nobody is reading a snapshot
+  // that references them; readers that started after the manifest swap
+  // only see the merged segment.
+  cv_.wait(lk, [&] { return active_readers_ == 0; });
+  compact_inflight_ = false;
+  cv_.notify_all();
+  lk.unlock();
+
+  for (const auto& s : run) ColumnStore::Drop(SegPrefix(s.id));
+  *merged = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> IngestEngine::ReadColumn(
+    const std::string& column) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!bg_error_.ok()) return bg_error_;
+  size_t col = schema_.size();
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    if (schema_[c].name == column) {
+      col = c;
+      break;
+    }
+  }
+  if (col == schema_.size()) {
+    return Status::InvalidArgument("lsm: no column '" + column + "'");
+  }
+  const DType dtype = schema_[col].dtype;
+
+  std::vector<SegmentInfo> segs = segments_;
+  std::shared_ptr<const MemTable> imm = imm_;
+  std::vector<double> tail = mem_->column(col);
+  ++active_readers_;
+  lk.unlock();
+
+  std::vector<double> out;
+  Status st;
+  for (const auto& s : segs) {
+    auto r = ColumnStore::ReadRows(SegPrefix(s.id), column, 0, s.rows);
+    if (!r.ok()) {
+      st = r.status();
+      break;
+    }
+    const auto& vals = r.value();
+    out.insert(out.end(), vals.begin(), vals.end());
+  }
+
+  lk.lock();
+  --active_readers_;
+  cv_.notify_all();
+  lk.unlock();
+  if (!st.ok()) return st;
+
+  if (imm != nullptr) {
+    for (double v : imm->column(col)) {
+      out.push_back(RoundTripValue(v, dtype));
+    }
+  }
+  for (double v : tail) out.push_back(RoundTripValue(v, dtype));
+  return out;
+}
+
+uint64_t IngestEngine::rows() const {
+  std::lock_guard<std::mutex> g(mu_);
+  uint64_t n = 0;
+  for (const auto& s : segments_) n += s.rows;
+  if (imm_ != nullptr) n += imm_->rows();
+  n += mem_->rows();
+  return n;
+}
+
+std::vector<SegmentInfo> IngestEngine::segments() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return segments_;
+}
+
+}  // namespace fcbench::db::lsm

@@ -1,0 +1,187 @@
+#ifndef FCBENCH_DB_LSM_LSM_ENGINE_H_
+#define FCBENCH_DB_LSM_LSM_ENGINE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/format.h"
+#include "db/lsm/memtable.h"
+#include "db/lsm/wal.h"
+#include "util/status.h"
+
+namespace fcbench::db::lsm {
+
+/// One column of the engine's fixed schema.
+struct ColumnDef {
+  std::string name;
+  DType dtype = DType::kFloat64;
+  /// BUFF's lossless decimal bound; 0 = full precision.
+  int precision_digits = 0;
+  /// Per-column override of EngineOptions::flush_compressor ("" = use
+  /// the engine default). Auto selectors are accepted — each flushed
+  /// segment then re-probes the column's current bytes.
+  std::string compressor;
+};
+
+struct EngineOptions {
+  /// Memtable watermark: a flush is scheduled once the buffered rows
+  /// exceed this many bytes.
+  size_t memtable_bytes = 1 << 20;
+  /// WAL segment rotation watermark.
+  size_t wal_segment_bytes = 1 << 20;
+  /// fsync the WAL on every commit (group commit per AppendBatch). Off
+  /// trades crash durability of the tail for raw append speed.
+  bool sync_on_commit = true;
+  /// Flush on the shared ThreadPool instead of the appending thread.
+  bool background_flush = true;
+  /// Method for freshly flushed segments; the online selector by default
+  /// (each column probes its own bytes, PR 4).
+  std::string flush_compressor = "auto";
+  /// Method for compacted (cold) segments; ratio-biased re-compression.
+  std::string compact_compressor = "auto-ratio";
+  /// PagedFile page size inside segments.
+  size_t page_size = 64 << 10;
+  /// Auto-compaction trigger: after a flush, a trailing run of at least
+  /// this many small segments is merged into one. 0 disables.
+  size_t compact_fanout = 4;
+  /// A segment is "small" (compaction candidate) while it has at most
+  /// this many rows; 0 = derived from memtable_bytes (4 memtables).
+  uint64_t compact_small_rows = 0;
+};
+
+struct SegmentInfo {
+  uint64_t id = 0;
+  uint64_t rows = 0;
+  /// 0 for fresh flushes; each compaction of a run records
+  /// max(levels) + 1 — the tier of the merged segment.
+  uint32_t level = 0;
+};
+
+/// Crash-safe log-structured ingest engine (the ROADMAP item-1 tentpole):
+///
+///   append -> WAL (checksummed, fsync-batched, rotated)
+///          -> MemTable (per-column buffer, size watermark)
+///          -> flush on ThreadPool::Shared() into a ColumnStore segment
+///             compressed by the online selector
+///          -> tiered compaction merging small segments under auto-ratio
+///
+/// Layout under `dir`:
+///   MANIFEST          engine state (schema, segment list, WAL floor),
+///                     checksummed, published atomically
+///   wal-<seq>.log     WAL segments (db/lsm/wal.h)
+///   seg-<id>.*        one ColumnStore (manifest + .col files) per
+///                     flushed segment
+///
+/// Durability protocol. Every batch is durable once AppendBatch returns
+/// (WAL committed, one fsync per batch). A flush publishes in a strict
+/// order: segment column files (atomic temp+rename+dir-fsync, via
+/// PagedFile) -> segment ColumnStore manifest -> engine MANIFEST
+/// (advancing the WAL floor) -> obsolete WAL segments deleted. A crash
+/// between any two steps recovers to a consistent state: unreferenced
+/// segment files are swept, and the WAL floor decides exactly which
+/// records replay. Recovery is idempotent — recovering twice yields an
+/// identical store.
+class IngestEngine {
+ public:
+  /// Opens (creating or recovering) an engine at `dir`. On recovery the
+  /// given schema must match the stored one; pass an empty schema to
+  /// adopt the stored schema as-is.
+  static Result<std::unique_ptr<IngestEngine>> Open(
+      const std::string& dir, const std::vector<ColumnDef>& schema,
+      const EngineOptions& options = {});
+
+  /// Joins any in-flight flush. Does NOT flush the memtable: the WAL
+  /// already made it durable, and the next Open replays it.
+  ~IngestEngine();
+
+  IngestEngine(const IngestEngine&) = delete;
+  IngestEngine& operator=(const IngestEngine&) = delete;
+
+  /// Appends one row (one value per schema column). Equivalent to a
+  /// one-row AppendBatch — i.e. one WAL commit (and fsync) per call;
+  /// batch appends to amortize the sync.
+  Status Append(const std::vector<double>& row);
+
+  /// Appends `rows_row_major.size() / num_columns` rows as one atomic,
+  /// durable unit: a single WAL record and a single commit. Either every
+  /// row of the batch survives a crash or none does.
+  Status AppendBatch(const std::vector<double>& rows_row_major);
+
+  /// Synchronously flushes the memtable into a new segment (waits for
+  /// any in-flight background flush first). No-op when empty.
+  Status Flush();
+
+  /// Waits until no background flush is in flight; returns the sticky
+  /// background error, if any.
+  Status WaitForFlush();
+
+  /// One compaction round: merges the first adjacent run of >= 2 small
+  /// segments into one, re-compressed with `compact_compressor`. OK
+  /// no-op when nothing qualifies.
+  Status Compact();
+
+  /// All values of `column`, oldest first: flushed segments in order,
+  /// then the flushing (immutable) memtable, then the live memtable.
+  Result<std::vector<double>> ReadColumn(const std::string& column) const;
+
+  /// Total rows across segments and memtables.
+  uint64_t rows() const;
+
+  std::vector<SegmentInfo> segments() const;
+  const std::vector<ColumnDef>& schema() const { return schema_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  IngestEngine() = default;
+
+  std::string SegPrefix(uint64_t id) const;
+  Status PersistManifestLocked();
+  /// Waits out any in-flight flush, then (if the memtable is non-empty)
+  /// rotates the WAL, swaps the memtable to immutable and marks a flush
+  /// in flight. Returns via *scheduled whether there is work to run.
+  Status PrepareFlushLocked(std::unique_lock<std::mutex>& lk,
+                            bool* scheduled);
+  /// The heavy half: compress + publish the immutable memtable. Called
+  /// off-lock (from the pool or the appending thread).
+  void DoFlushAndPublish();
+  void DeleteWalBelowFloor();
+  /// Merges the first adjacent run of >= min_run small segments.
+  /// *merged reports whether anything happened.
+  Status CompactOnce(size_t min_run, bool* merged);
+  uint64_t SmallRowsThresholdLocked() const;
+  Status ApplyWalRecord(const WalRecord& rec, bool* stop);
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::string dir_;
+  std::vector<ColumnDef> schema_;
+  EngineOptions opt_;
+
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<MemTable> mem_;
+  /// Memtable being flushed; readers still see it. Never mutated while
+  /// set — the flusher and readers both only read it.
+  std::shared_ptr<const MemTable> imm_;
+  uint64_t imm_floor_ = 0;    // WAL floor once imm_ is published
+  uint64_t imm_seg_id_ = 0;   // segment id reserved for imm_
+  bool flush_inflight_ = false;
+  bool compact_inflight_ = false;
+  /// Outstanding background flush tasks on the shared pool; the
+  /// destructor waits for zero so a task never outlives the engine.
+  int bg_tasks_ = 0;
+  /// Readers currently copying state off-lock; compaction defers file
+  /// deletion until they drain.
+  mutable int active_readers_ = 0;
+
+  uint64_t next_segment_id_ = 0;
+  uint64_t wal_floor_ = 0;
+  std::vector<SegmentInfo> segments_;
+  Status bg_error_;
+};
+
+}  // namespace fcbench::db::lsm
+
+#endif  // FCBENCH_DB_LSM_LSM_ENGINE_H_

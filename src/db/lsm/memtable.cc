@@ -1,0 +1,19 @@
+#include "db/lsm/memtable.h"
+
+namespace fcbench::db::lsm {
+
+MemTable::MemTable(size_t num_columns) : cols_(num_columns) {}
+
+void MemTable::AppendRows(const double* rows, size_t nrows) {
+  const size_t ncols = cols_.size();
+  for (size_t c = 0; c < ncols; ++c) {
+    cols_[c].reserve(rows_ + nrows);
+  }
+  for (size_t r = 0; r < nrows; ++r) {
+    const double* row = rows + r * ncols;
+    for (size_t c = 0; c < ncols; ++c) cols_[c].push_back(row[c]);
+  }
+  rows_ += nrows;
+}
+
+}  // namespace fcbench::db::lsm

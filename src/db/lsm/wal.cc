@@ -1,0 +1,203 @@
+#include "db/lsm/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/bitio.h"
+#include "util/hash.h"
+
+namespace fcbench::db::lsm {
+
+namespace {
+
+/// Bytes of a record before the payload: u64 hash, u32 len, u8 type.
+constexpr size_t kRecordHeaderBytes = 8 + 4 + 1;
+
+}  // namespace
+
+std::string Wal::SegmentFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+bool Wal::ParseSegmentFileName(const std::string& name, uint64_t* seq) {
+  if (name.size() < 9 || name.compare(0, 4, "wal-") != 0 ||
+      name.compare(name.size() - 4, 4, ".log") != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  size_t digits = 0;
+  for (size_t i = 4; i + 4 < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+    ++digits;
+  }
+  if (digits == 0) return false;
+  *seq = v;
+  return true;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir, uint64_t seq,
+                                       const Options& options) {
+  auto wal = std::unique_ptr<Wal>(new Wal());
+  wal->dir_ = dir;
+  wal->options_ = options;
+  wal->seq_ = seq;
+  // The segment file itself is created lazily at the first Commit, so an
+  // engine that never ingests leaves no empty WAL segments behind.
+  return wal;
+}
+
+Status Wal::EnsureSegment() {
+  if (segment_open_) return Status::OK();
+  FCB_ASSIGN_OR_RETURN(
+      file_, fs::AppendFile::Create(
+                 fs::JoinPath(dir_, SegmentFileName(seq_)),
+                 options_.sync_on_commit));
+  Buffer header;
+  PutFixed(&header, kMagic);
+  PutVarint64(&header, kVersion);
+  PutVarint64(&header, seq_);
+  FCB_RETURN_IF_ERROR(file_.Append(header.span()));
+  segment_open_ = true;
+  return Status::OK();
+}
+
+Status Wal::Append(uint8_t type, ByteSpan payload) {
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument("wal: record payload too large");
+  }
+  // Serialize into the pending batch: hash | len | type | payload, where
+  // the hash covers everything after itself so a torn or bit-flipped
+  // record can never verify.
+  Buffer body;
+  PutFixed(&body, static_cast<uint32_t>(payload.size()));
+  body.PushBack(type);
+  body.Append(payload);
+  PutFixed(&pending_, XxHash64(body.span()));
+  pending_.Append(body.span());
+  return Status::OK();
+}
+
+Status Wal::Commit() {
+  if (pending_.empty()) return Status::OK();
+  FCB_RETURN_IF_ERROR(EnsureSegment());
+  FCB_RETURN_IF_ERROR(file_.Append(pending_.span()));
+  pending_.Clear();
+  if (options_.sync_on_commit) FCB_RETURN_IF_ERROR(file_.Sync());
+  if (file_.offset() >= options_.segment_bytes) {
+    FCB_RETURN_IF_ERROR(Rotate());
+  }
+  return Status::OK();
+}
+
+Status Wal::Rotate() {
+  if (segment_open_) {
+    if (options_.sync_on_commit) FCB_RETURN_IF_ERROR(file_.Sync());
+    FCB_RETURN_IF_ERROR(file_.Close());
+    segment_open_ = false;
+  }
+  ++seq_;
+  // Create the new segment eagerly: every allocated sequence number gets
+  // a file, so a hole inside the replayed range can only mean a lost
+  // segment and WalReader's truncate-at-gap rule is always correct.
+  return EnsureSegment();
+}
+
+Status Wal::Close() {
+  FCB_RETURN_IF_ERROR(Commit());
+  if (segment_open_) {
+    if (options_.sync_on_commit) FCB_RETURN_IF_ERROR(file_.Sync());
+    FCB_RETURN_IF_ERROR(file_.Close());
+    segment_open_ = false;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Replays one segment file. Returns false (via *stop) when replay of
+/// the whole log must end here: torn tail, corrupt record, or a header
+/// that does not match the file name.
+Status ReplaySegment(const std::string& path, uint64_t expect_seq,
+                     std::vector<WalRecord>* out, bool* stop) {
+  auto raw = fs::ReadFile(path);
+  if (!raw.ok()) {
+    // Unreadable segment: treat as end of log, not a hard error — the
+    // records before it are still a valid prefix.
+    *stop = true;
+    return Status::OK();
+  }
+  ByteSpan in = raw.value().span();
+  size_t off = 0;
+  uint32_t magic = 0;
+  uint64_t version = 0, seq = 0;
+  if (!GetFixed(in, &off, &magic) || magic != Wal::kMagic ||
+      !GetVarint64(in, &off, &version) || version != Wal::kVersion ||
+      !GetVarint64(in, &off, &seq) || seq != expect_seq) {
+    *stop = true;  // torn or foreign header: nothing of this segment counts
+    return Status::OK();
+  }
+  while (off < in.size()) {
+    if (in.size() - off < kRecordHeaderBytes) {
+      *stop = true;  // torn mid-header
+      return Status::OK();
+    }
+    uint64_t hash = 0;
+    uint32_t len = 0;
+    uint8_t type = 0;
+    GetFixed(in, &off, &hash);
+    const size_t body_off = off;
+    GetFixed(in, &off, &len);
+    GetFixed(in, &off, &type);
+    if (len > Wal::kMaxRecordBytes || len > in.size() - off) {
+      *stop = true;  // torn mid-payload or implausible length
+      return Status::OK();
+    }
+    if (XxHash64(in.subspan(body_off, 4 + 1 + len)) != hash) {
+      *stop = true;  // bit corruption; truncate here, keep the prefix
+      return Status::OK();
+    }
+    WalRecord rec;
+    rec.segment_seq = seq;
+    rec.type = type;
+    rec.payload = Buffer::FromSpan(in.subspan(off, len));
+    off += len;
+    out->push_back(std::move(rec));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WalReader::Replay> WalReader::ReplayDir(const std::string& dir,
+                                               uint64_t min_seq) {
+  FCB_ASSIGN_OR_RETURN(std::vector<std::string> names, fs::ListDir(dir));
+  std::vector<uint64_t> seqs;
+  Replay replay;
+  for (const auto& name : names) {
+    uint64_t seq = 0;
+    if (!Wal::ParseSegmentFileName(name, &seq)) continue;
+    replay.any_segments = true;
+    replay.max_seq_seen = std::max(replay.max_seq_seen, seq);
+    if (seq >= min_seq) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  bool stop = false;
+  for (size_t i = 0; i < seqs.size() && !stop; ++i) {
+    if (i > 0 && seqs[i] != seqs[i - 1] + 1) {
+      // A hole in the sequence: the prefix ends at the gap.
+      replay.truncated = true;
+      break;
+    }
+    FCB_RETURN_IF_ERROR(
+        ReplaySegment(fs::JoinPath(dir, Wal::SegmentFileName(seqs[i])),
+                      seqs[i], &replay.records, &stop));
+  }
+  replay.truncated = replay.truncated || stop;
+  return replay;
+}
+
+}  // namespace fcbench::db::lsm

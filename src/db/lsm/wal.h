@@ -1,0 +1,123 @@
+#ifndef FCBENCH_DB_LSM_WAL_H_
+#define FCBENCH_DB_LSM_WAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/fs.h"
+#include "util/status.h"
+
+namespace fcbench::db::lsm {
+
+/// Append-only, checksummed, length-prefixed write-ahead log with
+/// segment rotation — the durability backbone of the LSM ingest engine
+/// (ROADMAP item 1; the log-structured design of the LogBase paper in
+/// PAPERS.md, rotation/recovery shape after YTsaurus' changelogs).
+///
+/// Segment file `wal-<seq, 6 digits>.log`:
+///   u32 magic "FCWL" | varint version=1 | varint seq
+/// followed by records, each:
+///   u64 xxh64 over (len,type,payload) | u32 len | u8 type | payload
+///
+/// Durability contract: Append() only buffers; Commit() appends the
+/// buffered batch to the current segment with one write and — when
+/// `sync_on_commit` — one fsync, so a commit covering many appended
+/// records costs a single fsync (group commit). After Commit() returns
+/// OK with `sync_on_commit`, the batch survives power loss.
+///
+/// Recovery contract (WalReader): a crash can tear the log only at the
+/// tail. Replay verifies every record checksum and *truncates at the
+/// first bad or incomplete record* — everything before it is returned,
+/// everything after it is discarded, and the log as a whole is never
+/// rejected. A missing segment in the sequence likewise ends replay at
+/// the gap (prefix semantics). Recovered state is therefore always a
+/// prefix of the committed record sequence.
+class Wal {
+ public:
+  static constexpr uint32_t kMagic = 0x4C574346u;  // "FCWL"
+  static constexpr uint64_t kVersion = 1;
+  /// Record type tags. The WAL itself is payload-agnostic; the engine
+  /// uses kTypeRows for serialized row batches.
+  static constexpr uint8_t kTypeRows = 1;
+  /// Upper bound a reader will accept for one record payload; a length
+  /// field beyond it is treated as corruption, not an allocation request.
+  static constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+  struct Options {
+    /// Rotate to a new segment once the current one exceeds this size.
+    size_t segment_bytes = 4 << 20;
+    /// fsync the segment on every Commit (group commit). Off = leave
+    /// durability to the OS page cache (bench mode; crash loses tail).
+    bool sync_on_commit = true;
+  };
+
+  /// "wal-000042.log" for seq 42 (zero padding keeps ListDir in order).
+  static std::string SegmentFileName(uint64_t seq);
+  /// Parses a segment file name; false for non-WAL names.
+  static bool ParseSegmentFileName(const std::string& name, uint64_t* seq);
+
+  /// Opens a WAL writing segment `seq` (created empty; recovery never
+  /// appends to a pre-existing, possibly torn segment).
+  static Result<std::unique_ptr<Wal>> Open(const std::string& dir,
+                                           uint64_t seq,
+                                           const Options& options);
+
+  /// Buffers one record for the next Commit.
+  Status Append(uint8_t type, ByteSpan payload);
+
+  /// Writes all buffered records to the current segment, fsyncs once
+  /// when configured, and rotates past the segment watermark.
+  Status Commit();
+
+  /// Forces subsequent records into a fresh segment (seq + 1). Used at
+  /// flush time so every record of the flushed memtable lives in a
+  /// segment strictly below the new sequence number.
+  Status Rotate();
+
+  /// Sequence number of the segment the next Commit writes to.
+  uint64_t seq() const { return seq_; }
+
+  Status Close();
+
+ private:
+  Status EnsureSegment();
+
+  std::string dir_;
+  Options options_;
+  uint64_t seq_ = 0;
+  bool segment_open_ = false;
+  fs::AppendFile file_;
+  Buffer pending_;
+};
+
+/// One recovered WAL record.
+struct WalRecord {
+  uint64_t segment_seq = 0;
+  uint8_t type = 0;
+  Buffer payload;
+};
+
+class WalReader {
+ public:
+  struct Replay {
+    std::vector<WalRecord> records;
+    /// Highest segment seq seen on disk (valid or not); the writer
+    /// reopens at max_seq_seen + 1. Meaningful only when any_segments.
+    uint64_t max_seq_seen = 0;
+    bool any_segments = false;
+    /// True when replay stopped early at a torn/corrupt record or a
+    /// sequence gap (the returned records are still a valid prefix).
+    bool truncated = false;
+  };
+
+  /// Replays every record of the `wal-*.log` segments in `dir` with
+  /// seq >= min_seq, in sequence order, with the prefix-truncation
+  /// semantics described on Wal.
+  static Result<Replay> ReplayDir(const std::string& dir, uint64_t min_seq);
+};
+
+}  // namespace fcbench::db::lsm
+
+#endif  // FCBENCH_DB_LSM_WAL_H_

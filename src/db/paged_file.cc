@@ -1,9 +1,9 @@
 #include "db/paged_file.h"
 
-#include <cstdio>
 #include <vector>
 
 #include "util/bitio.h"
+#include "util/fs.h"
 #include "util/timer.h"
 
 namespace fcbench::db {
@@ -11,6 +11,12 @@ namespace fcbench::db {
 namespace {
 
 constexpr uint32_t kMagic = 0x46434246;  // "FCBF"
+/// Parse-time plausibility bounds: a corrupt header must surface as a
+/// Corruption status, never as a giant allocation or an overflowing
+/// bounds check.
+constexpr uint64_t kMaxCompressorNameLen = 256;
+constexpr uint64_t kMaxPageBytes = 1ull << 31;
+constexpr uint64_t kMaxTotalBytes = 1ull << 46;
 
 /// Per-page descriptor: pages are independent 1-D arrays (column-store
 /// view), so dimension-hungry methods fall back to their 1-D mode exactly
@@ -22,13 +28,6 @@ DataDesc PageDesc(const DataDesc& file_desc, size_t page_bytes) {
   d.precision_digits = file_desc.precision_digits;
   return d;
 }
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 void AppendHeaderVarint(Buffer* header, uint64_t v) {
   PutVarint64(header, v);
@@ -47,9 +46,16 @@ Status PagedFile::Write(const std::string& path, ByteSpan data,
     comp = std::move(r).TakeValue();
   }
 
+  if (data.size() != desc.num_bytes()) {
+    return Status::InvalidArgument(
+        "paged file: data size does not match descriptor");
+  }
   const size_t esize = DTypeSize(desc.dtype);
   size_t page = options.page_size / esize * esize;
   if (page == 0) page = esize;
+  if (page > kMaxPageBytes) {
+    return Status::InvalidArgument("paged file: page size too large");
+  }
   size_t npages = (data.size() + page - 1) / page;
   if (data.empty()) npages = 0;
 
@@ -79,18 +85,15 @@ Status PagedFile::Write(const std::string& path, ByteSpan data,
   }
   for (const auto& pg : pages) AppendHeaderVarint(&header, pg.size());
 
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IoError("cannot open for write: " + path);
-  if (std::fwrite(header.data(), 1, header.size(), f.get()) !=
-      header.size()) {
-    return Status::IoError("short header write: " + path);
-  }
-  for (const auto& pg : pages) {
-    if (std::fwrite(pg.data(), 1, pg.size(), f.get()) != pg.size()) {
-      return Status::IoError("short page write: " + path);
-    }
-  }
-  return Status::OK();
+  // Assemble the whole container and publish it atomically (temp file +
+  // rename + dir fsync): a crash mid-write can leave a stale .tmp behind
+  // but never a torn container under `path` — which is what lets a
+  // manifest written *after* its column files reference them safely.
+  Buffer out;
+  out.Reserve(header.size());
+  out.Append(header.span());
+  for (const auto& pg : pages) out.Append(pg.span());
+  return fs::WriteFileAtomic(path, out.span(), options.durable);
 }
 
 namespace {
@@ -103,6 +106,12 @@ struct ParsedHeader {
   size_t payload_offset = 0;
 };
 
+/// Parses and *fully validates* the header. Every length read from the
+/// file is compared overflow-safely (`len > size - off` with off <= size,
+/// never `off + len > size`, which wraps for hostile 64-bit lengths) and
+/// bounded by a plausibility cap, and the page directory is checked for
+/// internal consistency — page count vs. extent, directory sum vs. file
+/// size — so the decode loops below cannot be steered out of bounds.
 Result<ParsedHeader> ParseHeader(ByteSpan file) {
   ParsedHeader h;
   size_t off = 0;
@@ -111,14 +120,15 @@ Result<ParsedHeader> ParseHeader(ByteSpan file) {
     return Status::Corruption("paged file: bad magic");
   }
   uint64_t name_len = 0;
-  if (!GetVarint64(file, &off, &name_len) || off + name_len > file.size()) {
+  if (!GetVarint64(file, &off, &name_len) ||
+      name_len > kMaxCompressorNameLen || name_len > file.size() - off) {
     return Status::Corruption("paged file: bad compressor name");
   }
   h.compressor.assign(reinterpret_cast<const char*>(file.data() + off),
                       name_len);
   off += name_len;
   uint64_t page = 0;
-  if (!GetVarint64(file, &off, &page) || page == 0) {
+  if (!GetVarint64(file, &off, &page) || page == 0 || page > kMaxPageBytes) {
     return Status::Corruption("paged file: bad page size");
   }
   h.page = page;
@@ -133,44 +143,45 @@ Result<ParsedHeader> ParseHeader(ByteSpan file) {
     return Status::Corruption("paged file: bad rank");
   }
   h.desc.extent.resize(rank);
+  uint64_t total_elems = rank == 0 ? 0 : 1;
   for (auto& e : h.desc.extent) {
-    if (!GetVarint64(file, &off, &e)) {
+    if (!GetVarint64(file, &off, &e) ||
+        __builtin_mul_overflow(total_elems, e, &total_elems)) {
       return Status::Corruption("paged file: bad extent");
     }
   }
+  uint64_t total_bytes = 0;
+  if (__builtin_mul_overflow(total_elems,
+                             uint64_t{DTypeSize(h.desc.dtype)},
+                             &total_bytes) ||
+      total_bytes > kMaxTotalBytes) {
+    return Status::Corruption("paged file: implausible array size");
+  }
   uint64_t npages = 0;
-  if (!GetVarint64(file, &off, &npages)) {
-    return Status::Corruption("paged file: bad page count");
+  if (!GetVarint64(file, &off, &npages) ||
+      npages != (total_bytes + page - 1) / page) {
+    return Status::Corruption("paged file: page count mismatch");
   }
   h.page_sizes.resize(npages);
+  uint64_t dir_sum = 0;
   for (auto& s : h.page_sizes) {
-    if (!GetVarint64(file, &off, &s)) {
+    if (!GetVarint64(file, &off, &s) ||
+        __builtin_add_overflow(dir_sum, s, &dir_sum)) {
       return Status::Corruption("paged file: bad page directory");
     }
   }
   h.payload_offset = off;
-  return h;
-}
-
-Result<Buffer> ReadWholeFile(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::IoError("cannot open: " + path);
-  std::fseek(f.get(), 0, SEEK_END);
-  long size = std::ftell(f.get());
-  std::fseek(f.get(), 0, SEEK_SET);
-  if (size < 0) return Status::IoError("cannot stat: " + path);
-  Buffer buf(static_cast<size_t>(size));
-  if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
-    return Status::IoError("short read: " + path);
+  if (dir_sum > file.size() - off) {
+    return Status::Corruption("paged file: truncated pages");
   }
-  return buf;
+  return h;
 }
 
 }  // namespace
 
 Result<Buffer> PagedFile::Read(const std::string& path, ReadTiming* timing) {
   Timer io_timer;
-  auto file_r = ReadWholeFile(path);
+  auto file_r = fs::ReadFile(path);
   if (!file_r.ok()) return file_r.status();
   Buffer file = std::move(file_r).TakeValue();
   if (timing != nullptr) timing->io_seconds = io_timer.ElapsedSeconds();
@@ -194,7 +205,7 @@ Result<Buffer> PagedFile::Read(const std::string& path, ReadTiming* timing) {
   size_t off = h.payload_offset;
   uint64_t remaining = total_bytes;
   for (size_t p = 0; p < h.page_sizes.size(); ++p) {
-    if (off + h.page_sizes[p] > file.size()) {
+    if (h.page_sizes[p] > file.size() - off) {
       return Status::Corruption("paged file: truncated pages");
     }
     ByteSpan page_bytes = file.span().subspan(off, h.page_sizes[p]);
@@ -223,7 +234,7 @@ Result<Buffer> PagedFile::ReadByteRange(const std::string& path,
                                         uint64_t offset, uint64_t length,
                                         ReadTiming* timing) {
   Timer io_timer;
-  auto file_r = ReadWholeFile(path);
+  auto file_r = fs::ReadFile(path);
   if (!file_r.ok()) return file_r.status();
   Buffer file = std::move(file_r).TakeValue();
   if (timing != nullptr) timing->io_seconds = io_timer.ElapsedSeconds();
@@ -258,7 +269,7 @@ Result<Buffer> PagedFile::ReadByteRange(const std::string& path,
   uint64_t page_raw_begin = static_cast<uint64_t>(first_page) * h.page;
   Buffer decoded;  // raw bytes of the touched pages only
   for (size_t p = first_page; p <= last_page; ++p) {
-    if (page_start + h.page_sizes[p] > file.size()) {
+    if (h.page_sizes[p] > file.size() - page_start) {
       return Status::Corruption("paged file: truncated pages");
     }
     ByteSpan page_bytes = file.span().subspan(page_start, h.page_sizes[p]);
@@ -288,7 +299,7 @@ Result<Buffer> PagedFile::ReadByteRange(const std::string& path,
 }
 
 Result<DataDesc> PagedFile::ReadDesc(const std::string& path) {
-  auto file_r = ReadWholeFile(path);
+  auto file_r = fs::ReadFile(path);
   if (!file_r.ok()) return file_r.status();
   auto hr = ParseHeader(file_r.value().span());
   if (!hr.ok()) return hr.status();
@@ -296,12 +307,7 @@ Result<DataDesc> PagedFile::ReadDesc(const std::string& path) {
 }
 
 Result<uint64_t> PagedFile::FileSize(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::IoError("cannot open: " + path);
-  std::fseek(f.get(), 0, SEEK_END);
-  long size = std::ftell(f.get());
-  if (size < 0) return Status::IoError("cannot stat: " + path);
-  return static_cast<uint64_t>(size);
+  return fs::FileSize(path);
 }
 
 }  // namespace fcbench::db

@@ -26,6 +26,10 @@ class PagedFile {
     /// Registry name of the compression filter ("none" = raw pages).
     std::string compressor = "none";
     CompressorConfig config;
+    /// fsync the container and its directory as part of the atomic
+    /// temp-file + rename publish. Writes are atomic either way; turning
+    /// this off only trades power-loss durability for speed.
+    bool durable = true;
   };
 
   /// Timing breakdown of a read, matching the paper's file I/O vs. data

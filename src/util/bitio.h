@@ -237,10 +237,12 @@ inline void PutFixed(Buffer* out, T v) {
 }
 
 /// Reads a little-endian fixed-width integer; advances *offset.
-/// Returns false if the input is too short.
+/// Returns false if the input is too short. The bounds check is written
+/// overflow-safely (`*offset + sizeof(T)` could wrap for a hostile
+/// offset near SIZE_MAX and silently pass).
 template <typename T>
 inline bool GetFixed(ByteSpan in, size_t* offset, T* v) {
-  if (*offset + sizeof(T) > in.size()) return false;
+  if (*offset > in.size() || sizeof(T) > in.size() - *offset) return false;
   std::memcpy(v, in.data() + *offset, sizeof(T));
   *offset += sizeof(T);
   return true;

@@ -1,0 +1,204 @@
+#include "util/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace fcbench::fs {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+Status WriteAll(int fd, ByteSpan data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write: ") + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool IsTempPath(const std::string& name) {
+  const size_t slen = std::strlen(kTempSuffix);
+  return name.size() >= slen &&
+         name.compare(name.size() - slen, slen, kTempSuffix) == 0;
+}
+
+std::string DirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IoError(Errno("cannot stat", path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Result<Buffer> ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IoError(Errno("cannot open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError(Errno("cannot stat", path));
+  }
+  Buffer buf(static_cast<size_t>(st.st_size));
+  size_t got = 0;
+  while (got < buf.size()) {
+    ssize_t n = ::read(fd, buf.data() + got, buf.size() - got);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    got += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (got != buf.size()) return Status::IoError("short read " + path);
+  return buf;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IoError(Errno("cannot remove", path));
+  }
+  return Status::OK();
+}
+
+Status CreateDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError(Errno("cannot mkdir", path));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Status::IoError(Errno("cannot opendir", dir));
+  std::vector<std::string> names;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::IoError(Errno("cannot open dir", dir));
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError(Errno("cannot fsync dir", dir));
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, ByteSpan data,
+                       bool durable) {
+  const std::string tmp = path + kTempSuffix;
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Status::IoError(Errno("cannot open", tmp));
+  Status st = WriteAll(fd, data);
+  if (st.ok() && durable && ::fsync(fd) != 0) {
+    st = Status::IoError(Errno("cannot fsync", tmp));
+  }
+  if (::close(fd) != 0 && st.ok()) {
+    st = Status::IoError(Errno("cannot close", tmp));
+  }
+  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::IoError(Errno("cannot rename", tmp));
+  }
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (durable) return SyncDir(DirOf(path));
+  return Status::OK();
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    offset_ = other.offset_;
+    other.fd_ = -1;
+    other.offset_ = 0;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+Result<AppendFile> AppendFile::Create(const std::string& path,
+                                      bool durable) {
+  int fd = ::open(path.c_str(),
+                  O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IoError(Errno("cannot create", path));
+  if (durable) {
+    Status st = SyncDir(DirOf(path));
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
+  }
+  AppendFile f;
+  f.fd_ = fd;
+  return f;
+}
+
+Status AppendFile::Append(ByteSpan data) {
+  if (fd_ < 0) return Status::Internal("append to closed file");
+  FCB_RETURN_IF_ERROR(WriteAll(fd_, data));
+  offset_ += data.size();
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) return Status::Internal("sync of closed file");
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status AppendFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) {
+    return Status::IoError(std::string("close: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace fcbench::fs

@@ -1,0 +1,91 @@
+#ifndef FCBENCH_UTIL_FS_H_
+#define FCBENCH_UTIL_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace fcbench::fs {
+
+/// Durable-filesystem helpers shared by every on-disk writer (PagedFile,
+/// ColumnStore, the LSM ingest engine). The publish protocol for any
+/// file that a manifest may reference is always the same three steps:
+///   1. write the complete contents to `<path>.tmp` and fsync the file,
+///   2. rename(2) `<path>.tmp` over `<path>` (atomic on POSIX),
+///   3. fsync the containing directory so the rename itself is durable.
+/// A crash at any byte of that sequence leaves either the old file, no
+/// file, or a stale `<path>.tmp` — never a torn `<path>` — and stale
+/// temp files are swept by recovery (see IsTempPath).
+
+/// Suffix of in-flight atomic writes. Recovery deletes any file with
+/// this suffix: a temp file is by definition unpublished state.
+inline constexpr const char* kTempSuffix = ".tmp";
+
+/// True when `name` (a path or a bare file name) ends in kTempSuffix.
+bool IsTempPath(const std::string& name);
+
+/// Directory part of `path`; "." when `path` has no separator.
+std::string DirOf(const std::string& path);
+
+/// `dir` + "/" + `name` (no separator doubling).
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+bool FileExists(const std::string& path);
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Reads the whole file into a Buffer.
+Result<Buffer> ReadFile(const std::string& path);
+
+/// Removes `path`; OK when the file does not exist (idempotent cleanup).
+Status RemoveFile(const std::string& path);
+
+/// Creates `path` (one level); OK when it already exists.
+Status CreateDir(const std::string& path);
+
+/// Names (not paths) of the entries in `dir`, sorted, "."/".." excluded.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// fsyncs a directory so previously-renamed/created entries are durable.
+Status SyncDir(const std::string& dir);
+
+/// Writes `data` to `path` with the temp-file + rename(+ fsync when
+/// `durable`) publish protocol described above. Readers either see the
+/// previous contents or the complete new contents, never a prefix.
+Status WriteFileAtomic(const std::string& path, ByteSpan data,
+                       bool durable = true);
+
+/// Append-only file handle for the write-ahead log: unbuffered positional
+/// appends with explicit Sync(). Creation truncates (WAL recovery never
+/// appends to an existing — possibly torn — segment; it starts a new one).
+class AppendFile {
+ public:
+  AppendFile() = default;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  AppendFile(AppendFile&& other) noexcept { *this = std::move(other); }
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  ~AppendFile();
+
+  /// Creates (or truncates) `path` for appending. When `durable`, the
+  /// creation is made durable immediately by fsyncing the directory.
+  static Result<AppendFile> Create(const std::string& path, bool durable);
+
+  Status Append(ByteSpan data);
+  /// fsyncs everything appended so far.
+  Status Sync();
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  /// Bytes appended since Create.
+  uint64_t offset() const { return offset_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace fcbench::fs
+
+#endif  // FCBENCH_UTIL_FS_H_

@@ -10,6 +10,7 @@
 
 #include "db/column_store.h"
 #include "db/query.h"
+#include "util/fs.h"
 #include "util/rng.h"
 
 namespace fcbench::db {
@@ -47,6 +48,28 @@ class ColumnStoreTest : public ::testing::Test {
 
   std::string prefix_;
 };
+
+TEST_F(ColumnStoreTest, WriteIsAtomicAndLeavesNoTempFiles) {
+  auto cols = MakeTable(500);
+  ASSERT_TRUE(ColumnStore::Write(prefix_, cols).ok());
+  // Overwriting an existing store goes through the same temp+rename
+  // publish and must land fully (old table or new, never torn).
+  for (auto& c : cols) c.values.resize(200);
+  ASSERT_TRUE(ColumnStore::Write(prefix_, cols).ok());
+  auto df = ColumnStore::Read(prefix_, {});
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df.value().num_rows(), 200u);
+  // No in-flight temp files survive a successful publish.
+  const std::string base =
+      prefix_.substr(prefix_.find_last_of('/') + 1);
+  auto names = fs::ListDir(fs::DirOf(prefix_));
+  ASSERT_TRUE(names.ok());
+  for (const auto& n : names.value()) {
+    if (n.compare(0, base.size(), base) == 0) {
+      EXPECT_FALSE(fs::IsTempPath(n)) << n;
+    }
+  }
+}
 
 TEST_F(ColumnStoreTest, WriteReadRoundTrip) {
   auto cols = MakeTable(5000);

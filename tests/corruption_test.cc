@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstring>
 #include <string>
@@ -14,8 +16,10 @@
 
 #include "core/chunked.h"
 #include "core/compressor.h"
+#include "db/paged_file.h"
 #include "test_names.h"
 #include "util/bitio.h"
+#include "util/fs.h"
 #include "util/hash.h"
 #include "util/rng.h"
 
@@ -303,6 +307,109 @@ TEST_F(MixedFrameCorruption, TruncatedMixedFramesFailCleanly) {
         auto_->Decompress(frame_.span().subspan(0, keep), desc_, &out);
     EXPECT_FALSE(st.ok()) << "truncated to " << keep << " bytes";
   }
+}
+
+// ---------------------------------------------------------------------------
+// PagedFile hostile headers: every length field read from a container
+// header is attacker-controlled. Each test below encodes one overflow or
+// inconsistency that must surface as a Corruption status — never as an
+// out-of-bounds read (the ASan lane enforces that half of the contract),
+// a giant allocation, or a wrapped bounds check that lets the decode
+// loops run wild.
+// ---------------------------------------------------------------------------
+
+class PagedFileHostileHeader : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterAllCompressors();
+    path_ = "/tmp/fcbench_pf_hostile_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  }
+  void TearDown() override { fs::RemoveFile(path_); }
+
+  void ExpectRejected(const Buffer& bytes, const char* what) {
+    ASSERT_TRUE(
+        fs::WriteFileAtomic(path_, bytes.span(), /*durable=*/false).ok());
+    auto r = db::PagedFile::Read(path_, nullptr);
+    ASSERT_FALSE(r.ok()) << what;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << what;
+  }
+
+  /// Valid header prefix: magic | compressor "none" | page | dtype f64 |
+  /// full precision. Tests append the hostile fields after it.
+  static Buffer Prefix(uint64_t page) {
+    Buffer b;
+    PutFixed(&b, uint32_t{0x46434246});  // "FCBF"
+    PutVarint64(&b, 4);
+    b.Append("none", 4);
+    PutVarint64(&b, page);
+    b.PushBack(1);
+    b.PushBack(0);
+    return b;
+  }
+
+  std::string path_;
+};
+
+TEST_F(PagedFileHostileHeader, HostileCompressorNameLength) {
+  // A 64-bit name length near SIZE_MAX: `off + len` wraps, so a naive
+  // `off + len > size` bounds check passes and .assign() reads out of
+  // bounds. The parser must compare overflow-safely.
+  Buffer b;
+  PutFixed(&b, uint32_t{0x46434246});
+  PutVarint64(&b, ~uint64_t{0});
+  ExpectRejected(b, "hostile name length");
+}
+
+TEST_F(PagedFileHostileHeader, OversizedPageRejected) {
+  Buffer b = Prefix(uint64_t{1} << 33);  // above the 2 GiB page cap
+  PutVarint64(&b, 1);                    // rank
+  PutVarint64(&b, 8);                    // extent
+  ExpectRejected(b, "oversized page");
+}
+
+TEST_F(PagedFileHostileHeader, ExtentProductOverflow) {
+  Buffer b = Prefix(4096);
+  PutVarint64(&b, 2);  // rank 2: the element product overflows u64
+  PutVarint64(&b, uint64_t{1} << 33);
+  PutVarint64(&b, uint64_t{1} << 33);
+  ExpectRejected(b, "extent product overflow");
+}
+
+TEST_F(PagedFileHostileHeader, ImplausibleTotalSize) {
+  Buffer b = Prefix(4096);
+  PutVarint64(&b, 1);
+  PutVarint64(&b, uint64_t{1} << 50);  // 2^53 bytes: over the 2^46 cap
+  ExpectRejected(b, "implausible total size");
+}
+
+TEST_F(PagedFileHostileHeader, PageCountMismatch) {
+  Buffer b = Prefix(4096);
+  PutVarint64(&b, 1);
+  PutVarint64(&b, 1024);  // 8 KiB of f64 => exactly 2 pages
+  PutVarint64(&b, 3);     // header claims 3
+  ExpectRejected(b, "page count mismatch");
+}
+
+TEST_F(PagedFileHostileHeader, PageDirectorySumOverflow) {
+  Buffer b = Prefix(4096);
+  PutVarint64(&b, 1);
+  PutVarint64(&b, 1024);
+  PutVarint64(&b, 2);
+  PutVarint64(&b, ~uint64_t{0});  // directory entries sum past 2^64
+  PutVarint64(&b, 2);
+  ExpectRejected(b, "page directory sum overflow");
+}
+
+TEST_F(PagedFileHostileHeader, TruncatedPages) {
+  Buffer b = Prefix(4096);
+  PutVarint64(&b, 1);
+  PutVarint64(&b, 1024);
+  PutVarint64(&b, 2);
+  PutVarint64(&b, 64);  // directory promises 96 payload bytes...
+  PutVarint64(&b, 32);
+  b.Append(std::vector<uint8_t>(5, 0xab).data(), 5);  // ...file has 5
+  ExpectRejected(b, "truncated pages");
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "core/streaming.h"
 #include "test_names.h"
+#include "util/bitio.h"
 #include "util/rng.h"
 
 namespace fcbench {
@@ -202,6 +203,58 @@ TEST(StreamingTest, ChunkedFramesRoundTripAndAreThreadCountInvariant) {
     EXPECT_EQ(std::memcmp(out.data(), steps[s].data(), out.size()), 0) << s;
   }
   EXPECT_FALSE(reader.value().HasNext(stream.span()));
+}
+
+TEST(StreamingTest, FailedDecodeRollsBackPartialOutput) {
+  RegisterAllCompressors();
+  auto writer = StreamWriter::Open("gorilla");
+  ASSERT_TRUE(writer.ok());
+  Buffer stream;
+  auto step0 = TimeStep(0, 256);
+  ASSERT_TRUE(writer.value()
+                  .Append(ByteSpan(step0.data(), step0.size()),
+                          DType::kFloat64, &stream)
+                  .ok());
+  const size_t frame0_end = stream.size();
+  auto step1 = TimeStep(1, 256);
+  ASSERT_TRUE(writer.value()
+                  .Append(ByteSpan(step1.data(), step1.size()),
+                          DType::kFloat64, &stream)
+                  .ok());
+
+  // Rebuild frame 1 claiming far more raw bytes than its bitstream
+  // holds. The frame checksum covers only the payload, so it still
+  // verifies; the decoder runs off the end of the bitstream mid-frame
+  // and fails *after* producing partial output — which Next must roll
+  // back rather than leave in the caller's buffer.
+  size_t off = frame0_end;
+  uint64_t raw_bytes = 0, payload_len = 0, hash = 0;
+  uint8_t dtype_byte = 0;
+  ASSERT_TRUE(GetVarint64(stream.span(), &off, &raw_bytes));
+  ASSERT_TRUE(GetFixed(stream.span(), &off, &dtype_byte));
+  ASSERT_TRUE(GetVarint64(stream.span(), &off, &payload_len));
+  ASSERT_TRUE(GetFixed(stream.span(), &off, &hash));
+  Buffer tampered;
+  tampered.Append(stream.span().subspan(0, frame0_end));
+  PutVarint64(&tampered, raw_bytes + 8 * 1024);
+  tampered.PushBack(dtype_byte);
+  PutVarint64(&tampered, payload_len);
+  PutFixed(&tampered, hash);
+  tampered.Append(stream.span().subspan(off, payload_len));
+
+  auto reader = StreamReader::Open("gorilla");
+  ASSERT_TRUE(reader.ok());
+  Buffer out;
+  ASSERT_TRUE(reader.value().Next(tampered.span(), &out).ok());
+  ASSERT_EQ(out.size(), step0.size());
+
+  auto st = reader.value().Next(tampered.span(), &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  // Rollback contract: `out` holds exactly the frames that decoded
+  // successfully — no partial tail from the failed frame.
+  ASSERT_EQ(out.size(), step0.size());
+  EXPECT_EQ(std::memcmp(out.data(), step0.data(), out.size()), 0);
 }
 
 }  // namespace

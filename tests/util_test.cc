@@ -3,16 +3,20 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstring>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "util/bitio.h"
 #include "util/buffer.h"
+#include "util/fs.h"
 #include "util/entropy.h"
 #include "util/float_bits.h"
 #include "util/mem_tracker.h"
@@ -747,6 +751,127 @@ TEST(TimerTest, MeasuresElapsed) {
 TEST(ThroughputTest, Computation) {
   EXPECT_DOUBLE_EQ(ThroughputGBps(2e9, 2.0), 1.0);
   EXPECT_DOUBLE_EQ(ThroughputGBps(100, 0.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// fs: the durable-filesystem helpers under every on-disk writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string FsTestDir(const char* tag) {
+  std::string dir = "/tmp/fcbench_fs_" + std::to_string(::getpid()) + "_" +
+                    tag;
+  EXPECT_TRUE(fs::CreateDir(dir).ok());
+  return dir;
+}
+
+void FsTestCleanup(const std::string& dir) {
+  auto names = fs::ListDir(dir);
+  if (names.ok()) {
+    for (const auto& n : names.value()) fs::RemoveFile(fs::JoinPath(dir, n));
+  }
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+
+TEST(FsTest, PathHelpers) {
+  EXPECT_EQ(fs::DirOf("/a/b/c.col"), "/a/b");
+  EXPECT_EQ(fs::DirOf("/top"), "/");
+  EXPECT_EQ(fs::DirOf("bare"), ".");
+  EXPECT_EQ(fs::JoinPath("/a/b", "c"), "/a/b/c");
+  EXPECT_EQ(fs::JoinPath("/a/b/", "c"), "/a/b/c");
+  EXPECT_TRUE(fs::IsTempPath("seg-000001.0.col.tmp"));
+  EXPECT_TRUE(fs::IsTempPath("/x/y/MANIFEST.tmp"));
+  EXPECT_FALSE(fs::IsTempPath("MANIFEST"));
+  EXPECT_FALSE(fs::IsTempPath("tmp.col"));
+}
+
+TEST(FsTest, WriteFileAtomicPublishesWholeFilesOnly) {
+  const std::string dir = FsTestDir("atomic");
+  const std::string path = fs::JoinPath(dir, "blob");
+  const uint8_t v1[] = {1, 2, 3};
+  const uint8_t v2[] = {9, 8, 7, 6};
+  ASSERT_TRUE(fs::WriteFileAtomic(path, ByteSpan(v1, 3)).ok());
+  auto r = fs::ReadFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ToVector(), (std::vector<uint8_t>{1, 2, 3}));
+  // Overwrite goes through the same temp+rename path.
+  ASSERT_TRUE(fs::WriteFileAtomic(path, ByteSpan(v2, 4), false).ok());
+  r = fs::ReadFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ToVector(), (std::vector<uint8_t>{9, 8, 7, 6}));
+  EXPECT_TRUE(fs::FileExists(path));
+  auto size = fs::FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 4u);
+  // A successful publish leaves no .tmp residue behind.
+  auto names = fs::ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  for (const auto& n : names.value()) EXPECT_FALSE(fs::IsTempPath(n)) << n;
+  FsTestCleanup(dir);
+}
+
+TEST(FsTest, MissingPathsAreHandledGracefully) {
+  const std::string missing = "/tmp/fcbench_fs_missing_" +
+                              std::to_string(::getpid());
+  EXPECT_FALSE(fs::ReadFile(missing).ok());
+  EXPECT_FALSE(fs::FileExists(missing));
+  EXPECT_FALSE(fs::FileSize(missing).ok());
+  EXPECT_FALSE(fs::ListDir(missing).ok());
+  // RemoveFile is idempotent cleanup: OK when nothing is there.
+  EXPECT_TRUE(fs::RemoveFile(missing).ok());
+  // CreateDir is likewise OK when the directory already exists.
+  const std::string dir = FsTestDir("mkdir");
+  EXPECT_TRUE(fs::CreateDir(dir).ok());
+  FsTestCleanup(dir);
+}
+
+TEST(FsTest, ListDirReturnsSortedNames) {
+  const std::string dir = FsTestDir("listdir");
+  const uint8_t b = 0;
+  for (const char* n : {"banana", "apple", "cherry"}) {
+    ASSERT_TRUE(
+        fs::WriteFileAtomic(fs::JoinPath(dir, n), ByteSpan(&b, 1), false)
+            .ok());
+  }
+  auto names = fs::ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(),
+            (std::vector<std::string>{"apple", "banana", "cherry"}));
+  FsTestCleanup(dir);
+}
+
+TEST(FsTest, AppendFileAppendsAndTruncatesOnCreate) {
+  const std::string dir = FsTestDir("append");
+  const std::string path = fs::JoinPath(dir, "log");
+  {
+    auto f = fs::AppendFile::Create(path, /*durable=*/false);
+    ASSERT_TRUE(f.ok());
+    const uint8_t a[] = {1, 2};
+    const uint8_t c[] = {3};
+    ASSERT_TRUE(f.value().Append(ByteSpan(a, 2)).ok());
+    ASSERT_TRUE(f.value().Append(ByteSpan(c, 1)).ok());
+    EXPECT_EQ(f.value().offset(), 3u);
+    ASSERT_TRUE(f.value().Sync().ok());
+    ASSERT_TRUE(f.value().Close().ok());
+  }
+  auto r = fs::ReadFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ToVector(), (std::vector<uint8_t>{1, 2, 3}));
+  {
+    // Create truncates: a WAL never appends to a possibly-torn file.
+    auto f = fs::AppendFile::Create(path, false);
+    ASSERT_TRUE(f.ok());
+    const uint8_t n = 9;
+    ASSERT_TRUE(f.value().Append(ByteSpan(&n, 1)).ok());
+    ASSERT_TRUE(f.value().Close().ok());
+  }
+  r = fs::ReadFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ToVector(), (std::vector<uint8_t>{9}));
+  FsTestCleanup(dir);
 }
 
 }  // namespace
