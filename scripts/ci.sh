@@ -4,6 +4,11 @@
 # Usage:
 #   scripts/ci.sh               # full lane: build everything, run all tests
 #   scripts/ci.sh --smoke       # fast lane: unit-labeled tests only
+#   scripts/ci.sh --faults      # fault lane: run the fault-injection suite
+#                               # (ctest -L fault) twice — a Release build,
+#                               # then an ASan+UBSan build — with a fixed
+#                               # chaos seed (FCBENCH_FAULT_SEED, default 42)
+#                               # so failures reproduce locally
 #   scripts/ci.sh --perf-smoke  # perf lane: Release build, run micro_bitio,
 #                               # micro_parallel (threads 1/2/4 scaling
 #                               # curve), micro_select (oracle-vs-auto
@@ -71,6 +76,23 @@ if [[ "${1:-}" == "--perf-smoke" ]]; then
   else
     echo "perf-smoke: micro_codecs not built (google-benchmark missing); skipped"
   fi
+  exit 0
+fi
+
+if [[ "${1:-}" == "--faults" ]]; then
+  export FCBENCH_FAULT_SEED=${FCBENCH_FAULT_SEED:-42}
+  # Pass 1: Release — the sweep at full speed.
+  cmake -B "${BUILD_DIR}-faults" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${BUILD_DIR}-faults" -j "${JOBS}" --target fault_injection_test
+  ctest --test-dir "${BUILD_DIR}-faults" --output-on-failure -j "${JOBS}" -L fault
+  # Pass 2: ASan+UBSan — every injected error path runs under the
+  # sanitizers, so a leak or UB on a rarely-taken failure branch fails
+  # the lane instead of shipping.
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+  cmake -B "${BUILD_DIR}-faults-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
+  cmake --build "${BUILD_DIR}-faults-asan" -j "${JOBS}" --target fault_injection_test
+  ctest --test-dir "${BUILD_DIR}-faults-asan" --output-on-failure -j "${JOBS}" -L fault
   exit 0
 fi
 

@@ -5,6 +5,7 @@
 #include "select/auto_compressor.h"
 #include "select/selector.h"
 #include "util/bitio.h"
+#include "util/failpoint.h"
 #include "util/fs.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
@@ -16,8 +17,12 @@ namespace {
 constexpr uint32_t kManifestMagic = 0x534D4346u;  // "FCMS"
 /// Manifest layout version: v2 added the per-column resolved-method
 /// footer entries (the online selector's choices must be persisted, or
-/// a reader could not name what compressed each column).
-constexpr uint64_t kManifestVersion = 2;
+/// a reader could not name what compressed each column); v3 added each
+/// column file's size and whole-file xxh64, captured at write time, so
+/// Verify can re-check the table bit for bit without trusting the files.
+/// v2 manifests are still readable (they just cannot be hash-verified).
+constexpr uint64_t kManifestVersion = 3;
+constexpr uint64_t kMinManifestVersion = 2;
 
 std::string ColumnPath(const std::string& prefix, size_t index) {
   return prefix + "." + std::to_string(index) + ".col";
@@ -29,7 +34,10 @@ std::string ManifestPath(const std::string& prefix) {
 
 struct Manifest {
   std::vector<std::string> names;
-  std::vector<std::string> methods;  // resolved; parallel to names
+  std::vector<std::string> methods;     // resolved; parallel to names
+  std::vector<uint64_t> file_hashes;    // v3+: whole-file xxh64 per column
+  std::vector<uint64_t> file_bytes;     // v3+: container size per column
+  bool has_integrity = false;           // false for v2 manifests
 };
 
 Result<Manifest> ReadManifest(const std::string& prefix) {
@@ -39,11 +47,13 @@ Result<Manifest> ReadManifest(const std::string& prefix) {
   uint32_t magic = 0;
   uint64_t version = 0, ncols = 0, hash = 0;
   if (!GetFixed(in, &off, &magic) || magic != kManifestMagic ||
-      !GetVarint64(in, &off, &version) || version != kManifestVersion ||
-      !GetVarint64(in, &off, &ncols) || ncols > 4096) {
+      !GetVarint64(in, &off, &version) || version < kMinManifestVersion ||
+      version > kManifestVersion || !GetVarint64(in, &off, &ncols) ||
+      ncols > 4096) {
     return Status::Corruption("column_store: bad manifest header");
   }
   Manifest m;
+  m.has_integrity = version >= 3;
   auto read_string = [&](size_t max_len, std::string* out) {
     uint64_t len = 0;
     if (!GetVarint64(in, &off, &len) || len > max_len ||
@@ -59,8 +69,15 @@ Result<Manifest> ReadManifest(const std::string& prefix) {
     if (!read_string(256, &name) || !read_string(64, &method)) {
       return Status::Corruption("column_store: bad column entry");
     }
+    uint64_t fhash = 0, fbytes = 0;
+    if (m.has_integrity &&
+        (!GetFixed(in, &off, &fhash) || !GetVarint64(in, &off, &fbytes))) {
+      return Status::Corruption("column_store: bad column entry");
+    }
     m.names.push_back(std::move(name));
     m.methods.push_back(std::move(method));
+    m.file_hashes.push_back(fhash);
+    m.file_bytes.push_back(fbytes);
   }
   if (!GetFixed(in, &off, &hash) ||
       hash != XxHash64(in.subspan(0, off - sizeof(uint64_t)))) {
@@ -94,9 +111,16 @@ Status ColumnStore::Write(const std::string& prefix,
   // any outcome.
   std::vector<Status> stats(columns.size());
   std::vector<std::string> resolved(columns.size());
+  std::vector<PagedFile::WriteInfo> infos(columns.size());
   ThreadPool::Shared().ParallelFor(
       columns.size(),
       [&](size_t i) {
+        const fail::Decision inj = FCB_FAILPOINT("segment.column");
+        if (inj.fire) {
+          stats[i] = fail::InjectedStatus("segment.column", inj,
+                                          ColumnPath(prefix, i));
+          return;
+        }
         const ColumnSpec& c = columns[i];
         DataDesc desc;
         desc.dtype = c.dtype;
@@ -128,12 +152,13 @@ Status ColumnStore::Write(const std::string& prefix,
         PagedFile::Options opt;
         opt.page_size = page_size;
         opt.compressor = resolved[i];
-        stats[i] =
-            PagedFile::Write(ColumnPath(prefix, i), bytes.span(), desc, opt);
+        stats[i] = PagedFile::Write(ColumnPath(prefix, i), bytes.span(),
+                                    desc, opt, &infos[i]);
       },
       {/*grain=*/1});
   for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
 
+  FCB_FAIL_RETURN("segment.publish", ManifestPath(prefix));
   Buffer manifest;
   PutFixed(&manifest, kManifestMagic);
   PutVarint64(&manifest, kManifestVersion);
@@ -143,6 +168,8 @@ Status ColumnStore::Write(const std::string& prefix,
     manifest.Append(columns[i].name.data(), columns[i].name.size());
     PutVarint64(&manifest, resolved[i].size());
     manifest.Append(resolved[i].data(), resolved[i].size());
+    PutFixed(&manifest, infos[i].file_hash);
+    PutVarint64(&manifest, infos[i].file_bytes);
   }
   PutFixed(&manifest, XxHash64(manifest.span()));
   // The manifest is published last, atomically, and only after every
@@ -261,6 +288,35 @@ Result<std::vector<double>> ColumnStore::ReadRows(const std::string& prefix,
     std::memcpy(out.data(), bytes.data(), row_count * 8);
   }
   return out;
+}
+
+Status ColumnStore::Verify(const std::string& prefix) {
+  // ReadManifest already validates the manifest's own checksum.
+  FCB_ASSIGN_OR_RETURN(Manifest m, ReadManifest(prefix));
+  for (size_t i = 0; i < m.names.size(); ++i) {
+    const std::string path = ColumnPath(prefix, i);
+    if (m.has_integrity) {
+      // Whole-file comparison against the identity captured at write
+      // time: catches every bit flip, including ones a decode would
+      // silently accept.
+      FCB_ASSIGN_OR_RETURN(Buffer raw, fs::ReadFile(path));
+      if (raw.size() != m.file_bytes[i]) {
+        return Status::Corruption(
+            "column_store: " + path + " is " + std::to_string(raw.size()) +
+            " bytes, manifest records " + std::to_string(m.file_bytes[i]));
+      }
+      if (XxHash64(raw.span()) != m.file_hashes[i]) {
+        return Status::Corruption("column_store: " + path +
+                                  " fails whole-file checksum (column '" +
+                                  m.names[i] + "')");
+      }
+    } else {
+      // v2 manifest: no recorded hash; fall back to a structural decode,
+      // which still catches truncation and most header/page damage.
+      FCB_RETURN_IF_ERROR(PagedFile::Read(path, nullptr).status());
+    }
+  }
+  return Status::OK();
 }
 
 Status ColumnStore::Drop(const std::string& prefix) {

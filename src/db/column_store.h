@@ -82,6 +82,16 @@ class ColumnStore {
                                               uint64_t row_count,
                                               ReadStats* stats = nullptr);
 
+  /// Re-verifies the table's integrity from disk: the manifest checksum,
+  /// and — for manifests that record them (v3+) — every column file's
+  /// size and whole-file xxh64 against the values captured at write
+  /// time. A mismatch returns Corruption naming the first bad file; a
+  /// missing file returns the underlying IO error. This is the scrub
+  /// primitive: it detects any bit flip anywhere in the table, including
+  /// in pages an ordinary decode would accept (e.g. "none"-compressed
+  /// columns have no other checksum).
+  static Status Verify(const std::string& prefix);
+
   /// Removes all files written under `prefix`.
   static Status Drop(const std::string& prefix);
 };

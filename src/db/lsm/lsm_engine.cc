@@ -1,11 +1,14 @@
 #include "db/lsm/lsm_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "db/column_store.h"
 #include "util/bitio.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
@@ -14,17 +17,49 @@ namespace fcbench::db::lsm {
 namespace {
 
 constexpr uint32_t kEngineMagic = 0x4D4C4346u;  // "FCLM"
-constexpr uint64_t kEngineVersion = 1;
+/// Engine manifest version: v2 added the quarantined-segment list (the
+/// scrubber's findings must survive reopen, or a corrupt segment's files
+/// would be swept as unreferenced and the evidence lost). v1 manifests
+/// are still readable.
+constexpr uint64_t kEngineVersion = 2;
 constexpr const char* kManifestName = "MANIFEST";
+/// Subdirectory corrupt segments are moved into (never deleted: the
+/// files are evidence, and deletion cannot be undone by a false alarm).
+constexpr const char* kQuarantineDir = "quarantine";
 /// Longest run one compaction round will merge (bounds peak memory).
 constexpr size_t kMaxCompactRun = 32;
+/// Quarantine reasons are capped going into the manifest.
+constexpr size_t kMaxReasonBytes = 256;
 
 struct ManifestState {
   std::vector<ColumnDef> schema;
   uint64_t next_segment_id = 0;
   uint64_t wal_floor = 0;
   std::vector<SegmentInfo> segments;
+  std::vector<QuarantinedSegment> quarantined;
 };
+
+/// Runs `op` up to opt.io_retry_attempts times with exponential backoff,
+/// retrying only transient IO errors (kIoError). ENOSPC (typed
+/// ResourceExhausted) and Corruption are not transient and fail at once.
+/// The final failure is wrapped with `what` and the attempt count so a
+/// sticky background error names both the step and the root cause.
+template <typename Op>
+Status RetryIo(const EngineOptions& opt, const std::string& what, Op&& op) {
+  const int attempts = std::max(1, opt.io_retry_attempts);
+  Status st;
+  for (int i = 0; i < attempts; ++i) {
+    if (i > 0 && opt.io_retry_backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opt.io_retry_backoff_ms << (i - 1)));
+    }
+    st = op();
+    if (st.ok() || st.code() != StatusCode::kIoError) return st;
+  }
+  return Status(st.code(), what + " failed after " +
+                               std::to_string(attempts) +
+                               " attempts: " + st.message());
+}
 
 void SerializeManifest(const ManifestState& m, Buffer* out) {
   PutFixed(out, kEngineMagic);
@@ -44,6 +79,14 @@ void SerializeManifest(const ManifestState& m, Buffer* out) {
     PutVarint64(out, s.rows);
     PutVarint64(out, s.level);
   }
+  PutVarint64(out, m.quarantined.size());
+  for (const auto& q : m.quarantined) {
+    PutVarint64(out, q.id);
+    PutVarint64(out, q.rows);
+    const size_t len = std::min(q.reason.size(), kMaxReasonBytes);
+    PutVarint64(out, len);
+    out->Append(q.reason.data(), len);
+  }
   PutFixed(out, XxHash64(out->span()));
 }
 
@@ -53,8 +96,9 @@ Result<ManifestState> ParseManifest(ByteSpan in) {
   uint32_t magic = 0;
   uint64_t version = 0, ncols = 0;
   if (!GetFixed(in, &off, &magic) || magic != kEngineMagic ||
-      !GetVarint64(in, &off, &version) || version != kEngineVersion ||
-      !GetVarint64(in, &off, &ncols) || ncols == 0 || ncols > 4096) {
+      !GetVarint64(in, &off, &version) || version == 0 ||
+      version > kEngineVersion || !GetVarint64(in, &off, &ncols) ||
+      ncols == 0 || ncols > 4096) {
     return Status::Corruption("lsm: bad engine manifest header");
   }
   for (uint64_t c = 0; c < ncols; ++c) {
@@ -92,6 +136,26 @@ Result<ManifestState> ParseManifest(ByteSpan in) {
     }
     info.level = static_cast<uint32_t>(level);
     m.segments.push_back(info);
+  }
+  if (version >= 2) {
+    uint64_t nquar = 0;
+    if (!GetVarint64(in, &off, &nquar) || nquar > (1u << 20)) {
+      return Status::Corruption("lsm: bad manifest quarantine directory");
+    }
+    for (uint64_t q = 0; q < nquar; ++q) {
+      QuarantinedSegment entry;
+      uint64_t reason_len = 0;
+      if (!GetVarint64(in, &off, &entry.id) ||
+          !GetVarint64(in, &off, &entry.rows) ||
+          !GetVarint64(in, &off, &reason_len) ||
+          reason_len > kMaxReasonBytes || reason_len > in.size() - off) {
+        return Status::Corruption("lsm: bad manifest quarantine entry");
+      }
+      entry.reason.assign(reinterpret_cast<const char*>(in.data() + off),
+                          reason_len);
+      off += reason_len;
+      m.quarantined.push_back(std::move(entry));
+    }
   }
   uint64_t hash = 0;
   if (!GetFixed(in, &off, &hash) || off != in.size() ||
@@ -136,6 +200,14 @@ double RoundTripValue(double v, DType dtype) {
   return v;
 }
 
+/// The fail-fast error writers see once bg_error_ is sticky. Keeps the
+/// root cause's code (a ResourceExhausted flush stays typed ENOSPC).
+Status ReadOnlyStatus(const Status& bg) {
+  return Status(bg.code(),
+                "lsm: engine is read-only after background error: " +
+                    bg.message());
+}
+
 }  // namespace
 
 Result<std::unique_ptr<IngestEngine>> IngestEngine::Open(
@@ -159,6 +231,7 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Open(
     eng->next_segment_id_ = m.next_segment_id;
     eng->wal_floor_ = m.wal_floor;
     eng->segments_ = m.segments;
+    eng->quarantined_ = m.quarantined;
   } else {
     if (schema.empty()) {
       return Status::InvalidArgument("lsm: new engine needs a schema");
@@ -177,25 +250,44 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Open(
   // Sweep unpublished state: stale atomic-write temps, segment files a
   // crashed flush/compaction wrote but never referenced from the
   // manifest, and WAL segments below the floor (their rows live in
-  // published segments).
-  std::vector<bool> live;  // indexed by segment id
+  // published segments). Files of a *quarantined* segment are not swept
+  // — the manifest recorded the quarantine before the files moved, so a
+  // crash mid-move is completed here by finishing the move, keeping the
+  // corrupt files as evidence.
+  std::vector<bool> live;         // indexed by segment id
+  std::vector<bool> quarantined;  // indexed by segment id
   for (const auto& s : eng->segments_) {
     if (s.id >= live.size()) live.resize(s.id + 1, false);
     live[s.id] = true;
   }
+  for (const auto& q : eng->quarantined_) {
+    if (q.id >= quarantined.size()) quarantined.resize(q.id + 1, false);
+    quarantined[q.id] = true;
+  }
   FCB_ASSIGN_OR_RETURN(std::vector<std::string> names, fs::ListDir(dir));
+  bool moved_to_quarantine = false;
   for (const auto& name : names) {
     const std::string path = fs::JoinPath(dir, name);
     uint64_t id = 0, seq = 0;
     if (fs::IsTempPath(name)) {
       FCB_RETURN_IF_ERROR(fs::RemoveFile(path));
     } else if (ParseSegmentId(name, &id)) {
-      if (id >= live.size() || !live[id]) {
+      if (id < quarantined.size() && quarantined[id]) {
+        const std::string qdir = fs::JoinPath(dir, kQuarantineDir);
+        FCB_RETURN_IF_ERROR(fs::CreateDir(qdir));
+        FCB_RETURN_IF_ERROR(
+            fs::RenameFile(path, fs::JoinPath(qdir, name)));
+        moved_to_quarantine = true;
+      } else if (id >= live.size() || !live[id]) {
         FCB_RETURN_IF_ERROR(fs::RemoveFile(path));
       }
     } else if (Wal::ParseSegmentFileName(name, &seq)) {
       if (seq < eng->wal_floor_) FCB_RETURN_IF_ERROR(fs::RemoveFile(path));
     }
+  }
+  if (moved_to_quarantine) {
+    FCB_RETURN_IF_ERROR(fs::SyncDir(fs::JoinPath(dir, kQuarantineDir)));
+    FCB_RETURN_IF_ERROR(fs::SyncDir(dir));
   }
 
   // Replay the WAL into a fresh memtable — prefix-truncating recovery;
@@ -240,11 +332,13 @@ std::string IngestEngine::SegPrefix(uint64_t id) const {
 }
 
 Status IngestEngine::PersistManifestLocked() {
+  FCB_FAIL_RETURN("lsm.manifest", fs::JoinPath(dir_, kManifestName));
   ManifestState m;
   m.schema = schema_;
   m.next_segment_id = next_segment_id_;
   m.wal_floor = wal_floor_;
   m.segments = segments_;
+  m.quarantined = quarantined_;
   Buffer buf;
   SerializeManifest(m, &buf);
   return fs::WriteFileAtomic(fs::JoinPath(dir_, kManifestName), buf.span(),
@@ -286,7 +380,9 @@ Status IngestEngine::AppendBatch(const std::vector<double>& rows_row_major) {
   if (nrows == 0) return Status::OK();
 
   std::unique_lock<std::mutex> lk(mu_);
-  if (!bg_error_.ok()) return bg_error_;
+  // Fail fast once a background failure made the engine read-only: the
+  // caller gets the root cause, not a mystery timeout.
+  if (!bg_error_.ok()) return ReadOnlyStatus(bg_error_);
 
   Buffer payload;
   PutVarint64(&payload, nrows);
@@ -294,14 +390,17 @@ Status IngestEngine::AppendBatch(const std::vector<double>& rows_row_major) {
                  rows_row_major.size() * sizeof(double));
   FCB_RETURN_IF_ERROR(wal_->Append(Wal::kTypeRows, payload.span()));
   // Group commit: the whole batch costs one write and (when configured)
-  // one fsync. After this point the batch survives a crash.
+  // one fsync. A failure here (ENOSPC included) rejected exactly this
+  // batch — the WAL healed itself back to the previous commit, so the
+  // engine stays writable for later batches. After this point the batch
+  // survives a crash.
   FCB_RETURN_IF_ERROR(wal_->Commit());
   mem_->AppendRows(rows_row_major.data(), nrows);
 
   if (mem_->bytes() >= opt_.memtable_bytes) {
     bool scheduled = false;
-    FCB_RETURN_IF_ERROR(PrepareFlushLocked(lk, &scheduled));
-    if (scheduled) {
+    Status st = PrepareFlushLocked(lk, &scheduled);
+    if (st.ok() && scheduled) {
       if (opt_.background_flush) {
         ++bg_tasks_;
         ThreadPool::Shared().Submit([this] {
@@ -316,8 +415,13 @@ Status IngestEngine::AppendBatch(const std::vector<double>& rows_row_major) {
         lk.lock();
       }
     }
+    // A failed flush *schedule* (st) or a flush that failed inline is
+    // deliberately not returned: this batch IS durably committed, and
+    // OK must mean exactly that. The failure is sticky (bg_error_, or
+    // retried scheduling at the next append) and surfaces on the next
+    // call — never as a false negative on an acknowledged batch.
   }
-  return bg_error_;
+  return Status::OK();
 }
 
 Status IngestEngine::PrepareFlushLocked(std::unique_lock<std::mutex>& lk,
@@ -326,7 +430,7 @@ Status IngestEngine::PrepareFlushLocked(std::unique_lock<std::mutex>& lk,
   // Backpressure: at most one immutable memtable — an appender that
   // fills the live memtable while a flush is running waits here.
   cv_.wait(lk, [&] { return !flush_inflight_; });
-  if (!bg_error_.ok()) return bg_error_;
+  if (!bg_error_.ok()) return ReadOnlyStatus(bg_error_);
   if (mem_->empty()) return Status::OK();
   FCB_RETURN_IF_ERROR(wal_->Commit());
   // Rotate so every record of the flushing memtable lives in a segment
@@ -364,7 +468,12 @@ void IngestEngine::DoFlushAndPublish() {
     specs[c].precision_digits = schema_[c].precision_digits;
     specs[c].values = imm->column(c);
   }
-  Status st = ColumnStore::Write(SegPrefix(seg_id), specs, opt_.page_size);
+  Status st = RetryIo(opt_, "lsm: flush of segment " + SegPrefix(seg_id),
+                      [&]() -> Status {
+                        FCB_FAIL_RETURN("lsm.flush", SegPrefix(seg_id));
+                        return ColumnStore::Write(SegPrefix(seg_id), specs,
+                                                  opt_.page_size);
+                      });
 
   {
     std::lock_guard<std::mutex> g(mu_);
@@ -372,7 +481,8 @@ void IngestEngine::DoFlushAndPublish() {
       const uint64_t prev_floor = wal_floor_;
       segments_.push_back(SegmentInfo{seg_id, imm->rows(), 0});
       wal_floor_ = floor;
-      st = PersistManifestLocked();
+      st = RetryIo(opt_, "lsm: manifest publish",
+                   [&] { return PersistManifestLocked(); });
       if (!st.ok()) {
         // Publish failed: disk still holds the previous manifest; put
         // the in-memory view back in step with it. The rows stay safe
@@ -381,8 +491,16 @@ void IngestEngine::DoFlushAndPublish() {
         wal_floor_ = prev_floor;
       }
     }
-    if (!st.ok()) bg_error_ = st;
-    imm_.reset();
+    if (st.ok()) {
+      imm_.reset();
+    } else {
+      // Retries exhausted: degrade to read-only. imm_ is deliberately
+      // KEPT — its rows are acknowledged (WAL-durable) and must stay
+      // visible to ReadColumn; the next Open replays them from the WAL
+      // (floor unchanged). bg_error_ being sticky guarantees no further
+      // flush is scheduled while imm_ lingers.
+      bg_error_ = st;
+    }
     flush_inflight_ = false;
     cv_.notify_all();
   }
@@ -446,7 +564,7 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
   *merged = false;
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] { return !compact_inflight_; });
-  if (!bg_error_.ok()) return bg_error_;
+  if (!bg_error_.ok()) return ReadOnlyStatus(bg_error_);
 
   // First adjacent run of >= min_run small segments, oldest first.
   const uint64_t small = SmallRowsThresholdLocked();
@@ -505,7 +623,12 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
     }
   }
   if (st.ok()) {
-    st = ColumnStore::Write(SegPrefix(new_id), specs, opt_.page_size);
+    st = RetryIo(opt_, "lsm: compaction write of " + SegPrefix(new_id),
+                 [&]() -> Status {
+                   FCB_FAIL_RETURN("lsm.compact", SegPrefix(new_id));
+                   return ColumnStore::Write(SegPrefix(new_id), specs,
+                                             opt_.page_size);
+                 });
   }
 
   lk.lock();
@@ -526,7 +649,8 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
                       segments_.begin() + idx + run_len);
       segments_.insert(segments_.begin() + idx,
                        SegmentInfo{new_id, total_rows, max_level + 1});
-      st = PersistManifestLocked();
+      st = RetryIo(opt_, "lsm: compaction manifest publish",
+                   [&] { return PersistManifestLocked(); });
       if (!st.ok()) {
         segments_.erase(segments_.begin() + idx);
         segments_.insert(segments_.begin() + idx, backup.begin(),
@@ -559,8 +683,10 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
 
 Result<std::vector<double>> IngestEngine::ReadColumn(
     const std::string& column) const {
+  // Reads deliberately do NOT check bg_error_: a read-only engine keeps
+  // serving everything acknowledged — published segments plus both
+  // memtables (a kept imm_ after a failed flush is WAL-durable).
   std::unique_lock<std::mutex> lk(mu_);
-  if (!bg_error_.ok()) return bg_error_;
   size_t col = schema_.size();
   for (size_t c = 0; c < schema_.size(); ++c) {
     if (schema_[c].name == column) {
@@ -604,6 +730,147 @@ Result<std::vector<double>> IngestEngine::ReadColumn(
   }
   for (double v : tail) out.push_back(RoundTripValue(v, dtype));
   return out;
+}
+
+Result<ScrubReport> IngestEngine::Scrub() {
+  ScrubReport report;
+  std::unique_lock<std::mutex> lk(mu_);
+  // Single-flight against flush and compaction so the segment set is
+  // stable while its files are re-read.
+  cv_.wait(lk, [&] {
+    return !flush_inflight_ && !compact_inflight_ && bg_tasks_ == 0;
+  });
+  const std::vector<SegmentInfo> segs = segments_;
+  ++active_readers_;  // pins the snapshot's files against deletion
+  lk.unlock();
+
+  // Re-verify every published segment in parallel on the shared pool:
+  // whole-file checksums against the identities captured at write time.
+  std::vector<Status> verdicts(segs.size());
+  ThreadPool::Shared().ParallelFor(
+      segs.size(),
+      [&](size_t i) {
+        verdicts[i] = ColumnStore::Verify(SegPrefix(segs[i].id));
+      },
+      {/*grain=*/1});
+
+  lk.lock();
+  --active_readers_;
+  cv_.notify_all();
+  report.segments_checked = segs.size();
+
+  std::vector<uint64_t> to_move;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    const Status& v = verdicts[i];
+    if (v.ok()) continue;
+    if (v.code() != StatusCode::kCorruption) {
+      // A read error is a finding, not proof of corruption; report it
+      // and quarantine nothing.
+      report.notes.push_back("segment " + std::to_string(segs[i].id) +
+                             ": verify error: " + v.ToString());
+      continue;
+    }
+    size_t idx = segments_.size();
+    for (size_t j = 0; j < segments_.size(); ++j) {
+      if (segments_[j].id == segs[i].id) {
+        idx = j;
+        break;
+      }
+    }
+    if (idx == segments_.size()) continue;  // no longer in the serving set
+    // Quarantine protocol: record the verdict in the manifest FIRST,
+    // then move the files. A crash between the two is completed by the
+    // next Open (quarantined ids found in the main dir are moved, not
+    // swept), so the evidence can never be lost to the sweep.
+    const SegmentInfo backup = segments_[idx];
+    segments_.erase(segments_.begin() + idx);
+    QuarantinedSegment q;
+    q.id = backup.id;
+    q.rows = backup.rows;
+    q.reason = v.message().substr(0, kMaxReasonBytes);
+    quarantined_.push_back(q);
+    Status ps = RetryIo(opt_, "lsm: quarantine manifest publish",
+                        [&] { return PersistManifestLocked(); });
+    if (!ps.ok()) {
+      // Roll back to the on-disk manifest's view; the corruption is
+      // still present and a later scrub will retry.
+      quarantined_.pop_back();
+      segments_.insert(segments_.begin() + idx, backup);
+      return ps;
+    }
+    report.quarantined_ids.push_back(q.id);
+    report.notes.push_back("segment " + std::to_string(q.id) +
+                           " quarantined: " + q.reason);
+    to_move.push_back(q.id);
+  }
+
+  if (!to_move.empty()) {
+    // Readers that snapshotted the segment list before the swap may
+    // still be reading these files; move them only once drained (the
+    // same rule compaction uses before deleting).
+    cv_.wait(lk, [&] { return active_readers_ == 0; });
+  }
+
+  // WAL verification runs under the lock: no appender can be mid-commit,
+  // so the on-disk tail is exactly the committed prefix.
+  auto rr = WalReader::ReplayDir(dir_, wal_floor_);
+  if (rr.ok()) {
+    report.wal_records_verified = rr.value().records.size();
+    report.wal_clean = !rr.value().truncated;
+    if (!report.wal_clean) {
+      report.notes.push_back(
+          "wal: replay truncated early (torn or corrupt record)");
+    }
+  } else {
+    report.wal_clean = false;
+    report.notes.push_back("wal: verify failed: " + rr.status().ToString());
+  }
+  lk.unlock();
+
+  // The moves are best-effort: the manifest already records the
+  // quarantine, so any failure here is finished by the next Open.
+  if (!to_move.empty()) {
+    const std::string qdir = fs::JoinPath(dir_, kQuarantineDir);
+    Status mk = fs::CreateDir(qdir);
+    auto names = fs::ListDir(dir_);
+    if (mk.ok() && names.ok()) {
+      for (const auto& name : names.value()) {
+        uint64_t id = 0;
+        if (!ParseSegmentId(name, &id)) continue;
+        if (std::find(to_move.begin(), to_move.end(), id) ==
+            to_move.end()) {
+          continue;
+        }
+        Status mv = fs::RenameFile(fs::JoinPath(dir_, name),
+                                   fs::JoinPath(qdir, name));
+        if (!mv.ok()) {
+          report.notes.push_back("quarantine move pending: " +
+                                 mv.message());
+        }
+      }
+      fs::SyncDir(qdir);
+      fs::SyncDir(dir_);
+    } else {
+      report.notes.push_back("quarantine move pending: " +
+                             (mk.ok() ? names.status() : mk).message());
+    }
+  }
+  return report;
+}
+
+bool IngestEngine::read_only() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return !bg_error_.ok();
+}
+
+Status IngestEngine::background_error() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return bg_error_;
+}
+
+std::vector<QuarantinedSegment> IngestEngine::quarantined() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return quarantined_;
 }
 
 uint64_t IngestEngine::rows() const {

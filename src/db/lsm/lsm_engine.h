@@ -50,6 +50,13 @@ struct EngineOptions {
   /// A segment is "small" (compaction candidate) while it has at most
   /// this many rows; 0 = derived from memtable_bytes (4 memtables).
   uint64_t compact_small_rows = 0;
+  /// Attempts for each background IO step (segment write, manifest
+  /// publish, compaction write). Only transient IO errors are retried;
+  /// ENOSPC and corruption fail immediately. Minimum 1.
+  int io_retry_attempts = 3;
+  /// Base of the exponential backoff between retries (1, 2, 4, ... ms);
+  /// 0 retries immediately (tests).
+  int io_retry_backoff_ms = 1;
 };
 
 struct SegmentInfo {
@@ -58,6 +65,32 @@ struct SegmentInfo {
   /// 0 for fresh flushes; each compaction of a run records
   /// max(levels) + 1 — the tier of the merged segment.
   uint32_t level = 0;
+};
+
+/// A segment the scrubber found corrupt and moved aside. Its files live
+/// under `<dir>/quarantine/` for post-mortem; the data is no longer
+/// served (it cannot be trusted) but the rest of the store stays online.
+struct QuarantinedSegment {
+  uint64_t id = 0;
+  /// Rows the segment held when it was live (now unavailable).
+  uint64_t rows = 0;
+  /// First verification failure, as recorded in the engine manifest.
+  std::string reason;
+};
+
+/// Result of one IngestEngine::Scrub pass.
+struct ScrubReport {
+  /// Segments whose files were re-read and checksum-verified.
+  uint64_t segments_checked = 0;
+  /// WAL records that replayed with valid checksums.
+  uint64_t wal_records_verified = 0;
+  /// False when WAL replay stopped early (torn tail or corrupt record).
+  bool wal_clean = true;
+  /// Segments quarantined by THIS pass (already-quarantined ones are
+  /// not re-checked).
+  std::vector<uint64_t> quarantined_ids;
+  /// Human-readable findings (one line per anomaly).
+  std::vector<std::string> notes;
 };
 
 /// Crash-safe log-structured ingest engine (the ROADMAP item-1 tentpole):
@@ -108,6 +141,14 @@ class IngestEngine {
   /// Appends `rows_row_major.size() / num_columns` rows as one atomic,
   /// durable unit: a single WAL record and a single commit. Either every
   /// row of the batch survives a crash or none does.
+  ///
+  /// Ack contract: OK means exactly "this batch is durably committed".
+  /// A failed WAL commit (e.g. ENOSPC — typed ResourceExhausted) rejects
+  /// only this batch; the engine stays writable once the condition
+  /// clears. A background flush/compaction failure that exhausts its
+  /// retries degrades the engine to READ-ONLY: the first Append after it
+  /// fails fast with the sticky root cause (see background_error()),
+  /// while reads keep serving everything acknowledged so far.
   Status AppendBatch(const std::vector<double>& rows_row_major);
 
   /// Synchronously flushes the memtable into a new segment (waits for
@@ -125,7 +166,27 @@ class IngestEngine {
 
   /// All values of `column`, oldest first: flushed segments in order,
   /// then the flushing (immutable) memtable, then the live memtable.
+  /// Keeps serving after a background error (read-only degradation):
+  /// every acknowledged row is either in a published segment, in a
+  /// memtable (WAL-backed), or both.
   Result<std::vector<double>> ReadColumn(const std::string& column) const;
+
+  /// Integrity scrub: re-reads every published segment and verifies its
+  /// files against the checksums captured at write time (ColumnStore
+  /// manifest v3), then re-verifies WAL record checksums. A segment that
+  /// fails verification is removed from the serving set, recorded in the
+  /// engine manifest, and its files are moved to `<dir>/quarantine/`;
+  /// the remaining data keeps serving. Safe to run concurrently with
+  /// appends and reads (it briefly blocks both for the manifest swap and
+  /// the WAL check).
+  Result<ScrubReport> Scrub();
+
+  /// True once a background failure degraded the engine to read-only.
+  bool read_only() const;
+  /// The sticky background error (OK when healthy).
+  Status background_error() const;
+  /// Segments quarantined by scrubs, as recorded in the manifest.
+  std::vector<QuarantinedSegment> quarantined() const;
 
   /// Total rows across segments and memtables.
   uint64_t rows() const;
@@ -179,6 +240,9 @@ class IngestEngine {
   uint64_t next_segment_id_ = 0;
   uint64_t wal_floor_ = 0;
   std::vector<SegmentInfo> segments_;
+  std::vector<QuarantinedSegment> quarantined_;
+  /// Sticky: set by a background flush/compaction failure that exhausted
+  /// its retries. Appends fail fast with it; reads keep serving.
   Status bg_error_;
 };
 

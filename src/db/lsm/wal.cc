@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "util/bitio.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
 
 namespace fcbench::db::lsm {
@@ -66,6 +67,7 @@ Status Wal::EnsureSegment() {
 }
 
 Status Wal::Append(uint8_t type, ByteSpan payload) {
+  if (!poison_.ok()) return poison_;
   if (payload.size() > kMaxRecordBytes) {
     return Status::InvalidArgument("wal: record payload too large");
   }
@@ -82,38 +84,81 @@ Status Wal::Append(uint8_t type, ByteSpan payload) {
 }
 
 Status Wal::Commit() {
+  if (!poison_.ok()) return poison_;
   if (pending_.empty()) return Status::OK();
-  FCB_RETURN_IF_ERROR(EnsureSegment());
-  FCB_RETURN_IF_ERROR(file_.Append(pending_.span()));
+  Status st = EnsureSegment();
+  uint64_t good = 0;
+  if (st.ok()) {
+    good = file_.offset();
+    const fail::Decision inj = FCB_FAILPOINT("wal.append");
+    if (inj.fire) {
+      st = fail::InjectedStatus("wal.append", inj,
+                                fs::JoinPath(dir_, SegmentFileName(seq_)));
+    }
+    if (st.ok()) st = file_.Append(pending_.span());
+    if (st.ok() && options_.sync_on_commit) st = file_.Sync();
+  }
+  // The batch is consumed on success and REJECTED on failure: a caller
+  // whose commit errored was never acknowledged, so its records must not
+  // resurrect inside a later batch.
   pending_.Clear();
-  if (options_.sync_on_commit) FCB_RETURN_IF_ERROR(file_.Sync());
+  if (!st.ok()) {
+    if (segment_open_) {
+      // Heal: an unknown prefix of the batch may have landed (ENOSPC,
+      // short write). Truncating back to the last committed offset makes
+      // the segment a clean prefix of acknowledged records again, so the
+      // WAL stays consistent and later commits stay replayable.
+      Status heal = file_.TruncateTo(good);
+      if (heal.ok() && options_.sync_on_commit) heal = file_.Sync();
+      if (!heal.ok()) {
+        poison_ = Status::IoError(
+            "wal: segment " + SegmentFileName(seq_) +
+            " poisoned by unhealed write failure (" + heal.message() +
+            "); root cause: " + st.message());
+      }
+    }
+    return st;
+  }
   if (file_.offset() >= options_.segment_bytes) {
-    FCB_RETURN_IF_ERROR(Rotate());
+    // A failed rotation must not fail the commit — the batch is already
+    // durable. segment_open_ is false after any failure here, so the
+    // next Commit simply retries creating the new segment.
+    Status rotate_st = Rotate();
+    (void)rotate_st;
   }
   return Status::OK();
 }
 
 Status Wal::Rotate() {
+  FCB_FAIL_RETURN("wal.rotate", fs::JoinPath(dir_, SegmentFileName(seq_)));
+  Status st;
   if (segment_open_) {
-    if (options_.sync_on_commit) FCB_RETURN_IF_ERROR(file_.Sync());
-    FCB_RETURN_IF_ERROR(file_.Close());
+    if (options_.sync_on_commit) st = file_.Sync();
+    Status close_st = file_.Close();
+    if (st.ok()) st = close_st;
+    // The handle is gone either way; leaving segment_open_ set on a
+    // failed close would wedge every later append on a dead fd.
     segment_open_ = false;
   }
   ++seq_;
   // Create the new segment eagerly: every allocated sequence number gets
   // a file, so a hole inside the replayed range can only mean a lost
   // segment and WalReader's truncate-at-gap rule is always correct.
-  return EnsureSegment();
+  Status ensure_st = EnsureSegment();
+  if (st.ok()) st = ensure_st;
+  return st;
 }
 
 Status Wal::Close() {
-  FCB_RETURN_IF_ERROR(Commit());
+  Status st = Commit();
   if (segment_open_) {
-    if (options_.sync_on_commit) FCB_RETURN_IF_ERROR(file_.Sync());
-    FCB_RETURN_IF_ERROR(file_.Close());
+    // AppendFile::Close fsyncs a durable file's unsynced tail and
+    // reports the failure; the handle is released even on error.
+    Status close_st = file_.Close();
+    if (st.ok()) st = close_st;
     segment_open_ = false;
   }
-  return Status::OK();
+  return st;
 }
 
 namespace {
@@ -125,10 +170,12 @@ Status ReplaySegment(const std::string& path, uint64_t expect_seq,
                      std::vector<WalRecord>* out, bool* stop) {
   auto raw = fs::ReadFile(path);
   if (!raw.ok()) {
-    // Unreadable segment: treat as end of log, not a hard error — the
-    // records before it are still a valid prefix.
-    *stop = true;
-    return Status::OK();
+    // An IO *error* reading an existing segment is a hard replay failure,
+    // never silent truncation: treating it as a torn tail would let the
+    // caller resume, advance the WAL floor past the unread records, and
+    // garbage-collect acknowledged data. (A crash-truncated file still
+    // reads fine and is handled by the torn-tail rules below.)
+    return raw.status();
   }
   ByteSpan in = raw.value().span();
   size_t off = 0;

@@ -69,7 +69,20 @@ class Wal {
 
   /// Writes all buffered records to the current segment, fsyncs once
   /// when configured, and rotates past the segment watermark.
+  ///
+  /// IO-error contract (group commit): a failed write or fsync REJECTS
+  /// the whole buffered batch — the pending records are dropped, the
+  /// error (typed; ENOSPC = ResourceExhausted) is returned, and the
+  /// segment is healed by truncating back to the last committed offset,
+  /// so earlier acknowledged records still replay and later commits
+  /// append to a clean prefix. If healing itself fails the segment tail
+  /// is in an unknown state and the WAL turns sticky-poisoned: every
+  /// further Append/Commit fails fast with the root cause (recovery's
+  /// prefix truncation still preserves all acknowledged records).
   Status Commit();
+
+  /// Sticky error after a failed heal; OK in normal operation.
+  const Status& poisoned() const { return poison_; }
 
   /// Forces subsequent records into a fresh segment (seq + 1). Used at
   /// flush time so every record of the flushed memtable lives in a
@@ -90,6 +103,7 @@ class Wal {
   bool segment_open_ = false;
   fs::AppendFile file_;
   Buffer pending_;
+  Status poison_;  // sticky after a failed segment heal
 };
 
 /// One recovered WAL record.

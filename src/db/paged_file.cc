@@ -4,6 +4,7 @@
 
 #include "util/bitio.h"
 #include "util/fs.h"
+#include "util/hash.h"
 #include "util/timer.h"
 
 namespace fcbench::db {
@@ -36,7 +37,8 @@ void AppendHeaderVarint(Buffer* header, uint64_t v) {
 }  // namespace
 
 Status PagedFile::Write(const std::string& path, ByteSpan data,
-                        const DataDesc& desc, const Options& options) {
+                        const DataDesc& desc, const Options& options,
+                        WriteInfo* info) {
   const bool raw = options.compressor == "none";
   std::unique_ptr<Compressor> comp;
   if (!raw) {
@@ -93,6 +95,10 @@ Status PagedFile::Write(const std::string& path, ByteSpan data,
   out.Reserve(header.size());
   out.Append(header.span());
   for (const auto& pg : pages) out.Append(pg.span());
+  if (info != nullptr) {
+    info->file_hash = XxHash64(out.span());
+    info->file_bytes = out.size();
+  }
   return fs::WriteFileAtomic(path, out.span(), options.durable);
 }
 

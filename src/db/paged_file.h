@@ -43,9 +43,22 @@ class PagedFile {
     uint64_t decoded_bytes = 0;
   };
 
+  /// Identity of the container as written — filled by Write so callers
+  /// (the column-store manifest) can later re-verify the file bit for bit
+  /// without trusting anything inside it.
+  struct WriteInfo {
+    /// xxh64 over the complete container bytes (header + pages).
+    uint64_t file_hash = 0;
+    /// Size of the complete container in bytes.
+    uint64_t file_bytes = 0;
+  };
+
   /// Compresses `data` page by page and writes the container to `path`.
+  /// When `info` is non-null it receives the whole-file hash and size of
+  /// the published container.
   static Status Write(const std::string& path, ByteSpan data,
-                      const DataDesc& desc, const Options& options);
+                      const DataDesc& desc, const Options& options,
+                      WriteInfo* info = nullptr);
 
   /// Reads the container back: file I/O and per-page decompression are
   /// timed separately. Returns the raw little-endian element bytes.

@@ -1,0 +1,302 @@
+#include "util/failpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace fcbench::fail {
+
+namespace {
+
+struct Rule {
+  enum class Action { kErr, kEnospc, kShort };
+  enum class Mode { kAlways, kAtHit, kEveryN, kProb };
+  Action action = Action::kErr;
+  Mode mode = Mode::kAlways;
+  uint64_t n = 0;      // kAtHit: 1-based index; kEveryN: period
+  double p = 0;        // kProb: per-hit probability
+  uint64_t rng = 0;    // kProb: xorshift64* state
+  uint64_t hits = 0;   // evaluations since armed
+  bool spent = false;  // kAtHit fired already
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Rule> rules;
+  std::map<std::string, uint64_t> hits;  // every site ever evaluated
+  bool counting = false;
+};
+
+Registry& Reg() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+uint64_t XorShift(uint64_t* s) {
+  uint64_t x = *s;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *s = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+double NextUniform(uint64_t* s) {
+  return static_cast<double>(XorShift(s) >> 11) *
+         (1.0 / 9007199254740992.0);  // 2^-53
+}
+
+/// active_ = armed-rule count + (counting ? 1 : 0); call under Reg().mu.
+void RefreshActiveLocked(Registry& reg, std::atomic<int>* active) {
+  active->store(static_cast<int>(reg.rules.size()) + (reg.counting ? 1 : 0),
+                std::memory_order_relaxed);
+}
+
+Status ParseRule(const std::string& site, const std::string& spec,
+                 Rule* rule, bool* disarm) {
+  *disarm = false;
+  std::string action = spec;
+  std::string trigger;
+  const size_t at = spec.find('@');
+  if (at != std::string::npos) {
+    action = spec.substr(0, at);
+    trigger = spec.substr(at + 1);
+  }
+  if (action == "off") {
+    if (!trigger.empty()) {
+      return Status::InvalidArgument("failpoint " + site +
+                                     ": 'off' takes no trigger");
+    }
+    *disarm = true;
+    return Status::OK();
+  }
+  if (action == "err") {
+    rule->action = Rule::Action::kErr;
+  } else if (action == "enospc") {
+    rule->action = Rule::Action::kEnospc;
+  } else if (action == "short") {
+    rule->action = Rule::Action::kShort;
+  } else {
+    return Status::InvalidArgument("failpoint " + site +
+                                   ": unknown action '" + action + "'");
+  }
+  if (trigger.empty()) {
+    rule->mode = Rule::Mode::kAlways;
+    return Status::OK();
+  }
+  if (trigger == "once") {
+    rule->mode = Rule::Mode::kAtHit;
+    rule->n = 1;
+    return Status::OK();
+  }
+  if (trigger.compare(0, 6, "every-") == 0) {
+    char* end = nullptr;
+    const unsigned long long v =
+        std::strtoull(trigger.c_str() + 6, &end, 10);
+    if (end == trigger.c_str() + 6 || *end != '\0' || v == 0) {
+      return Status::InvalidArgument("failpoint " + site +
+                                     ": bad every-N trigger '" + trigger +
+                                     "'");
+    }
+    rule->mode = Rule::Mode::kEveryN;
+    rule->n = v;
+    return Status::OK();
+  }
+  if (trigger[0] == 'p') {
+    std::string prob = trigger.substr(1);
+    uint64_t seed = 1;
+    const size_t colon = prob.find(':');
+    if (colon != std::string::npos) {
+      const std::string s = prob.substr(colon + 1);
+      prob = prob.substr(0, colon);
+      if (s.size() < 2 || s[0] != 's') {
+        return Status::InvalidArgument("failpoint " + site +
+                                       ": bad seed in '" + trigger + "'");
+      }
+      char* end = nullptr;
+      seed = std::strtoull(s.c_str() + 1, &end, 10);
+      if (end == s.c_str() + 1 || *end != '\0') {
+        return Status::InvalidArgument("failpoint " + site +
+                                       ": bad seed in '" + trigger + "'");
+      }
+    }
+    char* end = nullptr;
+    const double p = std::strtod(prob.c_str(), &end);
+    if (end == prob.c_str() || *end != '\0' || !(p > 0) || p > 1) {
+      return Status::InvalidArgument("failpoint " + site +
+                                     ": probability must be in (0,1]: '" +
+                                     trigger + "'");
+    }
+    rule->mode = Rule::Mode::kProb;
+    rule->p = p;
+    // Mix so seed 0 (illegal xorshift state) and small seeds diverge.
+    rule->rng = (seed + 1) * 0x9E3779B97F4A7C15ull;
+    return Status::OK();
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(trigger.c_str(), &end, 10);
+  if (end == trigger.c_str() || *end != '\0' || v == 0) {
+    return Status::InvalidArgument("failpoint " + site +
+                                   ": bad trigger '" + trigger + "'");
+  }
+  rule->mode = Rule::Mode::kAtHit;
+  rule->n = v;
+  return Status::OK();
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::atomic<int> FailPoints::active_{0};
+
+Status FailPoints::Configure(const std::string& config) {
+  size_t pos = 0;
+  while (pos <= config.size()) {
+    size_t sep = config.find(';', pos);
+    if (sep == std::string::npos) sep = config.size();
+    const std::string entry = Trim(config.substr(pos, sep - pos));
+    pos = sep + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint config entry '" + entry +
+                                     "' is not site=spec");
+    }
+    FCB_RETURN_IF_ERROR(
+        Set(Trim(entry.substr(0, eq)), Trim(entry.substr(eq + 1))));
+  }
+  return Status::OK();
+}
+
+Status FailPoints::Set(const std::string& site, const std::string& spec) {
+  if (site.empty()) {
+    return Status::InvalidArgument("failpoint: empty site name");
+  }
+  Rule rule;
+  bool disarm = false;
+  FCB_RETURN_IF_ERROR(ParseRule(site, spec, &rule, &disarm));
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> g(reg.mu);
+  if (disarm) {
+    reg.rules.erase(site);
+  } else {
+    reg.rules[site] = rule;
+  }
+  RefreshActiveLocked(reg, &active_);
+  return Status::OK();
+}
+
+void FailPoints::Clear(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> g(reg.mu);
+  reg.rules.erase(site);
+  RefreshActiveLocked(reg, &active_);
+}
+
+void FailPoints::ClearAll() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> g(reg.mu);
+  reg.rules.clear();
+  RefreshActiveLocked(reg, &active_);
+}
+
+void FailPoints::EnableCounting(bool on) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> g(reg.mu);
+  reg.counting = on;
+  RefreshActiveLocked(reg, &active_);
+}
+
+void FailPoints::ResetCounters() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> g(reg.mu);
+  for (auto& [site, n] : reg.hits) n = 0;
+}
+
+uint64_t FailPoints::HitCount(const std::string& site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> g(reg.mu);
+  auto it = reg.hits.find(site);
+  return it == reg.hits.end() ? 0 : it->second;
+}
+
+std::vector<std::string> FailPoints::Sites() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> g(reg.mu);
+  std::vector<std::string> out;
+  out.reserve(reg.hits.size());
+  for (const auto& [site, n] : reg.hits) out.push_back(site);
+  return out;  // std::map iteration is already sorted
+}
+
+Decision FailPoints::EvaluateSlow(const char* site) {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> g(reg.mu);
+  ++reg.hits[site];  // registers the site on first evaluation
+  auto it = reg.rules.find(site);
+  if (it == reg.rules.end()) return {};
+  Rule& r = it->second;
+  ++r.hits;
+  bool fire = false;
+  switch (r.mode) {
+    case Rule::Mode::kAlways:
+      fire = true;
+      break;
+    case Rule::Mode::kAtHit:
+      if (!r.spent && r.hits == r.n) {
+        fire = true;
+        r.spent = true;
+      }
+      break;
+    case Rule::Mode::kEveryN:
+      fire = (r.hits % r.n) == 0;
+      break;
+    case Rule::Mode::kProb:
+      fire = NextUniform(&r.rng) < r.p;
+      break;
+  }
+  if (!fire) return {};
+  Decision d;
+  d.fire = true;
+  d.err = r.action == Rule::Action::kEnospc ? ENOSPC : EIO;
+  d.short_write = r.action == Rule::Action::kShort;
+  return d;
+}
+
+Status InjectedStatus(const char* site, const Decision& d,
+                      const std::string& path) {
+  std::string msg = std::string("injected fault at ") + site;
+  if (!path.empty()) msg += " (" + path + ")";
+  msg += ": ";
+  msg += std::strerror(d.err != 0 ? d.err : EIO);
+  if (d.err == ENOSPC) return Status::ResourceExhausted(std::move(msg));
+  return Status::IoError(std::move(msg));
+}
+
+namespace {
+
+/// FCBENCH_FAILPOINTS is applied once at static-init time, before main,
+/// so an armed process never runs a single unfaulted IO.
+const bool g_env_applied = [] {
+  if (const char* v = std::getenv("FCBENCH_FAILPOINTS")) {
+    Status st = FailPoints::Configure(v);
+    if (!st.ok()) {
+      std::fprintf(stderr, "fcbench: ignoring FCBENCH_FAILPOINTS: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace fcbench::fail

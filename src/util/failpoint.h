@@ -1,0 +1,120 @@
+#ifndef FCBENCH_UTIL_FAILPOINT_H_
+#define FCBENCH_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fcbench::fail {
+
+/// Deterministic fault-injection registry for the storage stack.
+///
+/// Every fallible IO site in `util/fs`, the WAL, and the LSM engine is
+/// instrumented with a named failpoint (`fs.append`, `fs.sync`,
+/// `fs.rename`, `fs.write_atomic`, `wal.append`, `segment.publish`,
+/// `lsm.flush`, ...). A failpoint is a no-op until armed — the
+/// production fast path is one relaxed atomic load — and when armed it
+/// simulates the underlying syscall failing, so the *real* error-handling
+/// code runs against a deterministic fault.
+///
+/// Arming, programmatically or via the FCBENCH_FAILPOINTS environment
+/// variable (read once at process start), uses `site=spec` entries
+/// separated by ';':
+///
+///   spec     := action [ '@' trigger ]
+///   action   := 'err'      simulate EIO
+///             | 'enospc'   simulate ENOSPC (typed ResourceExhausted)
+///             | 'short'    short write: half the bytes land, then EIO
+///             | 'off'      disarm
+///   trigger  := N          fire exactly the Nth hit after arming
+///                          (1-based, one-shot; 'once' == 1)
+///             | 'every-N'  fire every Nth hit
+///             | 'pP[:sS]'  fire each hit with probability P (0 < P <= 1)
+///                          from a per-site RNG seeded with S (default 1)
+///   (no trigger)           fire every hit (sticky failure)
+///
+/// Examples: "fs.sync=err@3", "fs.append=short", "wal.append=enospc@1",
+/// "fs.rename=err@p0.05:s42", "fs.sync=off".
+///
+/// Sites register themselves on first evaluation while the registry is
+/// active, so after one instrumented run `Sites()` enumerates every site
+/// the workload exercised — the fault-sweep tests use exactly that to
+/// inject an error at every hit index of every site.
+struct Decision {
+  /// True when the site must simulate a failure.
+  bool fire = false;
+  /// With `fire`: write sites should land a partial prefix of the data
+  /// before failing (torn-write simulation). Non-write sites ignore it.
+  bool short_write = false;
+  /// With `fire`: the errno to simulate (EIO, ENOSPC).
+  int err = 0;
+};
+
+class FailPoints {
+ public:
+  /// Parses a multi-entry config ("a=err@3;b=short"). Entries apply in
+  /// order; the first malformed entry aborts with InvalidArgument.
+  static Status Configure(const std::string& config);
+
+  /// Arms (or, with "off", disarms) one site. The site's private hit
+  /// counter starts at zero when armed.
+  static Status Set(const std::string& site, const std::string& spec);
+
+  static void Clear(const std::string& site);
+  static void ClearAll();
+
+  /// With counting on, every site evaluation is recorded even when no
+  /// failpoint is armed (the fault sweeps' enumeration pass).
+  static void EnableCounting(bool on);
+  static void ResetCounters();
+  /// Evaluations of `site` since the last ResetCounters.
+  static uint64_t HitCount(const std::string& site);
+  /// All sites evaluated so far (sorted). Empty until the registry has
+  /// been active (armed or counting) during a run.
+  static std::vector<std::string> Sites();
+
+  /// Fast-path guard: false means no failpoint is armed and counting is
+  /// off, so Evaluate() returns immediately.
+  static bool active() {
+    return active_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Slow path: registers the site, counts the hit, and applies the
+  /// armed rule (if any). Thread-safe.
+  static Decision EvaluateSlow(const char* site);
+
+ private:
+  static std::atomic<int> active_;
+};
+
+inline Decision Evaluate(const char* site) {
+  if (!FailPoints::active()) return {};
+  return FailPoints::EvaluateSlow(site);
+}
+
+/// Status for an injected failure: IoError, or ResourceExhausted when the
+/// simulated errno is ENOSPC. The message names the site and path so a
+/// failure is attributable ("injected fault at fs.sync (/db/wal-...)").
+Status InjectedStatus(const char* site, const Decision& d,
+                      const std::string& path);
+
+}  // namespace fcbench::fail
+
+/// Evaluates failpoint `site`, yielding a fail::Decision.
+#define FCB_FAILPOINT(site) (::fcbench::fail::Evaluate(site))
+
+/// Returns an injected error Status from the enclosing function when
+/// `site` fires. For sites without byte-granular semantics (publish
+/// steps, manifest writes); write loops honor Decision::short_write
+/// themselves.
+#define FCB_FAIL_RETURN(site, path)                                  \
+  do {                                                               \
+    ::fcbench::fail::Decision _fcb_fp = FCB_FAILPOINT(site);         \
+    if (_fcb_fp.fire)                                                \
+      return ::fcbench::fail::InjectedStatus(site, _fcb_fp, (path)); \
+  } while (0)
+
+#endif  // FCBENCH_UTIL_FAILPOINT_H_

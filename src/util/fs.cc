@@ -9,21 +9,42 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/failpoint.h"
+
 namespace fcbench::fs {
 
 namespace {
 
-std::string Errno(const std::string& what, const std::string& path) {
-  return what + " " + path + ": " + std::strerror(errno);
+/// "cannot <what> <path>: <strerror>" — every fs error names the failing
+/// operation, the path, and the errno text, and a full disk surfaces as
+/// ResourceExhausted so callers can type their handling.
+Status ErrnoStatus(const std::string& what, const std::string& path,
+                   int err) {
+  std::string msg = what + " " + path + ": " + std::strerror(err);
+  if (err == ENOSPC) return Status::ResourceExhausted(std::move(msg));
+  return Status::IoError(std::move(msg));
 }
 
-Status WriteAll(int fd, ByteSpan data) {
+/// Writes all of `data` to `fd`. Instrumented with failpoint `site`:
+/// an injected error simulates write(2) failing (optionally after a
+/// short prefix landed — torn-write simulation), so the production
+/// error path runs against a deterministic fault.
+Status WriteAll(int fd, ByteSpan data, const char* site,
+                const std::string& path) {
+  const fail::Decision inj = FCB_FAILPOINT(site);
+  const size_t allow =
+      inj.fire ? (inj.short_write ? data.size() / 2 : 0) : data.size();
   size_t done = 0;
   while (done < data.size()) {
-    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (inj.fire && done >= allow) {
+      return ErrnoStatus("cannot write", path, inj.err);
+    }
+    size_t want = data.size() - done;
+    if (inj.fire) want = std::min(want, allow - done);
+    ssize_t n = ::write(fd, data.data() + done, want);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IoError(std::string("write: ") + std::strerror(errno));
+      return ErrnoStatus("cannot write", path, errno);
     }
     done += static_cast<size_t>(n);
   }
@@ -59,49 +80,69 @@ bool FileExists(const std::string& path) {
 Result<uint64_t> FileSize(const std::string& path) {
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) {
-    return Status::IoError(Errno("cannot stat", path));
+    return ErrnoStatus("cannot stat", path, errno);
   }
   return static_cast<uint64_t>(st.st_size);
 }
 
 Result<Buffer> ReadFile(const std::string& path) {
+  FCB_FAIL_RETURN("fs.read", path);
   int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) return Status::IoError(Errno("cannot open", path));
+  if (fd < 0) return ErrnoStatus("cannot open", path, errno);
   struct stat st;
   if (::fstat(fd, &st) != 0) {
+    Status s = ErrnoStatus("cannot stat", path, errno);
     ::close(fd);
-    return Status::IoError(Errno("cannot stat", path));
+    return s;
   }
   Buffer buf(static_cast<size_t>(st.st_size));
   size_t got = 0;
+  int read_errno = 0;
   while (got < buf.size()) {
     ssize_t n = ::read(fd, buf.data() + got, buf.size() - got);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0) read_errno = errno;
     if (n <= 0) break;
     got += static_cast<size_t>(n);
   }
   ::close(fd);
-  if (got != buf.size()) return Status::IoError("short read " + path);
+  if (got != buf.size()) {
+    if (read_errno != 0) return ErrnoStatus("cannot read", path, read_errno);
+    return Status::IoError("short read " + path + ": got " +
+                           std::to_string(got) + " of " +
+                           std::to_string(buf.size()) + " bytes");
+  }
   return buf;
 }
 
 Status RemoveFile(const std::string& path) {
+  FCB_FAIL_RETURN("fs.remove", path);
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
-    return Status::IoError(Errno("cannot remove", path));
+    return ErrnoStatus("cannot remove", path, errno);
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  FCB_FAIL_RETURN("fs.rename", from);
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("cannot rename", from + " -> " + to, errno);
   }
   return Status::OK();
 }
 
 Status CreateDir(const std::string& path) {
+  FCB_FAIL_RETURN("fs.mkdir", path);
   if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::IoError(Errno("cannot mkdir", path));
+    return ErrnoStatus("cannot mkdir", path, errno);
   }
   return Status::OK();
 }
 
 Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  FCB_FAIL_RETURN("fs.list", dir);
   DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return Status::IoError(Errno("cannot opendir", dir));
+  if (d == nullptr) return ErrnoStatus("cannot opendir", dir, errno);
   std::vector<std::string> names;
   while (struct dirent* e = ::readdir(d)) {
     std::string name = e->d_name;
@@ -114,11 +155,13 @@ Result<std::vector<std::string>> ListDir(const std::string& dir) {
 }
 
 Status SyncDir(const std::string& dir) {
+  FCB_FAIL_RETURN("fs.sync_dir", dir);
   int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) return Status::IoError(Errno("cannot open dir", dir));
+  if (fd < 0) return ErrnoStatus("cannot open dir", dir, errno);
   int rc = ::fsync(fd);
+  int err = errno;
   ::close(fd);
-  if (rc != 0) return Status::IoError(Errno("cannot fsync dir", dir));
+  if (rc != 0) return ErrnoStatus("cannot fsync dir", dir, err);
   return Status::OK();
 }
 
@@ -127,17 +170,20 @@ Status WriteFileAtomic(const std::string& path, ByteSpan data,
   const std::string tmp = path + kTempSuffix;
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                   0644);
-  if (fd < 0) return Status::IoError(Errno("cannot open", tmp));
-  Status st = WriteAll(fd, data);
-  if (st.ok() && durable && ::fsync(fd) != 0) {
-    st = Status::IoError(Errno("cannot fsync", tmp));
+  if (fd < 0) return ErrnoStatus("cannot open", tmp, errno);
+  Status st = WriteAll(fd, data, "fs.write_atomic", tmp);
+  if (st.ok() && durable) {
+    const fail::Decision inj = FCB_FAILPOINT("fs.sync");
+    if (inj.fire) {
+      st = fail::InjectedStatus("fs.sync", inj, tmp);
+    } else if (::fsync(fd) != 0) {
+      st = ErrnoStatus("cannot fsync", tmp, errno);
+    }
   }
   if (::close(fd) != 0 && st.ok()) {
-    st = Status::IoError(Errno("cannot close", tmp));
+    st = ErrnoStatus("cannot close", tmp, errno);
   }
-  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
-    st = Status::IoError(Errno("cannot rename", tmp));
-  }
+  if (st.ok()) st = RenameFile(tmp, path);
   if (!st.ok()) {
     ::unlink(tmp.c_str());
     return st;
@@ -151,8 +197,12 @@ AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
     Close();
     fd_ = other.fd_;
     offset_ = other.offset_;
+    durable_ = other.durable_;
+    dirty_ = other.dirty_;
+    path_ = std::move(other.path_);
     other.fd_ = -1;
     other.offset_ = 0;
+    other.dirty_ = false;
   }
   return *this;
 }
@@ -161,9 +211,10 @@ AppendFile::~AppendFile() { Close(); }
 
 Result<AppendFile> AppendFile::Create(const std::string& path,
                                       bool durable) {
+  FCB_FAIL_RETURN("fs.create", path);
   int fd = ::open(path.c_str(),
                   O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC, 0644);
-  if (fd < 0) return Status::IoError(Errno("cannot create", path));
+  if (fd < 0) return ErrnoStatus("cannot create", path, errno);
   if (durable) {
     Status st = SyncDir(DirOf(path));
     if (!st.ok()) {
@@ -173,32 +224,55 @@ Result<AppendFile> AppendFile::Create(const std::string& path,
   }
   AppendFile f;
   f.fd_ = fd;
+  f.durable_ = durable;
+  f.path_ = path;
   return f;
 }
 
 Status AppendFile::Append(ByteSpan data) {
-  if (fd_ < 0) return Status::Internal("append to closed file");
-  FCB_RETURN_IF_ERROR(WriteAll(fd_, data));
+  if (fd_ < 0) return Status::Internal("append to closed file " + path_);
+  FCB_RETURN_IF_ERROR(WriteAll(fd_, data, "fs.append", path_));
   offset_ += data.size();
+  dirty_ = true;
   return Status::OK();
 }
 
 Status AppendFile::Sync() {
-  if (fd_ < 0) return Status::Internal("sync of closed file");
+  if (fd_ < 0) return Status::Internal("sync of closed file " + path_);
+  FCB_FAIL_RETURN("fs.sync", path_);
   if (::fsync(fd_) != 0) {
-    return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+    return ErrnoStatus("cannot fsync", path_, errno);
   }
+  dirty_ = false;
+  return Status::OK();
+}
+
+Status AppendFile::TruncateTo(uint64_t size) {
+  if (fd_ < 0) return Status::Internal("truncate of closed file " + path_);
+  FCB_FAIL_RETURN("fs.truncate", path_);
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("cannot truncate", path_, errno);
+  }
+  // O_APPEND writes continue at the new end of file.
+  offset_ = size;
+  dirty_ = true;
   return Status::OK();
 }
 
 Status AppendFile::Close() {
   if (fd_ < 0) return Status::OK();
-  int rc = ::close(fd_);
+  Status st;
+  // A durable file's final unsynced appends are fsynced here, and a
+  // failure is reported — never swallowed: the caller acked those bytes.
+  if (durable_ && dirty_) st = Sync();
+  const fail::Decision inj = FCB_FAILPOINT("fs.close");
+  int rc = inj.fire ? -1 : ::close(fd_);
+  int err = inj.fire ? inj.err : errno;
+  if (inj.fire) ::close(fd_);  // the fd itself must not leak
   fd_ = -1;
-  if (rc != 0) {
-    return Status::IoError(std::string("close: ") + std::strerror(errno));
-  }
-  return Status::OK();
+  dirty_ = false;
+  if (rc != 0 && st.ok()) st = ErrnoStatus("cannot close", path_, err);
+  return st;
 }
 
 }  // namespace fcbench::fs

@@ -41,6 +41,10 @@ Result<Buffer> ReadFile(const std::string& path);
 /// Removes `path`; OK when the file does not exist (idempotent cleanup).
 Status RemoveFile(const std::string& path);
 
+/// rename(2) `from` over `to` (atomic replacement on POSIX). The caller
+/// is responsible for making the rename durable (SyncDir on the parent).
+Status RenameFile(const std::string& from, const std::string& to);
+
 /// Creates `path` (one level); OK when it already exists.
 Status CreateDir(const std::string& path);
 
@@ -59,6 +63,10 @@ Status WriteFileAtomic(const std::string& path, ByteSpan data,
 /// Append-only file handle for the write-ahead log: unbuffered positional
 /// appends with explicit Sync(). Creation truncates (WAL recovery never
 /// appends to an existing — possibly torn — segment; it starts a new one).
+///
+/// Every error Status names the failing path and carries the errno text;
+/// ENOSPC surfaces as ResourceExhausted so callers can distinguish a
+/// full disk (reject the batch) from a failing one (degrade/retry).
 class AppendFile {
  public:
   AppendFile() = default;
@@ -69,21 +77,35 @@ class AppendFile {
   ~AppendFile();
 
   /// Creates (or truncates) `path` for appending. When `durable`, the
-  /// creation is made durable immediately by fsyncing the directory.
+  /// creation is made durable immediately by fsyncing the directory, and
+  /// Close() performs (and reports) a final fsync of unsynced appends.
   static Result<AppendFile> Create(const std::string& path, bool durable);
 
+  /// Appends all of `data`. On failure an unknown prefix of `data` may
+  /// have reached the file; offset() is NOT advanced — TruncateTo(offset())
+  /// restores the file to its last known-good length.
   Status Append(ByteSpan data);
   /// fsyncs everything appended so far.
   Status Sync();
+  /// Truncates the file back to `size` bytes (write-failure healing:
+  /// discard a partially-landed append so the file is a clean prefix of
+  /// successful appends again).
+  Status TruncateTo(uint64_t size);
+  /// Closes the file. For a durable file with unsynced appends this
+  /// fsyncs first and reports a failed final fsync instead of swallowing
+  /// it (the last write's durability is part of Close's contract).
   Status Close();
 
   bool is_open() const { return fd_ >= 0; }
-  /// Bytes appended since Create.
+  /// Bytes successfully appended since Create (or set by TruncateTo).
   uint64_t offset() const { return offset_; }
 
  private:
   int fd_ = -1;
   uint64_t offset_ = 0;
+  bool durable_ = false;
+  bool dirty_ = false;  // appended since the last successful fsync
+  std::string path_;    // for error messages
 };
 
 }  // namespace fcbench::fs
