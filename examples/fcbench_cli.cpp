@@ -7,6 +7,8 @@
 //   fcbench_cli decompress <in.fcz> <out.raw>
 //   fcbench_cli bench      <method> <in.raw> --dtype=f64 [--repeats=N]
 //   fcbench_cli gen        <dataset> <out.raw> [--bytes=N]
+//   fcbench_cli ingest     <dir> [--shards=N] [--series=N] [--rows=N]
+//                          [--quota-bytes=N] [--fsync] [--scrub]
 //
 // The method can be given positionally or as --method=<name>; the auto
 // selectors (auto, auto-speed, auto-ratio) pick a concrete method per
@@ -17,6 +19,7 @@
 // xxHash64 checksums, so decompression is self-describing and any file
 // corruption is detected end to end.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,6 +29,7 @@
 #include "core/container.h"
 #include "core/runner.h"
 #include "data/dataset.h"
+#include "db/shard/sharded_engine.h"
 #include "select/selector.h"
 #include "util/bitio.h"
 #include "util/timer.h"
@@ -310,13 +314,106 @@ int CmdGen(int argc, char** argv) {
   return 0;
 }
 
+int CmdIngest(int argc, char** argv) {
+  auto pos = Positionals(argc, argv);
+  if (pos.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: fcbench_cli ingest <dir> [--shards=N] [--series=N] "
+                 "[--rows=N] [--quota-bytes=N] [--fsync] [--scrub]\n"
+                 "Appends --rows rows to each of --series series, hash-routed "
+                 "across the store's shards,\nthen prints the per-shard "
+                 "health/budget report. Reopening an existing store adopts "
+                 "its\npinned shard count; pass --shards only to create.\n");
+    return 2;
+  }
+  const std::string dir = pos[1];
+  db::shard::ShardOptions opt;
+  // 0 adopts the shard count pinned in <dir>/SHARDS; a new store needs
+  // an explicit --shards.
+  opt.num_shards = static_cast<size_t>(
+      std::strtoull(FlagValue(argc, argv, "shards", "0").c_str(), nullptr, 10));
+  opt.shard_quota_bytes = static_cast<size_t>(std::strtoull(
+      FlagValue(argc, argv, "quota-bytes", "0").c_str(), nullptr, 10));
+  opt.engine.sync_on_commit = HasFlag(argc, argv, "fsync");
+  const uint64_t series =
+      std::strtoull(FlagValue(argc, argv, "series", "16").c_str(), nullptr, 10);
+  const uint64_t rows =
+      std::strtoull(FlagValue(argc, argv, "rows", "128").c_str(), nullptr, 10);
+
+  std::vector<db::lsm::ColumnDef> schema(2);
+  schema[0].name = "ts";
+  schema[1].name = "value";
+  auto opened = db::shard::ShardedIngestEngine::Open(dir, schema, opt);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  auto& eng = *opened.value();
+
+  Timer timer;
+  std::vector<double> batch(rows * 2);
+  for (uint64_t s = 0; s < series; ++s) {
+    for (uint64_t i = 0; i < rows; ++i) {
+      batch[i * 2 + 0] = static_cast<double>(i);
+      batch[i * 2 + 1] = static_cast<double>(s) * 1000.0 + i;
+    }
+    // Deadline-blocking append: ride out transient admission pressure
+    // instead of failing fast, but bail out after 30 s.
+    Status st = eng.AppendBatchUntil(
+        s, batch, std::chrono::steady_clock::now() + std::chrono::seconds(30));
+    if (!st.ok()) {
+      std::fprintf(stderr, "append series %llu: %s\n",
+                   static_cast<unsigned long long>(s), st.ToString().c_str());
+      return 1;
+    }
+  }
+  const double secs = timer.ElapsedSeconds();
+  Status st = eng.Flush();
+  if (!st.ok()) {
+    std::fprintf(stderr, "flush: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("ingested %llu rows (%llu series) in %.3f s (%.1f MB/s), "
+              "total rows now %llu\n",
+              static_cast<unsigned long long>(series * rows),
+              static_cast<unsigned long long>(series), secs,
+              series * rows * 2 * sizeof(double) / secs / 1e6,
+              static_cast<unsigned long long>(eng.rows()));
+
+  const db::shard::HealthReport health = eng.Health();
+  for (const auto& sh : health.shards) {
+    std::printf("shard-%zu: %llu rows, %zu buffered bytes%s%s\n", sh.shard,
+                static_cast<unsigned long long>(sh.rows), sh.buffered_bytes,
+                sh.read_only ? ", READ-ONLY: " : "",
+                sh.read_only ? sh.error.ToString().c_str() : "");
+  }
+  std::printf("budget %zu/%zu bytes, %zu/%zu shards degraded\n",
+              health.budget_used, health.budget_total, health.degraded_shards,
+              health.shards.size());
+
+  if (HasFlag(argc, argv, "scrub")) {
+    const db::shard::ScrubSummary scrub = eng.Scrub();
+    std::printf("scrub: %llu segments checked, %llu quarantined, clean=%s\n",
+                static_cast<unsigned long long>(scrub.segments_checked),
+                static_cast<unsigned long long>(scrub.segments_quarantined),
+                scrub.all_clean ? "yes" : "no");
+  }
+  st = eng.Close();
+  if (!st.ok()) {
+    std::fprintf(stderr, "close: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "fcbench_cli — FCBench compressor toolbox\n"
-                 "commands: list | compress | decompress | bench | gen\n");
+                 "commands: list | compress | decompress | bench | gen | "
+                 "ingest\n");
     return 2;
   }
   std::string cmd = argv[1];
@@ -325,6 +422,7 @@ int main(int argc, char** argv) {
   if (cmd == "decompress") return CmdDecompress(argc, argv);
   if (cmd == "bench") return CmdBench(argc, argv);
   if (cmd == "gen") return CmdGen(argc, argv);
+  if (cmd == "ingest") return CmdIngest(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

@@ -9,11 +9,17 @@
 #                               # then an ASan+UBSan build — with a fixed
 #                               # chaos seed (FCBENCH_FAULT_SEED, default 42)
 #                               # so failures reproduce locally
+#   scripts/ci.sh --tsan        # race lane: ThreadSanitizer build, run the
+#                               # concurrency- and fault-labeled suites
+#                               # (ctest -L 'concurrency|fault') so the
+#                               # engine's locking protocols are model-checked
+#                               # against real interleavings
 #   scripts/ci.sh --perf-smoke  # perf lane: Release build, run micro_bitio,
 #                               # micro_parallel (threads 1/2/4 scaling
 #                               # curve), micro_select (oracle-vs-auto
 #                               # adaptive selection) and micro_ingest
-#                               # (WAL ingest/recovery; + a reduced
+#                               # (WAL ingest/recovery), micro_shard_ingest
+#                               # (sharded multi-tenant scaling; + a reduced
 #                               # micro_codecs pass when built) and write
 #                               # BENCH_*.json artifacts;
 #                               # no thresholds are enforced — the JSON
@@ -69,6 +75,12 @@ if [[ "${1:-}" == "--perf-smoke" ]]; then
   FCBENCH_BENCH_BYTES=${FCBENCH_BENCH_BYTES:-2097152} \
   FCBENCH_BENCH_REPEATS=${FCBENCH_BENCH_REPEATS:-3} \
     "${BUILD_DIR}/bench/micro_ingest" --json=BENCH_ingest_throughput.json
+  # Sharded-ingest scaling curve: 64k series over 8 shards on 1/2/4/8
+  # writer threads, with and without per-shard fsync. Flat on single-core
+  # runners; the artifact still records the admission+routing overhead.
+  FCBENCH_BENCH_BYTES=${FCBENCH_BENCH_BYTES:-2097152} \
+  FCBENCH_BENCH_REPEATS=${FCBENCH_BENCH_REPEATS:-3} \
+    "${BUILD_DIR}/bench/micro_shard_ingest" --json=BENCH_ingest_scaling.json
   if [[ -x "${BUILD_DIR}/bench/micro_codecs" ]]; then
     "${BUILD_DIR}/bench/micro_codecs" \
       --benchmark_filter='BM_(Huffman|Fse|Simple8b|TimestampCodec)' \
@@ -93,6 +105,23 @@ if [[ "${1:-}" == "--faults" ]]; then
     -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
   cmake --build "${BUILD_DIR}-faults-asan" -j "${JOBS}" --target fault_injection_test
   ctest --test-dir "${BUILD_DIR}-faults-asan" --output-on-failure -j "${JOBS}" -L fault
+  exit 0
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  export FCBENCH_FAULT_SEED=${FCBENCH_FAULT_SEED:-42}
+  # TSAN_OPTIONS makes a detected race abort the test instead of just
+  # logging it, so the lane goes red.
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 abort_on_error=1}"
+  SAN_FLAGS="-fsanitize=thread -g -O1"
+  cmake -B "${BUILD_DIR}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
+  cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}" \
+    --target concurrency_test lsm_test shard_test fault_injection_test
+  # -L takes a regex: one lane covers the thread-heavy suites AND the
+  # fault suites (their injected error paths take rarely-exercised locks).
+  ctest --test-dir "${BUILD_DIR}-tsan" --output-on-failure -j "${JOBS}" \
+    -L 'concurrency|fault'
   exit 0
 fi
 

@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <thread>
 
 #include "db/column_store.h"
 #include "util/bitio.h"
@@ -42,16 +41,27 @@ struct ManifestState {
 /// Runs `op` up to opt.io_retry_attempts times with exponential backoff,
 /// retrying only transient IO errors (kIoError). ENOSPC (typed
 /// ResourceExhausted) and Corruption are not transient and fail at once.
-/// The final failure is wrapped with `what` and the attempt count so a
-/// sticky background error names both the step and the root cause.
+/// The backoff is a condition-variable wait on `cancel`, NOT a sleep:
+/// Close()/destruction sets cancel.cancelled and wakes it, so shutting
+/// an engine down never waits out the full backoff ladder. The final
+/// failure is wrapped with `what` and the attempt count so a sticky
+/// background error names both the step and the root cause.
 template <typename Op>
-Status RetryIo(const EngineOptions& opt, const std::string& what, Op&& op) {
+Status RetryIo(const EngineOptions& opt, RetryCancel& cancel,
+               const std::string& what, Op&& op) {
   const int attempts = std::max(1, opt.io_retry_attempts);
   Status st;
   for (int i = 0; i < attempts; ++i) {
     if (i > 0 && opt.io_retry_backoff_ms > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(opt.io_retry_backoff_ms << (i - 1)));
+      std::unique_lock<std::mutex> lk(cancel.mu);
+      const bool interrupted = cancel.cv.wait_for(
+          lk, std::chrono::milliseconds(opt.io_retry_backoff_ms << (i - 1)),
+          [&] { return cancel.cancelled; });
+      if (interrupted) {
+        return Status(st.ok() ? StatusCode::kIoError : st.code(),
+                      what + " interrupted by Close during retry backoff" +
+                          (st.ok() ? "" : ": " + st.message()));
+      }
     }
     st = op();
     if (st.ok() || st.code() != StatusCode::kIoError) return st;
@@ -314,14 +324,30 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Open(
   return eng;
 }
 
-IngestEngine::~IngestEngine() {
+IngestEngine::~IngestEngine() { Close(); }
+
+void IngestEngine::InterruptRetries() {
+  {
+    std::lock_guard<std::mutex> g(retry_cancel_.mu);
+    retry_cancel_.cancelled = true;
+  }
+  retry_cancel_.cv.notify_all();
+}
+
+Status IngestEngine::Close() {
+  // Cancel first, then wait: an in-flight retry ladder gives up at its
+  // next backoff wait instead of sleeping it out.
+  InterruptRetries();
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] {
     return !flush_inflight_ && !compact_inflight_ && bg_tasks_ == 0 &&
            active_readers_ == 0;
   });
+  if (closed_) return Status::OK();
+  closed_ = true;
   lk.unlock();
-  if (wal_ != nullptr) wal_->Close();
+  if (wal_ != nullptr) return wal_->Close();
+  return Status::OK();
 }
 
 std::string IngestEngine::SegPrefix(uint64_t id) const {
@@ -380,6 +406,7 @@ Status IngestEngine::AppendBatch(const std::vector<double>& rows_row_major) {
   if (nrows == 0) return Status::OK();
 
   std::unique_lock<std::mutex> lk(mu_);
+  if (closed_) return Status::InvalidArgument("lsm: engine is closed");
   // Fail fast once a background failure made the engine read-only: the
   // caller gets the root cause, not a mystery timeout.
   if (!bg_error_.ok()) return ReadOnlyStatus(bg_error_);
@@ -430,6 +457,7 @@ Status IngestEngine::PrepareFlushLocked(std::unique_lock<std::mutex>& lk,
   // Backpressure: at most one immutable memtable — an appender that
   // fills the live memtable while a flush is running waits here.
   cv_.wait(lk, [&] { return !flush_inflight_; });
+  if (closed_) return Status::InvalidArgument("lsm: engine is closed");
   if (!bg_error_.ok()) return ReadOnlyStatus(bg_error_);
   if (mem_->empty()) return Status::OK();
   FCB_RETURN_IF_ERROR(wal_->Commit());
@@ -468,7 +496,7 @@ void IngestEngine::DoFlushAndPublish() {
     specs[c].precision_digits = schema_[c].precision_digits;
     specs[c].values = imm->column(c);
   }
-  Status st = RetryIo(opt_, "lsm: flush of segment " + SegPrefix(seg_id),
+  Status st = RetryIo(opt_, retry_cancel_, "lsm: flush of segment " + SegPrefix(seg_id),
                       [&]() -> Status {
                         FCB_FAIL_RETURN("lsm.flush", SegPrefix(seg_id));
                         return ColumnStore::Write(SegPrefix(seg_id), specs,
@@ -481,7 +509,7 @@ void IngestEngine::DoFlushAndPublish() {
       const uint64_t prev_floor = wal_floor_;
       segments_.push_back(SegmentInfo{seg_id, imm->rows(), 0});
       wal_floor_ = floor;
-      st = RetryIo(opt_, "lsm: manifest publish",
+      st = RetryIo(opt_, retry_cancel_, "lsm: manifest publish",
                    [&] { return PersistManifestLocked(); });
       if (!st.ok()) {
         // Publish failed: disk still holds the previous manifest; put
@@ -506,6 +534,11 @@ void IngestEngine::DoFlushAndPublish() {
   }
 
   if (st.ok()) {
+    // Off-lock: the flushed rows now live in a published segment, so
+    // their memtable bytes are no longer buffered. A failed flush
+    // deliberately does NOT fire this — the bytes are still pinned in
+    // imm_ and admission control must keep counting them.
+    if (opt_.on_memtable_released) opt_.on_memtable_released(imm->bytes());
     DeleteWalBelowFloor();
     if (opt_.compact_fanout >= 2) {
       bool merged = false;
@@ -541,6 +574,33 @@ Status IngestEngine::Flush() {
   return bg_error_;
 }
 
+Status IngestEngine::ScheduleFlush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  bool scheduled = false;
+  FCB_RETURN_IF_ERROR(PrepareFlushLocked(lk, &scheduled));
+  if (!scheduled) return bg_error_;
+  if (opt_.background_flush) {
+    ++bg_tasks_;
+    ThreadPool::Shared().Submit([this] {
+      DoFlushAndPublish();
+      std::lock_guard<std::mutex> g(mu_);
+      --bg_tasks_;
+      cv_.notify_all();
+    });
+  } else {
+    lk.unlock();
+    DoFlushAndPublish();
+    lk.lock();
+    return bg_error_;
+  }
+  return Status::OK();
+}
+
+uint64_t IngestEngine::buffered_bytes() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return mem_->bytes() + (imm_ ? imm_->bytes() : 0);
+}
+
 Status IngestEngine::WaitForFlush() {
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] { return !flush_inflight_ && bg_tasks_ == 0; });
@@ -564,6 +624,7 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
   *merged = false;
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] { return !compact_inflight_; });
+  if (closed_) return Status::InvalidArgument("lsm: engine is closed");
   if (!bg_error_.ok()) return ReadOnlyStatus(bg_error_);
 
   // First adjacent run of >= min_run small segments, oldest first.
@@ -623,7 +684,7 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
     }
   }
   if (st.ok()) {
-    st = RetryIo(opt_, "lsm: compaction write of " + SegPrefix(new_id),
+    st = RetryIo(opt_, retry_cancel_, "lsm: compaction write of " + SegPrefix(new_id),
                  [&]() -> Status {
                    FCB_FAIL_RETURN("lsm.compact", SegPrefix(new_id));
                    return ColumnStore::Write(SegPrefix(new_id), specs,
@@ -649,7 +710,7 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
                       segments_.begin() + idx + run_len);
       segments_.insert(segments_.begin() + idx,
                        SegmentInfo{new_id, total_rows, max_level + 1});
-      st = RetryIo(opt_, "lsm: compaction manifest publish",
+      st = RetryIo(opt_, retry_cancel_, "lsm: compaction manifest publish",
                    [&] { return PersistManifestLocked(); });
       if (!st.ok()) {
         segments_.erase(segments_.begin() + idx);
@@ -740,6 +801,7 @@ Result<ScrubReport> IngestEngine::Scrub() {
   cv_.wait(lk, [&] {
     return !flush_inflight_ && !compact_inflight_ && bg_tasks_ == 0;
   });
+  if (closed_) return Status::InvalidArgument("lsm: engine is closed");
   const std::vector<SegmentInfo> segs = segments_;
   ++active_readers_;  // pins the snapshot's files against deletion
   lk.unlock();
@@ -789,7 +851,7 @@ Result<ScrubReport> IngestEngine::Scrub() {
     q.rows = backup.rows;
     q.reason = v.message().substr(0, kMaxReasonBytes);
     quarantined_.push_back(q);
-    Status ps = RetryIo(opt_, "lsm: quarantine manifest publish",
+    Status ps = RetryIo(opt_, retry_cancel_, "lsm: quarantine manifest publish",
                         [&] { return PersistManifestLocked(); });
     if (!ps.ok()) {
       // Roll back to the on-disk manifest's view; the corruption is

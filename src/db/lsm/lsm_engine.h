@@ -2,6 +2,7 @@
 #define FCBENCH_DB_LSM_LSM_ENGINE_H_
 
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -55,8 +56,25 @@ struct EngineOptions {
   /// ENOSPC and corruption fail immediately. Minimum 1.
   int io_retry_attempts = 3;
   /// Base of the exponential backoff between retries (1, 2, 4, ... ms);
-  /// 0 retries immediately (tests).
+  /// 0 retries immediately (tests). Backoff waits are interruptible:
+  /// Close()/destruction cancels them instead of sleeping out the ladder.
   int io_retry_backoff_ms = 1;
+  /// Invoked off-lock, from the flushing thread, after a flush publishes
+  /// its segment, with the byte size of the memtable that was released.
+  /// The sharded engine wires this to its admission budget so flushed
+  /// bytes return to the pool; a failed flush (memtable retained,
+  /// engine degraded) deliberately does NOT fire it.
+  std::function<void(size_t bytes)> on_memtable_released;
+};
+
+/// Cancellation channel for RetryIo's exponential-backoff waits: Close()
+/// and the destructor set `cancelled` and notify, so shutdown interrupts
+/// a retry ladder mid-wait instead of sleeping it out. Separate from the
+/// engine mutex because RetryIo runs both with and without mu_ held.
+struct RetryCancel {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool cancelled = false;
 };
 
 struct SegmentInfo {
@@ -126,8 +144,9 @@ class IngestEngine {
       const std::string& dir, const std::vector<ColumnDef>& schema,
       const EngineOptions& options = {});
 
-  /// Joins any in-flight flush. Does NOT flush the memtable: the WAL
-  /// already made it durable, and the next Open replays it.
+  /// Closes via Close(): interrupts retry backoffs and joins any
+  /// in-flight flush. Does NOT flush the memtable: the WAL already made
+  /// it durable, and the next Open replays it.
   ~IngestEngine();
 
   IngestEngine(const IngestEngine&) = delete;
@@ -155,6 +174,14 @@ class IngestEngine {
   /// any in-flight background flush first). No-op when empty.
   Status Flush();
 
+  /// Starts a flush without waiting for it to finish: waits out any
+  /// flush already in flight, swaps the memtable, and (with
+  /// background_flush) hands the compress+publish work to
+  /// ThreadPool::Shared(). The coordinated multi-shard Flush uses this
+  /// to overlap every shard's flush before waiting on any of them.
+  /// Without background_flush the flush still runs inline here.
+  Status ScheduleFlush();
+
   /// Waits until no background flush is in flight; returns the sticky
   /// background error, if any.
   Status WaitForFlush();
@@ -181,6 +208,19 @@ class IngestEngine {
   /// the WAL check).
   Result<ScrubReport> Scrub();
 
+  /// Interrupts any in-flight RetryIo backoff wait immediately: the
+  /// retry in progress gives up with an "interrupted" status instead of
+  /// finishing its ladder. Idempotent; Close() calls it first. A
+  /// coordinated multi-shard Close interrupts every shard before
+  /// closing any, so total shutdown latency is one backoff wait, not N.
+  void InterruptRetries();
+
+  /// Interrupts retries, waits for background work and readers to
+  /// drain, and closes the WAL (reporting a failed final fsync).
+  /// Idempotent; the destructor calls it. After Close the engine
+  /// rejects appends, flushes, compactions and scrubs.
+  Status Close();
+
   /// True once a background failure degraded the engine to read-only.
   bool read_only() const;
   /// The sticky background error (OK when healthy).
@@ -190,6 +230,11 @@ class IngestEngine {
 
   /// Total rows across segments and memtables.
   uint64_t rows() const;
+
+  /// Bytes buffered in the live + immutable memtables (not yet published
+  /// to a segment). The unit the sharded engine's admission budget
+  /// charges.
+  uint64_t buffered_bytes() const;
 
   std::vector<SegmentInfo> segments() const;
   const std::vector<ColumnDef>& schema() const { return schema_; }
@@ -230,6 +275,7 @@ class IngestEngine {
   uint64_t imm_seg_id_ = 0;   // segment id reserved for imm_
   bool flush_inflight_ = false;
   bool compact_inflight_ = false;
+  bool closed_ = false;
   /// Outstanding background flush tasks on the shared pool; the
   /// destructor waits for zero so a task never outlives the engine.
   int bg_tasks_ = 0;
@@ -244,6 +290,8 @@ class IngestEngine {
   /// Sticky: set by a background flush/compaction failure that exhausted
   /// its retries. Appends fail fast with it; reads keep serving.
   Status bg_error_;
+  /// Wakes RetryIo backoff waits on Close/InterruptRetries.
+  mutable RetryCancel retry_cancel_;
 };
 
 }  // namespace fcbench::db::lsm

@@ -1,0 +1,107 @@
+#include "util/budget.h"
+
+#include <algorithm>
+#include <string>
+
+namespace fcbench {
+
+MemoryBudget::MemoryBudget(size_t num_shards, size_t total_bytes,
+                           size_t quota_bytes)
+    : total_(std::max<size_t>(1, total_bytes)),
+      quota_(std::max<size_t>(1, quota_bytes)),
+      shard_used_(std::max<size_t>(1, num_shards), 0) {}
+
+bool MemoryBudget::FitsLocked(size_t shard, size_t bytes) const {
+  return shard_used_[shard] + bytes <= quota_ && used_ + bytes <= total_;
+}
+
+Status MemoryBudget::OverloadedLocked(size_t shard, size_t bytes,
+                                      const char* why) const {
+  return Status::Overloaded(
+      "admission " + std::string(why) + ": shard " + std::to_string(shard) +
+      " request " + std::to_string(bytes) + "B, shard " +
+      std::to_string(shard_used_[shard]) + "/" + std::to_string(quota_) +
+      "B, total " + std::to_string(used_) + "/" + std::to_string(total_) +
+      "B");
+}
+
+Status MemoryBudget::TryAcquire(size_t shard, size_t bytes) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (shard >= shard_used_.size()) {
+    return Status::InvalidArgument("budget: no shard " +
+                                   std::to_string(shard));
+  }
+  if (shutdown_) return OverloadedLocked(shard, bytes, "shutting down");
+  if (!FitsLocked(shard, bytes)) {
+    return OverloadedLocked(shard, bytes, "rejected");
+  }
+  shard_used_[shard] += bytes;
+  used_ += bytes;
+  return Status::OK();
+}
+
+Status MemoryBudget::AcquireUntil(
+    size_t shard, size_t bytes,
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (shard >= shard_used_.size()) {
+    return Status::InvalidArgument("budget: no shard " +
+                                   std::to_string(shard));
+  }
+  // A request that exceeds the smaller of quota and total can never be
+  // admitted; waiting out the deadline would just delay the inevitable.
+  if (bytes > quota_ || bytes > total_) {
+    return OverloadedLocked(shard, bytes, "rejected (over hard cap)");
+  }
+  const bool ok = cv_.wait_until(lk, deadline, [&] {
+    return shutdown_ || FitsLocked(shard, bytes);
+  });
+  if (shutdown_) return OverloadedLocked(shard, bytes, "shutting down");
+  if (!ok) return OverloadedLocked(shard, bytes, "deadline exceeded");
+  shard_used_[shard] += bytes;
+  used_ += bytes;
+  return Status::OK();
+}
+
+void MemoryBudget::Release(size_t shard, size_t bytes) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (shard >= shard_used_.size()) return;
+    const size_t take = std::min(bytes, shard_used_[shard]);
+    shard_used_[shard] -= take;
+    used_ -= std::min(take, used_);
+  }
+  cv_.notify_all();
+}
+
+void MemoryBudget::ChargeUnchecked(size_t shard, size_t bytes) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (shard >= shard_used_.size()) return;
+  shard_used_[shard] += bytes;
+  used_ += bytes;
+}
+
+void MemoryBudget::Shutdown() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t MemoryBudget::used() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return used_;
+}
+
+size_t MemoryBudget::shard_used(size_t shard) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return shard < shard_used_.size() ? shard_used_[shard] : 0;
+}
+
+size_t MemoryBudget::num_shards() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return shard_used_.size();
+}
+
+}  // namespace fcbench

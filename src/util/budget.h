@@ -1,0 +1,89 @@
+#ifndef FCBENCH_UTIL_BUDGET_H_
+#define FCBENCH_UTIL_BUDGET_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fcbench {
+
+/// Admission-control accounting for the sharded ingest engine: one
+/// process-wide byte budget plus a per-shard quota, guarded by a single
+/// mutex + condition variable. An over-budget acquire either fails fast
+/// with a typed kOverloaded status or blocks on the condition variable
+/// until bytes are released, the deadline passes, or the budget shuts
+/// down — there is never a sleep-poll loop.
+///
+/// The charged unit is "bytes buffered in a shard's memtables that have
+/// not yet been flushed to a segment": the sharded engine charges every
+/// admitted batch and releases when the owning shard publishes the
+/// flushed memtable (EngineOptions::on_memtable_released). A shard that
+/// degrades to read-only with an unflushed memtable keeps its bytes
+/// charged — that is the isolation property: a stuck shard can pin at
+/// most its own quota, never a sibling's.
+class MemoryBudget {
+ public:
+  /// `total_bytes`: process-wide cap across all shards. `quota_bytes`:
+  /// per-shard cap. Both must be > 0; quota may exceed total (the total
+  /// then dominates).
+  MemoryBudget(size_t num_shards, size_t total_bytes, size_t quota_bytes);
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Charges `bytes` to `shard` if it fits both the shard quota and the
+  /// process budget right now; otherwise fails fast with kOverloaded
+  /// (message names the shard, the request and the headroom).
+  Status TryAcquire(size_t shard, size_t bytes);
+
+  /// Like TryAcquire, but waits (condition variable, no polling) until
+  /// the charge fits, `deadline` passes (kOverloaded), or Shutdown()
+  /// (kOverloaded, "shutting down"). A request larger than
+  /// min(quota, total) can never fit and is rejected immediately.
+  Status AcquireUntil(size_t shard, size_t bytes,
+                      std::chrono::steady_clock::time_point deadline);
+
+  /// Returns `bytes` of `shard`'s charge; wakes blocked acquirers.
+  /// Clamped to the outstanding charge, so a spurious double-release can
+  /// never corrupt the accounting.
+  void Release(size_t shard, size_t bytes);
+
+  /// Charges without admission checks and without failing — recovery
+  /// accounting for bytes that are already buffered (WAL replay filled a
+  /// memtable before any append was admitted). May push a shard over
+  /// quota; acquirers then wait until flushes drain it back under.
+  void ChargeUnchecked(size_t shard, size_t bytes);
+
+  /// Fails all current and future acquires with kOverloaded ("shutting
+  /// down") and wakes every waiter. Used by coordinated Close so no
+  /// appender stays blocked on a budget that will never drain.
+  void Shutdown();
+
+  size_t used() const;
+  size_t shard_used(size_t shard) const;
+  size_t total_bytes() const { return total_; }
+  size_t quota_bytes() const { return quota_; }
+  size_t num_shards() const;
+
+ private:
+  /// Call under mu_.
+  bool FitsLocked(size_t shard, size_t bytes) const;
+  Status OverloadedLocked(size_t shard, size_t bytes,
+                          const char* why) const;
+
+  const size_t total_;
+  const size_t quota_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<size_t> shard_used_;
+  size_t used_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace fcbench
+
+#endif  // FCBENCH_UTIL_BUDGET_H_

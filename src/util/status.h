@@ -19,6 +19,11 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kResourceExhausted,
+  /// Admission control rejected or timed out a request because a memory
+  /// budget / per-shard quota is exhausted. Distinct from
+  /// kResourceExhausted (a *disk* out of space): overload is transient
+  /// by design — retry after backpressure drains.
+  kOverloaded,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -57,6 +62,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -17,9 +17,14 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "db/column_store.h"
 #include "db/lsm/lsm_engine.h"
 #include "db/lsm/wal.h"
+#include "db/shard/sharded_engine.h"
 #include "util/failpoint.h"
 #include "util/fs.h"
 
@@ -612,6 +617,284 @@ TEST_F(EngineFaultTest, SweepEverySiteAtEveryHit) {
     }
   }
   EXPECT_GT(runs, 50u);  // the sweep actually swept
+}
+
+// ---------------------------------------------------------------------------
+// Interruptible retry backoff
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineFaultTest, CloseInterruptsRetryBackoffInsteadOfSleepingItOut) {
+  // An 8-attempt ladder at 300 ms base is 300+600+...+19200 ms of pure
+  // backoff (~38 s). Close() must cancel the wait in flight, not ride
+  // it out — this is the regression pin for the old uninterruptible
+  // sleep_for backoff.
+  auto opts = FaultOptions();
+  opts.memtable_bytes = 1 << 20;
+  opts.io_retry_attempts = 8;
+  opts.io_retry_backoff_ms = 300;
+  auto engr = IngestEngine::Open(dir_, FaultSchema(), opts);
+  ASSERT_TRUE(engr.ok());
+  auto& eng = engr.value();
+  ASSERT_TRUE(eng->AppendBatch(BatchRows(0, 20)).ok());
+
+  // Sticky flush failure: without interruption the flush would burn the
+  // whole ladder.
+  ASSERT_TRUE(fail::FailPoints::Set("lsm.flush", "err").ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  Status flush_st;
+  std::thread flusher([&] { flush_st = eng->Flush(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Status close_st = eng->Close();
+  flusher.join();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  fail::FailPoints::ClearAll();
+
+  EXPECT_TRUE(close_st.ok()) << close_st.ToString();
+  // Seconds, not the ~38 s ladder: the backoff wait was interrupted.
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  ASSERT_FALSE(flush_st.ok());
+  EXPECT_NE(flush_st.message().find("interrupted"), std::string::npos)
+      << flush_st.ToString();
+
+  // The unflushed rows are WAL-durable; recovery serves them.
+  engr.value().reset();
+  std::vector<double> acked;
+  for (size_t r = 0; r < 20; ++r) acked.push_back(r);
+  CheckRecovery(dir_, acked);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engine: per-shard fault isolation
+// ---------------------------------------------------------------------------
+
+/// Recursive tree removal (shard stores nest shard-<k>/quarantine/).
+void RemoveTreeRec(const std::string& dir) {
+  auto names = fs::ListDir(dir);
+  if (names.ok()) {
+    for (const auto& n : names.value()) {
+      const std::string p = fs::JoinPath(dir, n);
+      if (!fs::RemoveFile(p).ok()) RemoveTreeRec(p);
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+std::vector<ColumnDef> ShardFaultSchema() {
+  ColumnDef t, v;
+  t.name = "t";
+  v.name = "v";
+  return {t, v};
+}
+
+shard::ShardOptions ShardFaultOptions() {
+  shard::ShardOptions o;
+  o.num_shards = 4;
+  o.shard_quota_bytes = 1 << 20;  // admission out of the way
+  o.engine = FaultOptions();
+  o.engine.memtable_bytes = 2 << 10;  // flushes mid-ingest
+  o.engine.io_retry_attempts = 1;     // a one-shot @1 is not absorbed
+  o.engine.compact_fanout = 0;
+  return o;
+}
+
+constexpr size_t kShardSeries = 8;
+constexpr size_t kShardBatches = 6;
+constexpr size_t kShardRows = 40;
+
+std::vector<double> ShardBatch(uint64_t series, uint64_t start, size_t n) {
+  std::vector<double> rows;
+  rows.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(static_cast<double>(start + i));
+    rows.push_back(static_cast<double>(series) * 1e6 +
+                   static_cast<double>(start + i));
+  }
+  return rows;
+}
+
+/// Sharded ingest workload tolerant of injected faults. Returns, per
+/// series, how many rows were ACKNOWLEDGED (acks are prefixes: series
+/// rows are appended in order and a failed batch is not retried).
+std::vector<uint64_t> RunShardWorkload(const std::string& dir) {
+  std::vector<uint64_t> acked(kShardSeries, 0);
+  auto opened =
+      shard::ShardedIngestEngine::Open(dir, ShardFaultSchema(),
+                                       ShardFaultOptions());
+  if (!opened.ok()) return acked;  // a faulted Open is a clean typed error
+  auto& eng = *opened.value();
+  for (size_t b = 0; b < kShardBatches; ++b) {
+    for (uint64_t s = 0; s < kShardSeries; ++s) {
+      if (eng.AppendBatch(s, ShardBatch(s, acked[s], kShardRows)).ok()) {
+        acked[s] += kShardRows;
+      }
+    }
+  }
+  eng.Flush();  // may fail on a degraded shard; siblings still flush
+  eng.Close();
+  return acked;
+}
+
+/// Post-fault invariants (failpoints cleared): reopen green, every
+/// acked row back exactly once per series in order, idempotent.
+void CheckShardRecovery(const std::string& dir,
+                        const std::vector<uint64_t>& acked) {
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE("recovery round " + std::to_string(round));
+    shard::ShardOptions opt = ShardFaultOptions();
+    opt.num_shards = 0;  // adopt (Open may have failed pre-SHARDS too)
+    auto opened =
+        shard::ShardedIngestEngine::Open(dir, ShardFaultSchema(), opt);
+    if (!opened.ok()) {
+      // Only legitimate when the faulted run never created the store.
+      ASSERT_EQ(std::count(acked.begin(), acked.end(), 0u),
+                static_cast<long>(acked.size()))
+          << opened.status().ToString();
+      return;
+    }
+    auto& eng = *opened.value();
+    auto shards = eng.SnapshotReadShards("v");
+    ASSERT_TRUE(shards.ok()) << shards.status().ToString();
+    for (uint64_t s = 0; s < kShardSeries; ++s) {
+      std::vector<double> seq;
+      for (double v : shards.value()[eng.ShardOf(s)]) {
+        if (static_cast<uint64_t>(v / 1e6) == s) {
+          seq.push_back(v - static_cast<double>(s) * 1e6);
+        }
+      }
+      ASSERT_EQ(seq.size(), acked[s]) << "series " << s;
+      for (size_t i = 0; i < seq.size(); ++i) {
+        ASSERT_EQ(seq[i], static_cast<double>(i))
+            << "series " << s << " row " << i;
+      }
+    }
+    eng.Close();
+  }
+}
+
+TEST_F(EngineFaultTest, ShardDegradationIsolatesSiblings) {
+  auto opened = shard::ShardedIngestEngine::Open(dir_, ShardFaultSchema(),
+                                                 ShardFaultOptions());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto& eng = *opened.value();
+
+  // The FIRST shard to reach its memtable watermark hits the one-shot
+  // flush fault and (attempts=1) degrades to sticky read-only.
+  ASSERT_TRUE(fail::FailPoints::Set("lsm.flush", "err@1").ok());
+  std::vector<uint64_t> acked(kShardSeries, 0);
+  for (size_t b = 0; b < kShardBatches; ++b) {
+    for (uint64_t s = 0; s < kShardSeries; ++s) {
+      if (eng.AppendBatch(s, ShardBatch(s, acked[s], kShardRows)).ok()) {
+        acked[s] += kShardRows;
+      }
+    }
+  }
+  fail::FailPoints::ClearAll();
+
+  // Exactly one shard degraded, with the injected root cause in the
+  // aggregated health report.
+  const shard::HealthReport h = eng.Health();
+  ASSERT_EQ(h.degraded_shards, 1u);
+  EXPECT_FALSE(h.all_healthy());
+  size_t bad = h.shards.size();
+  for (const auto& sh : h.shards) {
+    if (sh.read_only) {
+      bad = sh.shard;
+      EXPECT_EQ(sh.error.code(), StatusCode::kIoError);
+      EXPECT_NE(sh.error.message().find("injected fault"),
+                std::string::npos);
+    }
+  }
+  ASSERT_LT(bad, h.shards.size());
+
+  // Sibling shards keep accepting writes; the degraded one fails fast
+  // with its sticky root cause, never a timeout.
+  for (uint64_t s = 0; s < kShardSeries; ++s) {
+    const Status st = eng.AppendBatch(s, ShardBatch(s, acked[s], 1));
+    if (eng.ShardOf(s) == bad) {
+      ASSERT_FALSE(st.ok());
+      EXPECT_EQ(st.code(), StatusCode::kIoError);
+      EXPECT_NE(st.message().find("read-only"), std::string::npos);
+    } else {
+      ASSERT_TRUE(st.ok()) << "series " << s << ": " << st.ToString();
+      acked[s] += 1;
+    }
+  }
+
+  // Reads still serve every acknowledged row — including the degraded
+  // shard's (its unflushed memtable is retained and WAL-durable).
+  auto shards = eng.SnapshotReadShards("v");
+  ASSERT_TRUE(shards.ok());
+  for (uint64_t s = 0; s < kShardSeries; ++s) {
+    size_t found = 0;
+    for (double v : shards.value()[eng.ShardOf(s)]) {
+      if (static_cast<uint64_t>(v / 1e6) == s) ++found;
+    }
+    EXPECT_EQ(found, acked[s]) << "series " << s;
+  }
+
+  // Reopen with the fault gone: every acked row, exactly once, and the
+  // formerly-degraded shard is writable again.
+  ASSERT_TRUE(eng.Close().ok());
+  opened.value().reset();
+  ASSERT_NO_FATAL_FAILURE(CheckShardRecovery(dir_, acked));
+  shard::ShardOptions opt = ShardFaultOptions();
+  opt.num_shards = 0;
+  auto reopened =
+      shard::ShardedIngestEngine::Open(dir_, ShardFaultSchema(), opt);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened.value()->Health().all_healthy());
+  for (uint64_t s = 0; s < kShardSeries; ++s) {
+    ASSERT_TRUE(
+        reopened.value()->AppendBatch(s, ShardBatch(s, acked[s], 1)).ok());
+  }
+}
+
+TEST_F(EngineFaultTest, ShardChaosSweepRecoversAckedRowsExactlyOnce) {
+  // EIO/ENOSPC into one shard mid-ingest (the one-shot @1 lands on the
+  // first shard to exercise the site), across every flush-path site:
+  // whatever degrades, siblings' and the victim's acked rows all
+  // recover exactly once, idempotently.
+  const std::vector<std::string> sites = {
+      "lsm.flush", "segment.column", "segment.publish",
+      "lsm.manifest", "fs.sync", "wal.rotate"};
+  size_t runs = 0;
+  for (const auto& site : sites) {
+    for (const char* action : {"err", "enospc"}) {
+      const std::string spec = std::string(action) + "@1";
+      SCOPED_TRACE(site + "=" + spec);
+      const std::string run_dir = UniqueDir("shard_sweep");
+      RemoveTreeRec(run_dir);
+      ASSERT_TRUE(fail::FailPoints::Set(site, spec).ok());
+      const std::vector<uint64_t> acked = RunShardWorkload(run_dir);
+      fail::FailPoints::ClearAll();
+      ASSERT_NO_FATAL_FAILURE(CheckShardRecovery(run_dir, acked));
+      RemoveTreeRec(run_dir);
+      ++runs;
+    }
+  }
+  EXPECT_EQ(runs, sites.size() * 2);
+}
+
+TEST_F(EngineFaultTest, ShardFailpointSitesAreTypedAndAttributed) {
+  auto opened = shard::ShardedIngestEngine::Open(dir_, ShardFaultSchema(),
+                                                 ShardFaultOptions());
+  ASSERT_TRUE(opened.ok());
+  auto& eng = *opened.value();
+
+  ASSERT_TRUE(fail::FailPoints::Set("shard.route", "err@1").ok());
+  Status st = eng.AppendBatch(0, ShardBatch(0, 0, 1));
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("shard.route"), std::string::npos);
+
+  ASSERT_TRUE(fail::FailPoints::Set("shard.admit", "err@1").ok());
+  st = eng.AppendBatch(0, ShardBatch(0, 0, 1));
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded);
+  EXPECT_NE(st.message().find("shard.admit"), std::string::npos);
+  fail::FailPoints::ClearAll();
+
+  // Both injections rejected cleanly: the store is intact and writable.
+  EXPECT_TRUE(eng.AppendBatch(0, ShardBatch(0, 0, 1)).ok());
+  EXPECT_TRUE(eng.Health().all_healthy());
 }
 
 TEST_F(EngineFaultTest, ProbabilisticChaosNeverLosesAckedData) {

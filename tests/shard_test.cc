@@ -1,0 +1,448 @@
+// Tests for the sharded multi-tenant ingest engine (src/db/shard/):
+// hash routing and its pinned shard count, admission control (fail-fast
+// kOverloaded, deadline waits, oversized-batch rejection, shutdown
+// wakeups), snapshot-consistent cross-shard reads under concurrent
+// ingest, coordinated flush, aggregated health/scrub, and recovery
+// accounting across reopen.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/shard/sharded_engine.h"
+#include "util/fs.h"
+
+namespace fcbench::db::shard {
+namespace {
+
+using lsm::ColumnDef;
+
+std::string UniqueDir(const std::string& tag) {
+  return "/tmp/fcbench_shard_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+void RemoveTree(const std::string& dir) {
+  auto names = fs::ListDir(dir);
+  if (names.ok()) {
+    for (const auto& n : names.value()) {
+      const std::string path = fs::JoinPath(dir, n);
+      if (!fs::RemoveFile(path).ok()) RemoveTree(path);  // a subdirectory
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+std::vector<ColumnDef> TestSchema() {
+  return {{"t", DType::kFloat64, 0, ""}, {"v", DType::kFloat64, 0, ""}};
+}
+
+/// Fast deterministic defaults: no fsync, inline flushes, no compaction.
+ShardOptions TestOptions(size_t shards, size_t quota = 0, size_t total = 0) {
+  ShardOptions o;
+  o.num_shards = shards;
+  o.shard_quota_bytes = quota;
+  o.total_budget_bytes = total;
+  o.engine.sync_on_commit = false;
+  o.engine.background_flush = false;
+  o.engine.io_retry_backoff_ms = 0;
+  o.engine.compact_fanout = 0;
+  return o;
+}
+
+/// `n` rows for `series`: t = start+i, v = series * 1e6 + (start + i).
+/// The v encoding makes every row attributable to its series, so
+/// snapshot and recovery checks can verify per-series prefixes.
+std::vector<double> Batch(uint64_t series, uint64_t start, size_t n) {
+  std::vector<double> rows;
+  rows.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(static_cast<double>(start + i));
+    rows.push_back(static_cast<double>(series) * 1e6 +
+                   static_cast<double>(start + i));
+  }
+  return rows;
+}
+
+class ShardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = UniqueDir(
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    RemoveTree(dir_);
+  }
+  void TearDown() override { RemoveTree(dir_); }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Routing and the pinned shard count
+// ---------------------------------------------------------------------------
+
+TEST_F(ShardTest, RoutingIsDeterministicAndCoversAllShards) {
+  auto eng = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(4));
+  ASSERT_TRUE(eng.ok()) << eng.status().ToString();
+  std::set<size_t> hit;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    const size_t k = eng.value()->ShardOf(key);
+    ASSERT_LT(k, 4u);
+    EXPECT_EQ(k, eng.value()->ShardOf(key));  // stable
+    hit.insert(k);
+  }
+  // splitmix64 spreads even sequential keys across every shard.
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+TEST_F(ShardTest, ReopenWithDifferentShardCountIsRefused) {
+  {
+    auto eng = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(4));
+    ASSERT_TRUE(eng.ok());
+    ASSERT_TRUE(eng.value()->Close().ok());
+  }
+  auto wrong = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(2));
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(wrong.status().message().find("re-routing"), std::string::npos);
+
+  // num_shards = 0 adopts the stored count instead.
+  auto adopt = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(0));
+  ASSERT_TRUE(adopt.ok()) << adopt.status().ToString();
+  EXPECT_EQ(adopt.value()->num_shards(), 4u);
+}
+
+TEST_F(ShardTest, NewStoreRequiresNonZeroShardCount) {
+  auto eng = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(0));
+  ASSERT_FALSE(eng.ok());
+  EXPECT_EQ(eng.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Append / read-back / recovery
+// ---------------------------------------------------------------------------
+
+TEST_F(ShardTest, AppendReadBackAcrossShards) {
+  auto opened = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(4));
+  ASSERT_TRUE(opened.ok());
+  auto& eng = *opened.value();
+
+  const size_t kSeries = 32, kRows = 8;
+  for (uint64_t s = 0; s < kSeries; ++s) {
+    ASSERT_TRUE(eng.AppendBatch(s, Batch(s, 0, kRows)).ok());
+  }
+  EXPECT_EQ(eng.rows(), kSeries * kRows);
+
+  auto all = eng.ReadColumn("v");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all.value().size(), kSeries * kRows);
+
+  // Every row of every series landed on exactly the shard its key
+  // routes to.
+  auto shards = eng.SnapshotReadShards("v");
+  ASSERT_TRUE(shards.ok());
+  for (uint64_t s = 0; s < kSeries; ++s) {
+    const size_t k = eng.ShardOf(s);
+    size_t found = 0;
+    for (double v : shards.value()[k]) {
+      if (static_cast<uint64_t>(v / 1e6) == s) ++found;
+    }
+    EXPECT_EQ(found, kRows) << "series " << s << " on shard " << k;
+  }
+}
+
+TEST_F(ShardTest, RecoveryPreservesRowsAndIsIdempotent) {
+  const size_t kSeries = 16, kRows = 50;
+  {
+    auto eng = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(4));
+    ASSERT_TRUE(eng.ok());
+    for (uint64_t s = 0; s < kSeries; ++s) {
+      ASSERT_TRUE(eng.value()->AppendBatch(s, Batch(s, 0, kRows)).ok());
+    }
+    // No flush: recovery must replay every shard's WAL.
+    ASSERT_TRUE(eng.value()->Close().ok());
+  }
+  for (int round = 0; round < 2; ++round) {
+    auto eng = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(0));
+    ASSERT_TRUE(eng.ok()) << eng.status().ToString();
+    EXPECT_EQ(eng.value()->rows(), kSeries * kRows) << "round " << round;
+    auto v = eng.value()->ReadColumn("v");
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value().size(), kSeries * kRows);
+    ASSERT_TRUE(eng.value()->Close().ok());
+  }
+}
+
+TEST_F(ShardTest, ReopenChargesRecoveredBufferedBytesToBudget) {
+  {
+    auto eng = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(2));
+    ASSERT_TRUE(eng.ok());
+    ASSERT_TRUE(eng.value()->AppendBatch(7, Batch(7, 0, 100)).ok());
+    ASSERT_TRUE(eng.value()->Close().ok());
+  }
+  auto eng = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(2));
+  ASSERT_TRUE(eng.ok());
+  // WAL replay refilled the memtable; admission accounting must see it.
+  const uint64_t buffered = 100 * 2 * sizeof(double);
+  EXPECT_EQ(eng.value()->budget().used(), buffered);
+  EXPECT_EQ(eng.value()->budget().shard_used(eng.value()->ShardOf(7)),
+            buffered);
+  // Flushing drains the recovered charge back to zero.
+  ASSERT_TRUE(eng.value()->Flush().ok());
+  EXPECT_EQ(eng.value()->budget().used(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST_F(ShardTest, OverBudgetAppendFailsFastWithOverloaded) {
+  // Quota: 64 rows of 16B. Batches of 24 rows: two fit, the third not.
+  auto opened =
+      ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(2, 1024));
+  ASSERT_TRUE(opened.ok());
+  auto& eng = *opened.value();
+  ASSERT_TRUE(eng.AppendBatch(1, Batch(1, 0, 24)).ok());
+  ASSERT_TRUE(eng.AppendBatch(1, Batch(1, 24, 24)).ok());
+  const Status st = eng.AppendBatch(1, Batch(1, 48, 24));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded);
+  EXPECT_NE(st.message().find("admission"), std::string::npos);
+
+  // Overload is transient by design: flushing returns the bytes.
+  ASSERT_TRUE(eng.Flush().ok());
+  EXPECT_TRUE(eng.AppendBatch(1, Batch(1, 48, 24)).ok());
+  // Rows were never lost across the overload episode.
+  EXPECT_EQ(eng.rows(), 72u);
+}
+
+TEST_F(ShardTest, DeadlineWaiterAdmittedWhenBudgetDrains) {
+  auto opened =
+      ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(2, 1024));
+  ASSERT_TRUE(opened.ok());
+  auto& eng = *opened.value();
+  ASSERT_TRUE(eng.AppendBatch(1, Batch(1, 0, 60)).ok());  // 960B of 1024
+
+  std::thread flusher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(eng.Flush().ok());
+  });
+  // 60 more rows do not fit now; they must be admitted once the flush
+  // releases the first batch — well before the 5 s deadline.
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = eng.AppendBatchUntil(
+      1, Batch(1, 60, 60), t0 + std::chrono::seconds(5));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  flusher.join();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_LT(waited, std::chrono::seconds(4));
+  EXPECT_EQ(eng.rows(), 120u);
+}
+
+TEST_F(ShardTest, DeadlineExceededReturnsOverloaded) {
+  auto opened =
+      ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(2, 1024));
+  ASSERT_TRUE(opened.ok());
+  auto& eng = *opened.value();
+  ASSERT_TRUE(eng.AppendBatch(1, Batch(1, 0, 60)).ok());
+  // Nothing will drain the budget: the wait must end at the deadline.
+  const Status st = eng.AppendBatchUntil(
+      1, Batch(1, 60, 60),
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded);
+  EXPECT_NE(st.message().find("deadline exceeded"), std::string::npos);
+}
+
+TEST_F(ShardTest, OversizedBatchIsRejectedWithoutWaitingOutDeadline) {
+  auto opened =
+      ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(2, 1024));
+  ASSERT_TRUE(opened.ok());
+  // 128 rows = 2048B can never fit a 1024B quota; a 5 s deadline must
+  // not be slept out for a request that cannot ever be admitted.
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st = opened.value()->AppendBatchUntil(
+      1, Batch(1, 0, 128), t0 + std::chrono::seconds(5));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded);
+  EXPECT_NE(st.message().find("over hard cap"), std::string::npos);
+  EXPECT_LT(waited, std::chrono::seconds(1));
+}
+
+TEST_F(ShardTest, CloseWakesDeadlineWaitersWithOverloaded) {
+  auto opened =
+      ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(2, 1024));
+  ASSERT_TRUE(opened.ok());
+  auto& eng = *opened.value();
+  ASSERT_TRUE(eng.AppendBatch(1, Batch(1, 0, 60)).ok());
+
+  std::atomic<bool> woke{false};
+  Status st;
+  std::thread waiter([&] {
+    st = eng.AppendBatchUntil(
+        1, Batch(1, 60, 60),
+        std::chrono::steady_clock::now() + std::chrono::seconds(30));
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(woke.load());
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(eng.Close().ok());
+  waiter.join();
+  // Close unblocked the waiter immediately — not after 30 s.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded);
+  EXPECT_NE(st.message().find("shutting down"), std::string::npos);
+}
+
+TEST_F(ShardTest, PerShardQuotaIsolatesTenants) {
+  // Series routed to DIFFERENT shards must not contend: one tenant
+  // saturating its shard's quota leaves the sibling's quota untouched
+  // (the default total budget is the sum of the quotas).
+  auto opened =
+      ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(4, 1024));
+  ASSERT_TRUE(opened.ok());
+  auto& eng = *opened.value();
+  // Find two keys on different shards.
+  uint64_t a = 0, b = 1;
+  while (eng.ShardOf(b) == eng.ShardOf(a)) ++b;
+  ASSERT_TRUE(eng.AppendBatch(a, Batch(a, 0, 60)).ok());
+  ASSERT_EQ(eng.AppendBatch(a, Batch(a, 60, 60)).code(),
+            StatusCode::kOverloaded);
+  // Shard of `b` is unaffected by `a`'s overload.
+  EXPECT_TRUE(eng.AppendBatch(b, Batch(b, 0, 60)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot-consistent cross-shard reads
+// ---------------------------------------------------------------------------
+
+TEST_F(ShardTest, SnapshotNeverTearsBatchesDuringConcurrentIngest) {
+  ShardOptions opt = TestOptions(4);
+  opt.engine.memtable_bytes = 4 << 10;  // frequent inline flushes
+  auto opened = ShardedIngestEngine::Open(dir_, TestSchema(), opt);
+  ASSERT_TRUE(opened.ok());
+  auto& eng = *opened.value();
+
+  constexpr size_t kWriters = 3;
+  constexpr size_t kBatch = 7;
+  constexpr size_t kBatchesPerWriter = 60;
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Each writer owns one series; rows are consecutive within it.
+      for (size_t i = 0; i < kBatchesPerWriter; ++i) {
+        ASSERT_TRUE(
+            eng.AppendBatch(w, Batch(w, i * kBatch, kBatch)).ok());
+      }
+    });
+  }
+
+  // Snapshot continuously while writers run: every snapshot must hold a
+  // whole number of batches per series (a torn batch would leave a
+  // remainder), and each series' rows must be the exact prefix
+  // 0..n-1 of its value sequence.
+  size_t snapshots = 0;
+  while (snapshots < 50) {
+    auto shards = eng.SnapshotReadShards("v");
+    ASSERT_TRUE(shards.ok()) << shards.status().ToString();
+    for (uint64_t s = 0; s < kWriters; ++s) {
+      std::vector<double> seq;
+      for (double v : shards.value()[eng.ShardOf(s)]) {
+        if (static_cast<uint64_t>(v / 1e6) == s) {
+          seq.push_back(v - static_cast<double>(s) * 1e6);
+        }
+      }
+      ASSERT_EQ(seq.size() % kBatch, 0u)
+          << "torn batch: series " << s << " has " << seq.size() << " rows";
+      for (size_t i = 0; i < seq.size(); ++i) {
+        ASSERT_EQ(seq[i], static_cast<double>(i)) << "series " << s;
+      }
+    }
+    ++snapshots;
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(eng.rows(), kWriters * kBatch * kBatchesPerWriter);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinated flush, scrub, health
+// ---------------------------------------------------------------------------
+
+TEST_F(ShardTest, CoordinatedFlushDrainsEveryShard) {
+  ShardOptions opt = TestOptions(4);
+  opt.engine.background_flush = true;  // overlap on the shared pool
+  auto opened = ShardedIngestEngine::Open(dir_, TestSchema(), opt);
+  ASSERT_TRUE(opened.ok());
+  auto& eng = *opened.value();
+  for (uint64_t s = 0; s < 16; ++s) {
+    ASSERT_TRUE(eng.AppendBatch(s, Batch(s, 0, 20)).ok());
+  }
+  ASSERT_TRUE(eng.Flush().ok());
+  const HealthReport h = eng.Health();
+  for (const auto& sh : h.shards) {
+    EXPECT_EQ(sh.buffered_bytes, 0u) << "shard " << sh.shard;
+  }
+  EXPECT_EQ(h.budget_used, 0u);
+  EXPECT_EQ(eng.rows(), 16u * 20u);
+  // Flushed rows are still all readable.
+  auto v = eng.ReadColumn("v");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().size(), 16u * 20u);
+}
+
+TEST_F(ShardTest, ScrubAggregatesAcrossShards) {
+  auto opened = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(4));
+  ASSERT_TRUE(opened.ok());
+  auto& eng = *opened.value();
+  for (uint64_t s = 0; s < 16; ++s) {
+    ASSERT_TRUE(eng.AppendBatch(s, Batch(s, 0, 20)).ok());
+  }
+  ASSERT_TRUE(eng.Flush().ok());
+  const ScrubSummary sum = eng.Scrub();
+  EXPECT_TRUE(sum.all_clean);
+  EXPECT_EQ(sum.shards.size(), 4u);
+  EXPECT_GT(sum.segments_checked, 0u);
+  EXPECT_EQ(sum.segments_quarantined, 0u);
+  for (const auto& entry : sum.shards) {
+    EXPECT_TRUE(entry.status.ok()) << entry.status.ToString();
+    EXPECT_TRUE(entry.report.wal_clean) << "shard " << entry.shard;
+  }
+}
+
+TEST_F(ShardTest, HealthReportsHealthyStore) {
+  auto opened = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(4));
+  ASSERT_TRUE(opened.ok());
+  auto& eng = *opened.value();
+  ASSERT_TRUE(eng.AppendBatch(3, Batch(3, 0, 10)).ok());
+  const HealthReport h = eng.Health();
+  EXPECT_TRUE(h.all_healthy());
+  EXPECT_EQ(h.degraded_shards, 0u);
+  ASSERT_EQ(h.shards.size(), 4u);
+  EXPECT_EQ(h.budget_used, 10u * 2u * sizeof(double));
+  EXPECT_GT(h.budget_total, 0u);
+  for (const auto& sh : h.shards) {
+    EXPECT_FALSE(sh.read_only);
+    EXPECT_TRUE(sh.error.ok());
+  }
+}
+
+TEST_F(ShardTest, MalformedBatchIsRejected) {
+  auto opened = ShardedIngestEngine::Open(dir_, TestSchema(), TestOptions(2));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value()->AppendBatch(0, {1.0, 2.0, 3.0}).code(),
+            StatusCode::kInvalidArgument);  // not a multiple of 2 columns
+  EXPECT_EQ(opened.value()->AppendBatch(0, {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fcbench::db::shard
