@@ -100,7 +100,14 @@ void Banner(const std::string& experiment, const std::string& paper_ref) {
 
 void JsonReporter::Add(const std::string& method, const std::string& dataset,
                        double cr, double ct_gbps, double dt_gbps) {
-  rows_.push_back(Row{method, dataset, cr, ct_gbps, dt_gbps});
+  rows_.push_back(Row{method, dataset, cr, ct_gbps, dt_gbps, {}});
+}
+
+void JsonReporter::Add(
+    const std::string& method, const std::string& dataset, double cr,
+    double ct_gbps, double dt_gbps,
+    const std::vector<std::pair<std::string, double>>& extras) {
+  rows_.push_back(Row{method, dataset, cr, ct_gbps, dt_gbps, extras});
 }
 
 bool JsonReporter::WriteToFile(const std::string& path) const {
@@ -114,9 +121,13 @@ bool JsonReporter::WriteToFile(const std::string& path) const {
     const Row& r = rows_[i];
     std::fprintf(f,
                  "  {\"method\": \"%s\", \"dataset\": \"%s\", "
-                 "\"cr\": %.4f, \"ct_gbps\": %.4f, \"dt_gbps\": %.4f}%s\n",
+                 "\"cr\": %.4f, \"ct_gbps\": %.4f, \"dt_gbps\": %.4f",
                  r.method.c_str(), r.dataset.c_str(), r.cr, r.ct_gbps,
-                 r.dt_gbps, i + 1 < rows_.size() ? "," : "");
+                 r.dt_gbps);
+    for (const auto& [key, value] : r.extras) {
+      std::fprintf(f, ", \"%s\": %.4f", key.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   bool ok = std::fclose(f) == 0;

@@ -2,6 +2,7 @@
 #define FCBENCH_BENCH_BENCH_COMMON_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/runner.h"
@@ -61,6 +62,12 @@ class JsonReporter {
  public:
   void Add(const std::string& method, const std::string& dataset, double cr,
            double ct_gbps, double dt_gbps);
+  /// Same row plus extra numeric keys appended after the fixed schema
+  /// (e.g. append-latency percentiles from the obs histograms). Extra
+  /// keys must be valid JSON identifiers; values print with %.4f.
+  void Add(const std::string& method, const std::string& dataset, double cr,
+           double ct_gbps, double dt_gbps,
+           const std::vector<std::pair<std::string, double>>& extras);
 
   /// Serializes all rows; returns false (and prints to stderr) on I/O
   /// failure.
@@ -75,6 +82,7 @@ class JsonReporter {
     double cr;
     double ct_gbps;
     double dt_gbps;
+    std::vector<std::pair<std::string, double>> extras;
   };
   std::vector<Row> rows_;
 };

@@ -9,6 +9,9 @@
 //   fcbench_cli gen        <dataset> <out.raw> [--bytes=N]
 //   fcbench_cli ingest     <dir> [--shards=N] [--series=N] [--rows=N]
 //                          [--quota-bytes=N] [--fsync] [--scrub]
+//                          [--stats-every=N]
+//   fcbench_cli stats      [--format=text|json|prom] [--trace]
+//                          [--exercise]
 //
 // The method can be given positionally or as --method=<name>; the auto
 // selectors (auto, auto-speed, auto-ratio) pick a concrete method per
@@ -18,6 +21,8 @@
 // The .fcz container (core/container.h) stores method name + DataDesc +
 // xxHash64 checksums, so decompression is self-describing and any file
 // corruption is detected end to end.
+
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -29,9 +34,13 @@
 #include "core/container.h"
 #include "core/runner.h"
 #include "data/dataset.h"
+#include "db/lsm/lsm_engine.h"
 #include "db/shard/sharded_engine.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
 #include "select/selector.h"
 #include "util/bitio.h"
+#include "util/fs.h"
 #include "util/timer.h"
 
 using namespace fcbench;
@@ -314,12 +323,71 @@ int CmdGen(int argc, char** argv) {
   return 0;
 }
 
+/// Renders the global registry in the requested exposition format.
+int PrintStats(const std::string& format) {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  if (format == "text") {
+    std::fputs(snap.ToText().c_str(), stdout);
+  } else if (format == "json") {
+    std::printf("%s\n", snap.ToJson().c_str());
+  } else if (format == "prom") {
+    std::fputs(snap.ToPrometheus().c_str(), stdout);
+  } else {
+    std::fprintf(stderr, "--format must be text, json or prom\n");
+    return 2;
+  }
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  // --exercise runs a small throwaway ingest+flush+selection workload
+  // first, so the snapshot demonstrates the live metric catalog instead
+  // of an empty registry.
+  if (HasFlag(argc, argv, "exercise")) {
+    const std::string dir =
+        "/tmp/fcbench_stats_exercise_" + std::to_string(::getpid());
+    db::lsm::EngineOptions opt;
+    opt.background_flush = false;
+    auto eng = db::lsm::IngestEngine::Open(
+        dir, {{.name = "ts", .dtype = DType::kFloat64, .compressor = ""},
+              {.name = "value", .dtype = DType::kFloat64, .compressor = ""}},
+        opt);
+    if (eng.ok()) {
+      std::vector<double> batch(256 * 2);
+      for (int b = 0; b < 8; ++b) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          batch[i] = static_cast<double>(b * 1000 + i);
+        }
+        (void)eng.value()->AppendBatch(batch);
+      }
+      (void)eng.value()->Flush();
+      (void)eng.value()->Scrub();
+      eng.value().reset();
+      auto names = fs::ListDir(dir);
+      if (names.ok()) {
+        for (const auto& n : names.value()) {
+          (void)fs::RemoveFile(fs::JoinPath(dir, n));
+        }
+      }
+      ::rmdir(dir.c_str());
+    }
+  }
+  const int rc = PrintStats(FlagValue(argc, argv, "format", "text"));
+  if (rc != 0) return rc;
+  if (HasFlag(argc, argv, "trace")) {
+    std::printf("--- event trace (last 32) ---\n%s",
+                obs::EventTrace::Global().Dump().c_str());
+  }
+  return 0;
+}
+
 int CmdIngest(int argc, char** argv) {
   auto pos = Positionals(argc, argv);
   if (pos.size() < 2) {
     std::fprintf(stderr,
                  "usage: fcbench_cli ingest <dir> [--shards=N] [--series=N] "
-                 "[--rows=N] [--quota-bytes=N] [--fsync] [--scrub]\n"
+                 "[--rows=N] [--quota-bytes=N] [--fsync] [--scrub] "
+                 "[--stats-every=N]\n"
                  "Appends --rows rows to each of --series series, hash-routed "
                  "across the store's shards,\nthen prints the per-shard "
                  "health/budget report. Reopening an existing store adopts "
@@ -339,6 +407,10 @@ int CmdIngest(int argc, char** argv) {
       std::strtoull(FlagValue(argc, argv, "series", "16").c_str(), nullptr, 10);
   const uint64_t rows =
       std::strtoull(FlagValue(argc, argv, "rows", "128").c_str(), nullptr, 10);
+  // Print a metrics snapshot every N series batches (0 = never): a live
+  // view of the append/admission counters while the ingest runs.
+  const uint64_t stats_every = std::strtoull(
+      FlagValue(argc, argv, "stats-every", "0").c_str(), nullptr, 10);
 
   std::vector<db::lsm::ColumnDef> schema(2);
   schema[0].name = "ts";
@@ -366,6 +438,13 @@ int CmdIngest(int argc, char** argv) {
                    static_cast<unsigned long long>(s), st.ToString().c_str());
       return 1;
     }
+    if (stats_every > 0 && (s + 1) % stats_every == 0) {
+      std::printf("--- metrics after %llu/%llu series ---\n",
+                  static_cast<unsigned long long>(s + 1),
+                  static_cast<unsigned long long>(series));
+      std::fputs(
+          obs::MetricsRegistry::Global().Snapshot().ToText().c_str(), stdout);
+    }
   }
   const double secs = timer.ElapsedSeconds();
   Status st = eng.Flush();
@@ -382,8 +461,13 @@ int CmdIngest(int argc, char** argv) {
 
   const db::shard::HealthReport health = eng.Health();
   for (const auto& sh : health.shards) {
-    std::printf("shard-%zu: %llu rows, %zu buffered bytes%s%s\n", sh.shard,
-                static_cast<unsigned long long>(sh.rows), sh.buffered_bytes,
+    std::printf("shard-%zu: %llu rows, %zu buffered bytes, "
+                "%llu appends / %llu flushes / %llu retries%s%s\n",
+                sh.shard, static_cast<unsigned long long>(sh.rows),
+                sh.buffered_bytes,
+                static_cast<unsigned long long>(sh.stats.append_batches),
+                static_cast<unsigned long long>(sh.stats.flushes),
+                static_cast<unsigned long long>(sh.stats.retry_attempts),
                 sh.read_only ? ", READ-ONLY: " : "",
                 sh.read_only ? sh.error.ToString().c_str() : "");
   }
@@ -413,11 +497,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "fcbench_cli — FCBench compressor toolbox\n"
                  "commands: list | compress | decompress | bench | gen | "
-                 "ingest\n");
+                 "ingest | stats\n");
     return 2;
   }
   std::string cmd = argv[1];
   if (cmd == "list") return CmdList();
+  if (cmd == "stats") return CmdStats(argc, argv);
   if (cmd == "compress") return CmdCompress(argc, argv);
   if (cmd == "decompress") return CmdDecompress(argc, argv);
   if (cmd == "bench") return CmdBench(argc, argv);

@@ -71,10 +71,14 @@ if [[ "${1:-}" == "--perf-smoke" ]]; then
   FCBENCH_BENCH_BYTES=${FCBENCH_BENCH_BYTES:-1048576} \
     "${BUILD_DIR}/bench/micro_select" --json=BENCH_adaptive_selection.json
   # Ingest-engine trajectory: WAL append throughput under the three
-  # durability policies, recovery replay speed, flushed-segment CR.
+  # durability policies, recovery replay speed, flushed-segment CR, and
+  # the metrics-enabled-vs-idle overhead check. The full registry
+  # snapshot after the run is itself an artifact (BENCH_ prefix so the
+  # CI upload glob picks it up).
   FCBENCH_BENCH_BYTES=${FCBENCH_BENCH_BYTES:-2097152} \
   FCBENCH_BENCH_REPEATS=${FCBENCH_BENCH_REPEATS:-3} \
-    "${BUILD_DIR}/bench/micro_ingest" --json=BENCH_ingest_throughput.json
+    "${BUILD_DIR}/bench/micro_ingest" --json=BENCH_ingest_throughput.json \
+    --metrics-json=BENCH_metrics_snapshot.json
   # Sharded-ingest scaling curve: 64k series over 8 shards on 1/2/4/8
   # writer threads, with and without per-shard fsync. Flat on single-core
   # runners; the artifact still records the admission+routing overhead.

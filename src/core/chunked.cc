@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/bitio.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
@@ -115,10 +116,18 @@ Status ChunkedCompressor::Compress(ByteSpan input, const DataDesc& desc,
   for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
 
   std::vector<uint64_t> payload_sizes(parts.size());
-  for (size_t c = 0; c < parts.size(); ++c) payload_sizes[c] = parts[c].size();
+  uint64_t out_bytes = 0;
+  for (size_t c = 0; c < parts.size(); ++c) {
+    payload_sizes[c] = parts[c].size();
+    out_bytes += parts[c].size();
+  }
   FCB_RETURN_IF_ERROR(WriteDirectory(input.size(), chunk_raw, {}, {},
                                      payload_sizes, out));
   for (const auto& p : parts) out->Append(p.span());
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("chunked.compress.chunks")->Add(nchunks);
+  reg.GetCounter("chunked.compress.raw_bytes")->Add(input.size());
+  reg.GetCounter("chunked.compress.out_bytes")->Add(out_bytes);
   return Status::OK();
 }
 
@@ -321,6 +330,9 @@ Status ChunkedCompressor::Decompress(ByteSpan input, const DataDesc& desc,
       },
       {/*grain=*/1, /*max_parallelism=*/static_cast<size_t>(threads_)});
   for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("chunked.decompress.chunks")->Add(nchunks);
+  reg.GetCounter("chunked.decompress.raw_bytes")->Add(idx.raw_bytes);
   return Status::OK();
 }
 

@@ -6,10 +6,13 @@
 #include <cstring>
 
 #include "db/column_store.h"
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
 #include "util/bitio.h"
 #include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace fcbench::db::lsm {
 
@@ -46,12 +49,32 @@ struct ManifestState {
 /// an engine down never waits out the full backoff ladder. The final
 /// failure is wrapped with `what` and the attempt count so a sticky
 /// background error names both the step and the root cause.
+///
+/// Each retry (attempt beyond the first) bumps `retry_cell` (the owning
+/// engine's per-instance tally), the process-wide lsm.retry.attempts
+/// counter, and records a kRetryBackoff trace event whose detail is
+/// `trace_detail` (the engine dir, so a post-mortem dump attributes the
+/// ladder to a shard).
 template <typename Op>
 Status RetryIo(const EngineOptions& opt, RetryCancel& cancel,
-               const std::string& what, Op&& op) {
+               const std::string& what, const std::string& trace_detail,
+               std::atomic<uint64_t>& retry_cell, Op&& op) {
   const int attempts = std::max(1, opt.io_retry_attempts);
   Status st;
   for (int i = 0; i < attempts; ++i) {
+    if (i > 0) {
+      retry_cell.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::Global()
+          .GetCounter("lsm.retry.attempts")
+          ->Increment();
+      const uint64_t backoff_ms =
+          opt.io_retry_backoff_ms > 0
+              ? static_cast<uint64_t>(opt.io_retry_backoff_ms) << (i - 1)
+              : 0;
+      obs::EventTrace::Global().Record(obs::EventKind::kRetryBackoff,
+                                       trace_detail,
+                                       static_cast<uint64_t>(i), backoff_ms);
+    }
     if (i > 0 && opt.io_retry_backoff_ms > 0) {
       std::unique_lock<std::mutex> lk(cancel.mu);
       const bool interrupted = cancel.cv.wait_for(
@@ -200,6 +223,21 @@ bool ParseSegmentId(const std::string& name, uint64_t* id) {
   if (i == 4 || i == name.size() || name[i] != '.') return false;
   *id = v;
   return true;
+}
+
+/// On-disk footprint of a published segment: every `seg-<id>.*` file.
+/// Best-effort (0 on listing errors) — feeds metrics only.
+uint64_t SegmentDiskBytes(const std::string& dir, uint64_t id) {
+  auto names = fs::ListDir(dir);
+  if (!names.ok()) return 0;
+  uint64_t total = 0;
+  for (const auto& name : names.value()) {
+    uint64_t got = 0;
+    if (!ParseSegmentId(name, &got) || got != id) continue;
+    auto sz = fs::FileSize(fs::JoinPath(dir, name));
+    if (sz.ok()) total += sz.value();
+  }
+  return total;
 }
 
 /// f64 -> column dtype -> f64, so memtable reads agree bit-for-bit with
@@ -404,6 +442,7 @@ Status IngestEngine::AppendBatch(const std::vector<double>& rows_row_major) {
   }
   const size_t nrows = rows_row_major.size() / ncols;
   if (nrows == 0) return Status::OK();
+  Timer append_timer;
 
   std::unique_lock<std::mutex> lk(mu_);
   if (closed_) return Status::InvalidArgument("lsm: engine is closed");
@@ -448,6 +487,20 @@ Status IngestEngine::AppendBatch(const std::vector<double>& rows_row_major) {
     // retried scheduling at the next append) and surfaces on the next
     // call — never as a false negative on an acknowledged batch.
   }
+  const uint64_t nanos = append_timer.ElapsedNanos();
+  stats_.append_batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.append_rows.fetch_add(nrows, std::memory_order_relaxed);
+  stats_.append_nanos.fetch_add(nanos, std::memory_order_relaxed);
+  static obs::Counter* batches =
+      obs::MetricsRegistry::Global().GetCounter("lsm.append.batches");
+  static obs::Counter* rows_counter =
+      obs::MetricsRegistry::Global().GetCounter("lsm.append.rows");
+  static obs::Histogram* append_nanos =
+      obs::MetricsRegistry::Global().GetHistogram("lsm.append_nanos",
+                                                  obs::Unit::kNanos);
+  batches->Increment();
+  rows_counter->Add(nrows);
+  append_nanos->Record(nanos);
   return Status::OK();
 }
 
@@ -483,6 +536,10 @@ void IngestEngine::DoFlushAndPublish() {
     seg_id = imm_seg_id_;
     floor = imm_floor_;
   }
+  const uint64_t raw_bytes = imm->bytes();
+  obs::EventTrace::Global().Record(obs::EventKind::kFlushStart, dir_,
+                                   seg_id, raw_bytes);
+  Timer flush_timer;
 
   // Compress and write the segment off-lock. Columns are *copied* out of
   // the immutable memtable: concurrent ReadColumn calls still see it.
@@ -496,12 +553,15 @@ void IngestEngine::DoFlushAndPublish() {
     specs[c].precision_digits = schema_[c].precision_digits;
     specs[c].values = imm->column(c);
   }
-  Status st = RetryIo(opt_, retry_cancel_, "lsm: flush of segment " + SegPrefix(seg_id),
-                      [&]() -> Status {
+  Status st = RetryIo(opt_, retry_cancel_,
+                      "lsm: flush of segment " + SegPrefix(seg_id), dir_,
+                      stats_.retry_attempts, [&]() -> Status {
                         FCB_FAIL_RETURN("lsm.flush", SegPrefix(seg_id));
                         return ColumnStore::Write(SegPrefix(seg_id), specs,
                                                   opt_.page_size);
                       });
+  const uint64_t seg_bytes =
+      st.ok() && obs::Enabled() ? SegmentDiskBytes(dir_, seg_id) : 0;
 
   {
     std::lock_guard<std::mutex> g(mu_);
@@ -509,7 +569,8 @@ void IngestEngine::DoFlushAndPublish() {
       const uint64_t prev_floor = wal_floor_;
       segments_.push_back(SegmentInfo{seg_id, imm->rows(), 0});
       wal_floor_ = floor;
-      st = RetryIo(opt_, retry_cancel_, "lsm: manifest publish",
+      st = RetryIo(opt_, retry_cancel_, "lsm: manifest publish", dir_,
+                   stats_.retry_attempts,
                    [&] { return PersistManifestLocked(); });
       if (!st.ok()) {
         // Publish failed: disk still holds the previous manifest; put
@@ -531,6 +592,39 @@ void IngestEngine::DoFlushAndPublish() {
     }
     flush_inflight_ = false;
     cv_.notify_all();
+  }
+
+  if (st.ok()) {
+    stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+    stats_.flush_raw_bytes.fetch_add(raw_bytes, std::memory_order_relaxed);
+    stats_.flush_segment_bytes.fetch_add(seg_bytes,
+                                         std::memory_order_relaxed);
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("lsm.flush.count")->Increment();
+    reg.GetCounter("lsm.flush.raw_bytes")->Add(raw_bytes);
+    reg.GetCounter("lsm.flush.segment_bytes")->Add(seg_bytes);
+    reg.GetHistogram("lsm.flush_nanos", obs::Unit::kNanos)
+        ->Record(flush_timer.ElapsedNanos());
+    if (seg_bytes > 0) {
+      // Compression ratio x100 (log-bucketed): 250 = 2.5x.
+      reg.GetHistogram("lsm.flush.cr_pct", obs::Unit::kCount)
+          ->Record(raw_bytes * 100 / seg_bytes);
+    }
+    obs::EventTrace::Global().Record(obs::EventKind::kFlushPublish, dir_,
+                                     seg_id, seg_bytes);
+  } else {
+    stats_.flush_failures.fetch_add(1, std::memory_order_relaxed);
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("lsm.flush.failures")->Increment();
+    reg.GetCounter("lsm.degraded.count")->Increment();
+    obs::EventTrace::Global().Record(obs::EventKind::kFlushFail, dir_,
+                                     seg_id, raw_bytes);
+    obs::EventTrace::Global().Record(obs::EventKind::kDegraded, dir_,
+                                     seg_id, 0);
+    // The flight recorder's reason to exist: the moments leading up to
+    // a shard going read-only, dumped at the moment it happens.
+    obs::EventTrace::Global().DumpToStderr(
+        "engine degraded to read-only: " + dir_);
   }
 
   if (st.ok()) {
@@ -684,8 +778,9 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
     }
   }
   if (st.ok()) {
-    st = RetryIo(opt_, retry_cancel_, "lsm: compaction write of " + SegPrefix(new_id),
-                 [&]() -> Status {
+    st = RetryIo(opt_, retry_cancel_,
+                 "lsm: compaction write of " + SegPrefix(new_id), dir_,
+                 stats_.retry_attempts, [&]() -> Status {
                    FCB_FAIL_RETURN("lsm.compact", SegPrefix(new_id));
                    return ColumnStore::Write(SegPrefix(new_id), specs,
                                              opt_.page_size);
@@ -711,6 +806,7 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
       segments_.insert(segments_.begin() + idx,
                        SegmentInfo{new_id, total_rows, max_level + 1});
       st = RetryIo(opt_, retry_cancel_, "lsm: compaction manifest publish",
+                   dir_, stats_.retry_attempts,
                    [&] { return PersistManifestLocked(); });
       if (!st.ok()) {
         segments_.erase(segments_.begin() + idx);
@@ -737,7 +833,21 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
   cv_.notify_all();
   lk.unlock();
 
+  uint64_t in_bytes = 0, out_bytes = 0;
+  if (obs::Enabled()) {
+    for (const auto& s : run) in_bytes += SegmentDiskBytes(dir_, s.id);
+    out_bytes = SegmentDiskBytes(dir_, new_id);
+  }
   for (const auto& s : run) ColumnStore::Drop(SegPrefix(s.id));
+  stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+  stats_.compact_in_bytes.fetch_add(in_bytes, std::memory_order_relaxed);
+  stats_.compact_out_bytes.fetch_add(out_bytes, std::memory_order_relaxed);
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("lsm.compact.count")->Increment();
+  reg.GetCounter("lsm.compact.in_bytes")->Add(in_bytes);
+  reg.GetCounter("lsm.compact.out_bytes")->Add(out_bytes);
+  obs::EventTrace::Global().Record(obs::EventKind::kCompact, dir_, run_len,
+                                   total_rows);
   *merged = true;
   return Status::OK();
 }
@@ -851,7 +961,9 @@ Result<ScrubReport> IngestEngine::Scrub() {
     q.rows = backup.rows;
     q.reason = v.message().substr(0, kMaxReasonBytes);
     quarantined_.push_back(q);
-    Status ps = RetryIo(opt_, retry_cancel_, "lsm: quarantine manifest publish",
+    Status ps = RetryIo(opt_, retry_cancel_,
+                        "lsm: quarantine manifest publish", dir_,
+                        stats_.retry_attempts,
                         [&] { return PersistManifestLocked(); });
     if (!ps.ok()) {
       // Roll back to the on-disk manifest's view; the corruption is
@@ -863,6 +975,12 @@ Result<ScrubReport> IngestEngine::Scrub() {
     report.quarantined_ids.push_back(q.id);
     report.notes.push_back("segment " + std::to_string(q.id) +
                            " quarantined: " + q.reason);
+    stats_.quarantined_segments.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Global()
+        .GetCounter("lsm.scrub.quarantined")
+        ->Increment();
+    obs::EventTrace::Global().Record(obs::EventKind::kQuarantine, dir_,
+                                     q.id, q.rows);
     to_move.push_back(q.id);
   }
 
@@ -917,6 +1035,12 @@ Result<ScrubReport> IngestEngine::Scrub() {
                              (mk.ok() ? names.status() : mk).message());
     }
   }
+  obs::MetricsRegistry::Global()
+      .GetCounter("lsm.scrub.segments_checked")
+      ->Add(report.segments_checked);
+  obs::EventTrace::Global().Record(obs::EventKind::kScrub, dir_,
+                                   report.segments_checked,
+                                   report.quarantined_ids.size());
   return report;
 }
 
@@ -947,6 +1071,30 @@ uint64_t IngestEngine::rows() const {
 std::vector<SegmentInfo> IngestEngine::segments() const {
   std::lock_guard<std::mutex> g(mu_);
   return segments_;
+}
+
+EngineStats IngestEngine::stats() const {
+  EngineStats s;
+  s.append_batches = stats_.append_batches.load(std::memory_order_relaxed);
+  s.append_rows = stats_.append_rows.load(std::memory_order_relaxed);
+  s.append_nanos = stats_.append_nanos.load(std::memory_order_relaxed);
+  s.flushes = stats_.flushes.load(std::memory_order_relaxed);
+  s.flush_failures =
+      stats_.flush_failures.load(std::memory_order_relaxed);
+  s.flush_raw_bytes =
+      stats_.flush_raw_bytes.load(std::memory_order_relaxed);
+  s.flush_segment_bytes =
+      stats_.flush_segment_bytes.load(std::memory_order_relaxed);
+  s.compactions = stats_.compactions.load(std::memory_order_relaxed);
+  s.compact_in_bytes =
+      stats_.compact_in_bytes.load(std::memory_order_relaxed);
+  s.compact_out_bytes =
+      stats_.compact_out_bytes.load(std::memory_order_relaxed);
+  s.retry_attempts =
+      stats_.retry_attempts.load(std::memory_order_relaxed);
+  s.quarantined_segments =
+      stats_.quarantined_segments.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace fcbench::db::lsm

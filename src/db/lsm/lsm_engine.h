@@ -1,6 +1,7 @@
 #ifndef FCBENCH_DB_LSM_LSM_ENGINE_H_
 #define FCBENCH_DB_LSM_LSM_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -94,6 +95,27 @@ struct QuarantinedSegment {
   uint64_t rows = 0;
   /// First verification failure, as recorded in the engine manifest.
   std::string reason;
+};
+
+/// Point-in-time per-engine activity totals (IngestEngine::stats()).
+/// Unlike the process-wide obs::MetricsRegistry — which aggregates over
+/// every engine in the process — these are scoped to one engine, so the
+/// sharded engine's Health() can attribute work to individual shards.
+struct EngineStats {
+  uint64_t append_batches = 0;
+  uint64_t append_rows = 0;
+  /// Wall nanos spent inside AppendBatch (WAL commit + memtable insert).
+  uint64_t append_nanos = 0;
+  uint64_t flushes = 0;          // published segments
+  uint64_t flush_failures = 0;   // flushes that exhausted retries
+  uint64_t flush_raw_bytes = 0;  // memtable bytes entering flushes
+  uint64_t flush_segment_bytes = 0;  // compressed bytes leaving flushes
+  uint64_t compactions = 0;
+  uint64_t compact_in_bytes = 0;
+  uint64_t compact_out_bytes = 0;
+  /// RetryIo attempts beyond the first try (i.e. actual retries).
+  uint64_t retry_attempts = 0;
+  uint64_t quarantined_segments = 0;
 };
 
 /// Result of one IngestEngine::Scrub pass.
@@ -231,6 +253,10 @@ class IngestEngine {
   /// Total rows across segments and memtables.
   uint64_t rows() const;
 
+  /// This engine's activity totals since Open (lock-free reads of
+  /// relaxed atomics; safe concurrent with any operation).
+  EngineStats stats() const;
+
   /// Bytes buffered in the live + immutable memtables (not yet published
   /// to a segment). The unit the sharded engine's admission budget
   /// charges.
@@ -292,6 +318,24 @@ class IngestEngine {
   Status bg_error_;
   /// Wakes RetryIo backoff waits on Close/InterruptRetries.
   mutable RetryCancel retry_cancel_;
+
+  /// Relaxed-atomic cells behind stats(); written from append, flush,
+  /// compaction, retry and scrub paths without taking mu_.
+  struct StatsCells {
+    std::atomic<uint64_t> append_batches{0};
+    std::atomic<uint64_t> append_rows{0};
+    std::atomic<uint64_t> append_nanos{0};
+    std::atomic<uint64_t> flushes{0};
+    std::atomic<uint64_t> flush_failures{0};
+    std::atomic<uint64_t> flush_raw_bytes{0};
+    std::atomic<uint64_t> flush_segment_bytes{0};
+    std::atomic<uint64_t> compactions{0};
+    std::atomic<uint64_t> compact_in_bytes{0};
+    std::atomic<uint64_t> compact_out_bytes{0};
+    std::atomic<uint64_t> retry_attempts{0};
+    std::atomic<uint64_t> quarantined_segments{0};
+  };
+  StatsCells stats_;
 };
 
 }  // namespace fcbench::db::lsm

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
 #include "util/bitio.h"
 #include "util/failpoint.h"
 #include "util/hash.h"
+#include "util/timer.h"
 
 namespace fcbench::db::lsm {
 
@@ -86,6 +89,23 @@ Status Wal::Append(uint8_t type, ByteSpan payload) {
 Status Wal::Commit() {
   if (!poison_.ok()) return poison_;
   if (pending_.empty()) return Status::OK();
+  static obs::Counter* commits =
+      obs::MetricsRegistry::Global().GetCounter("wal.commits");
+  static obs::Histogram* batch_bytes =
+      obs::MetricsRegistry::Global().GetHistogram("wal.batch_bytes",
+                                                  obs::Unit::kBytes);
+  static obs::Histogram* commit_nanos =
+      obs::MetricsRegistry::Global().GetHistogram("wal.commit_nanos",
+                                                  obs::Unit::kNanos);
+  static obs::Histogram* sync_nanos =
+      obs::MetricsRegistry::Global().GetHistogram("wal.sync_nanos",
+                                                  obs::Unit::kNanos);
+  static obs::Counter* commit_bytes =
+      obs::MetricsRegistry::Global().GetCounter("wal.commit_bytes");
+  commits->Increment();
+  batch_bytes->Record(pending_.size());
+  commit_bytes->Add(pending_.size());
+  Timer commit_timer;
   Status st = EnsureSegment();
   uint64_t good = 0;
   if (st.ok()) {
@@ -96,7 +116,11 @@ Status Wal::Commit() {
                                 fs::JoinPath(dir_, SegmentFileName(seq_)));
     }
     if (st.ok()) st = file_.Append(pending_.span());
-    if (st.ok() && options_.sync_on_commit) st = file_.Sync();
+    if (st.ok() && options_.sync_on_commit) {
+      Timer sync_timer;
+      st = file_.Sync();
+      sync_nanos->Record(sync_timer.ElapsedNanos());
+    }
   }
   // The batch is consumed on success and REJECTED on failure: a caller
   // whose commit errored was never acknowledged, so its records must not
@@ -119,6 +143,7 @@ Status Wal::Commit() {
     }
     return st;
   }
+  commit_nanos->Record(commit_timer.ElapsedNanos());
   if (file_.offset() >= options_.segment_bytes) {
     // A failed rotation must not fail the commit — the batch is already
     // durable. segment_open_ is false after any failure here, so the
@@ -131,6 +156,9 @@ Status Wal::Commit() {
 
 Status Wal::Rotate() {
   FCB_FAIL_RETURN("wal.rotate", fs::JoinPath(dir_, SegmentFileName(seq_)));
+  obs::MetricsRegistry::Global().GetCounter("wal.rotations")->Increment();
+  obs::EventTrace::Global().Record(obs::EventKind::kWalRotate, dir_,
+                                   seq_ + 1, file_.offset());
   Status st;
   if (segment_open_) {
     if (options_.sync_on_commit) st = file_.Sync();

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/failpoint.h"
 #include "util/fs.h"
+#include "util/timer.h"
 
 namespace fcbench::db::shard {
 namespace {
@@ -180,9 +182,26 @@ Status ShardedIngestEngine::AppendImpl(
                                 ShardDirName(k) + ")");
     }
   }
-  FCB_RETURN_IF_ERROR(deadline != nullptr
-                          ? budget_->AcquireUntil(k, bytes, *deadline)
-                          : budget_->TryAcquire(k, bytes));
+  static obs::Counter* admitted =
+      obs::MetricsRegistry::Global().GetCounter("shard.append.admitted");
+  static obs::Counter* rejected =
+      obs::MetricsRegistry::Global().GetCounter("shard.append.rejected");
+  static obs::Histogram* wait_nanos =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "shard.admission.wait_nanos", obs::Unit::kNanos);
+  Status admit;
+  if (deadline != nullptr) {
+    Timer wait_timer;
+    admit = budget_->AcquireUntil(k, bytes, *deadline);
+    wait_nanos->Record(wait_timer.ElapsedNanos());
+  } else {
+    admit = budget_->TryAcquire(k, bytes);
+  }
+  if (!admit.ok()) {
+    rejected->Increment();
+    return admit;
+  }
+  admitted->Increment();
 
   Status st;
   {
@@ -291,6 +310,7 @@ HealthReport ShardedIngestEngine::Health() const {
     h.rows = shards_[k]->rows();
     h.buffered_bytes = shards_[k]->buffered_bytes();
     h.quarantined_segments = shards_[k]->quarantined().size();
+    h.stats = shards_[k]->stats();
     if (h.read_only) ++report.degraded_shards;
     report.shards.push_back(std::move(h));
   }

@@ -49,6 +49,9 @@ struct ShardHealth {
   /// holds of its admission quota.
   uint64_t buffered_bytes = 0;
   uint64_t quarantined_segments = 0;
+  /// The shard's per-engine activity totals (appends, flushes,
+  /// compactions, retries) — IngestEngine::stats() at report time.
+  lsm::EngineStats stats;
 };
 
 struct HealthReport {

@@ -1,0 +1,96 @@
+#ifndef FCBENCH_OBS_EVENT_TRACE_H_
+#define FCBENCH_OBS_EVENT_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fcbench::obs {
+
+/// Lifecycle moments the storage stack records into the flight recorder.
+enum class EventKind : uint8_t {
+  kWalRotate = 0,
+  kFlushStart,
+  kFlushPublish,
+  kFlushFail,
+  kCompact,
+  kRetryBackoff,
+  kDegraded,
+  kQuarantine,
+  kScrub,
+};
+const char* EventKindName(EventKind kind);
+
+/// One recorded event. `nanos` is steady-clock time since process
+/// start, `seq` the global 1-based record order, `a`/`b` kind-specific
+/// payload (bytes, attempt number, segment id...), `detail` a truncated
+/// NUL-terminated label (usually the engine dir).
+struct TraceEvent {
+  uint64_t seq = 0;
+  uint64_t nanos = 0;
+  EventKind kind = EventKind::kWalRotate;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  char detail[48] = {};
+
+  std::string ToString() const;
+};
+
+/// Fixed-capacity lock-free flight recorder for structured lifecycle
+/// events (WAL rotate, flush start/publish, compaction, retry/backoff,
+/// read-only degradation, quarantine). Writers claim a ticket with one
+/// fetch_add and fill a slot with relaxed atomic stores — no locks, no
+/// allocation — so it is safe from any engine thread including failure
+/// paths. The ring wraps: only the last `capacity` events are kept,
+/// which is exactly what a post-mortem wants ("the seconds before the
+/// shard degraded"). Readers validate each slot with a begin/end stamp
+/// pair and skip slots being overwritten mid-read.
+///
+/// The engine auto-dumps the tail to stderr when it degrades to
+/// read-only (DumpToStderr); FCBENCH_TRACE_DUMP=0 suppresses that.
+class EventTrace {
+ public:
+  static constexpr size_t kDetailBytes = sizeof(TraceEvent::detail);
+
+  /// `capacity` is rounded up to a power of two, minimum 8.
+  explicit EventTrace(size_t capacity = 1024);
+  ~EventTrace();
+  EventTrace(const EventTrace&) = delete;
+  EventTrace& operator=(const EventTrace&) = delete;
+
+  /// The process-wide recorder (leaked singleton).
+  static EventTrace& Global();
+
+  void Record(EventKind kind, std::string_view detail, uint64_t a = 0,
+              uint64_t b = 0);
+
+  /// The retained events, oldest first. Slots a writer is mid-filling
+  /// are skipped, so under concurrency the result can briefly be shorter
+  /// than min(recorded, capacity).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// The last `max_events` events as text, oldest first.
+  std::string Dump(size_t max_events = 32) const;
+
+  /// Dump() to stderr prefixed with `why`; no-op when
+  /// FCBENCH_TRACE_DUMP=0. The degradation hook.
+  void DumpToStderr(const std::string& why, size_t max_events = 32) const;
+
+  /// Total events ever recorded (not capped by capacity).
+  uint64_t recorded() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot;
+
+  const size_t capacity_;  // power of two
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> head_{0};  // tickets handed out
+};
+
+}  // namespace fcbench::obs
+
+#endif  // FCBENCH_OBS_EVENT_TRACE_H_

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "core/compressor.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
 
 namespace fcbench::select {
 
@@ -30,6 +32,18 @@ size_t ResolveProbeBytes(size_t configured) {
 constexpr size_t kSampleSegments = 8;
 /// Byte budget of the feature sample (runs on every chunk, warm or not).
 constexpr size_t kFeatureBytes = 4 << 10;
+
+/// Per-method selection counter, with the method name folded into the
+/// registry's [a-z0-9_] segment grammar ("par-spdp" -> "par_spdp").
+obs::Counter* ChosenCounter(const std::string& method) {
+  std::string name = "select.chosen.";
+  for (char c : method) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    name.push_back(ok ? c : '_');
+  }
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
 
 size_t ResolveCacheCapacity(int configured) {
   if (configured >= 0) return static_cast<size_t>(configured);
@@ -191,8 +205,14 @@ Decision Selector::Choose(ByteSpan chunk, const DataDesc& desc) {
   d.features = ExtractChunkFeatures(feature_sample, desc.dtype);
   d.signature = d.features.Signature(desc.dtype);
 
+  static obs::Counter* hit_counter =
+      obs::MetricsRegistry::Global().GetCounter("select.cache.hits");
+  static obs::Counter* miss_counter =
+      obs::MetricsRegistry::Global().GetCounter("select.cache.misses");
   if (auto it = cache_.find(d.signature); it != cache_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_counter->Increment();
+    ChosenCounter(it->second)->Increment();
     d.method = it->second;
     d.cache_hit = true;
     std::ostringstream os;
@@ -200,7 +220,9 @@ Decision Selector::Choose(ByteSpan chunk, const DataDesc& desc) {
     d.rationale = os.str();
     return d;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_counter->Increment();
+  Timer probe_timer;
 
   Buffer probe_storage;
   ByteSpan sample = scatter(config_.probe_bytes, &probe_storage);
@@ -272,6 +294,11 @@ Decision Selector::Choose(ByteSpan chunk, const DataDesc& desc) {
        << d.candidates.size() << " probes";
     d.rationale = os.str();
   }
+  static obs::Histogram* probe_hist =
+      obs::MetricsRegistry::Global().GetHistogram("select.choose_nanos",
+                                                  obs::Unit::kNanos);
+  probe_hist->Record(probe_timer.ElapsedNanos());
+  ChosenCounter(d.method)->Increment();
   CacheInsert(d.signature, d.method);
   return d;
 }

@@ -1,6 +1,7 @@
 #ifndef FCBENCH_SELECT_SELECTOR_H_
 #define FCBENCH_SELECT_SELECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -93,8 +94,10 @@ class Selector {
   Decision Choose(ByteSpan chunk, const DataDesc& desc);
 
   const Config& config() const { return config_; }
-  size_t cache_hits() const { return hits_; }
-  size_t cache_misses() const { return misses_; }
+  size_t cache_hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t cache_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
   /// The lossless CPU methods the paper evaluates, minus buff (its
   /// lossy-without-precision exception must not hide behind "auto") —
@@ -114,8 +117,12 @@ class Selector {
   Config config_;
   std::unordered_map<uint64_t, std::string> cache_;
   std::deque<uint64_t> cache_order_;  // FIFO eviction
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  /// Atomic although the instance contract is one-writer: with caching
+  /// disabled (cache_capacity=0) Choose mutates nothing but these, so
+  /// sharing a probe-only Selector across threads is race-free, and the
+  /// accessors can always be read concurrently with a Choose in flight.
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
 };
 
 }  // namespace fcbench::select

@@ -3,13 +3,36 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace fcbench {
+
+namespace {
+
+/// Admission occupancy gauges. Gauges are last-writer-wins, so with
+/// several MemoryBudget instances alive (tests) they track the most
+/// recently active one — in production there is one budget per process.
+obs::Gauge* UsedGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("budget.used_bytes");
+  return g;
+}
+
+obs::Gauge* TotalGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("budget.total_bytes");
+  return g;
+}
+
+}  // namespace
 
 MemoryBudget::MemoryBudget(size_t num_shards, size_t total_bytes,
                            size_t quota_bytes)
     : total_(std::max<size_t>(1, total_bytes)),
       quota_(std::max<size_t>(1, quota_bytes)),
-      shard_used_(std::max<size_t>(1, num_shards), 0) {}
+      shard_used_(std::max<size_t>(1, num_shards), 0) {
+  TotalGauge()->Set(static_cast<int64_t>(total_));
+}
 
 bool MemoryBudget::FitsLocked(size_t shard, size_t bytes) const {
   return shard_used_[shard] + bytes <= quota_ && used_ + bytes <= total_;
@@ -37,6 +60,7 @@ Status MemoryBudget::TryAcquire(size_t shard, size_t bytes) {
   }
   shard_used_[shard] += bytes;
   used_ += bytes;
+  UsedGauge()->Set(static_cast<int64_t>(used_));
   return Status::OK();
 }
 
@@ -60,6 +84,7 @@ Status MemoryBudget::AcquireUntil(
   if (!ok) return OverloadedLocked(shard, bytes, "deadline exceeded");
   shard_used_[shard] += bytes;
   used_ += bytes;
+  UsedGauge()->Set(static_cast<int64_t>(used_));
   return Status::OK();
 }
 
@@ -70,6 +95,7 @@ void MemoryBudget::Release(size_t shard, size_t bytes) {
     const size_t take = std::min(bytes, shard_used_[shard]);
     shard_used_[shard] -= take;
     used_ -= std::min(take, used_);
+    UsedGauge()->Set(static_cast<int64_t>(used_));
   }
   cv_.notify_all();
 }
@@ -79,6 +105,7 @@ void MemoryBudget::ChargeUnchecked(size_t shard, size_t bytes) {
   if (shard >= shard_used_.size()) return;
   shard_used_[shard] += bytes;
   used_ += bytes;
+  UsedGauge()->Set(static_cast<int64_t>(used_));
 }
 
 void MemoryBudget::Shutdown() {

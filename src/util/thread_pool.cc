@@ -7,9 +7,20 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "util/timer.h"
+
 namespace fcbench {
 
 namespace {
+
+/// Submitted-but-not-yet-started tasks across ALL pools (there is
+/// normally exactly one, ThreadPool::Shared()).
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("pool.queue_depth");
+  return g;
+}
 
 /// Set for the lifetime of a worker thread; lets ParallelFor detect that
 /// it is being called from inside one of its own pool's tasks (nested
@@ -83,6 +94,10 @@ void ThreadPool::Submit(std::function<void()> task) {
     tasks_.push(std::move(task));
     ++inflight_;
   }
+  static obs::Counter* submitted =
+      obs::MetricsRegistry::Global().GetCounter("pool.tasks");
+  submitted->Increment();
+  QueueDepthGauge()->Add(1);
   cv_task_.notify_one();
 }
 
@@ -174,6 +189,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
       }
     }
     if (task) {
+      QueueDepthGauge()->Add(-1);
       RunTask(task);
     } else {
       std::unique_lock<std::mutex> lock(state->mu);
@@ -211,6 +227,11 @@ void ThreadPool::ParallelRanges(
 }
 
 void ThreadPool::RunTask(const std::function<void()>& task) {
+  static obs::Histogram* task_nanos =
+      obs::MetricsRegistry::Global().GetHistogram("pool.task_nanos",
+                                                  obs::Unit::kNanos);
+  const bool timed = obs::Enabled();
+  Timer timer;
   try {
     task();
   } catch (...) {
@@ -223,6 +244,7 @@ void ThreadPool::RunTask(const std::function<void()>& task) {
                  "be no-throw (see util/thread_pool.h)\n");
     std::terminate();
   }
+  if (timed) task_nanos->Record(timer.ElapsedNanos());
   {
     std::unique_lock<std::mutex> lock(mu_);
     --inflight_;
@@ -241,6 +263,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    QueueDepthGauge()->Add(-1);
     RunTask(task);
   }
 }

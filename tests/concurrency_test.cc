@@ -18,6 +18,7 @@
 #include "core/compressor.h"
 #include "db/lsm/lsm_engine.h"
 #include "select/auto_compressor.h"
+#include "select/selector.h"
 #include "util/fs.h"
 #include "util/rng.h"
 
@@ -118,6 +119,45 @@ TEST(ConcurrencyTest, SharedInstanceSequentialReuse) {
           << name << " state leaked between calls (count=" << count << ")";
     }
   }
+}
+
+TEST(ConcurrencyTest, ProbeOnlySelectorSharedAcrossThreadsCountsExactly) {
+  // Pin for the hits_/misses_ counter data race: the fields are atomic,
+  // so with the decision cache disabled (cache_capacity = 0) Choose
+  // mutates nothing but those counters and a probe-only Selector is
+  // safe to share across threads (the documented exception to the
+  // one-writer contract in selector.h). The TSan lane proves the
+  // absence of the race; the exact-count assertion catches lost
+  // updates even in plain builds.
+  RegisterAllCompressors();
+  select::Selector::Config cfg;
+  cfg.cache_capacity = 0;
+  select::Selector sel(cfg);
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 8;  // each Choose probes every candidate
+  std::vector<std::thread> threads;
+  std::atomic<size_t> decided{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sel, &decided, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        const auto input = ThreadData(t * 131 + i, 2048);
+        DataDesc desc;
+        desc.dtype = DType::kFloat64;
+        desc.extent = {input.size() / sizeof(double)};
+        auto d = sel.Choose(ByteSpan(input.data(), input.size()), desc);
+        if (!d.method.empty()) decided.fetch_add(1);
+        // Concurrent reads of the counters race a Choose in flight.
+        (void)sel.cache_hits();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(decided.load(), kThreads * kPerThread);
+  // Every call missed (no cache), and no increment was lost.
+  EXPECT_EQ(sel.cache_hits(), 0u);
+  EXPECT_EQ(sel.cache_misses(), kThreads * kPerThread);
 }
 
 // --- chunk-parallel adapter -------------------------------------------------

@@ -25,6 +25,7 @@
 #include "db/lsm/lsm_engine.h"
 #include "db/lsm/wal.h"
 #include "db/shard/sharded_engine.h"
+#include "obs/event_trace.h"
 #include "util/failpoint.h"
 #include "util/fs.h"
 
@@ -440,6 +441,63 @@ TEST_F(EngineFaultTest, ExhaustedFlushRetriesDegradeToReadOnly) {
 
   engr.value().reset();
   CheckRecovery(dir_, acked);
+}
+
+TEST_F(EngineFaultTest, DegradationLeavesRetryAndDegradedEventsInTrace) {
+  // The flight recorder is the post-mortem artifact: after an injected
+  // fault exhausts the flush retries and degrades the engine, the tail
+  // of the global EventTrace must tell the story — the retry/backoff
+  // attempts and the degradation itself, attributed to the failed
+  // engine's dir.
+  auto opts = FaultOptions();
+  opts.memtable_bytes = 1 << 20;
+  auto engr = IngestEngine::Open(dir_, FaultSchema(), opts);
+  ASSERT_TRUE(engr.ok());
+  auto& eng = engr.value();
+  ASSERT_TRUE(eng->AppendBatch(BatchRows(0, 20)).ok());
+
+  const uint64_t before = obs::EventTrace::Global().recorded();
+  ASSERT_TRUE(fail::FailPoints::Set("lsm.flush", "err").ok());
+  EXPECT_FALSE(eng->Flush().ok());
+  fail::FailPoints::ClearAll();
+  ASSERT_TRUE(eng->read_only());
+
+  // Only events recorded by THIS degradation (seq > before): the trace
+  // is process-global and other suites in the binary share it.
+  bool saw_retry = false, saw_fail = false, saw_degraded = false;
+  uint64_t retry_seq = 0, degraded_seq = 0;
+  for (const obs::TraceEvent& e : obs::EventTrace::Global().Snapshot()) {
+    if (e.seq <= before) continue;
+    if (std::string(e.detail).find(dir_.substr(0, 40)) == std::string::npos) {
+      continue;  // not ours
+    }
+    switch (e.kind) {
+      case obs::EventKind::kRetryBackoff:
+        saw_retry = true;
+        retry_seq = e.seq;
+        EXPECT_GE(e.a, 1u);  // a = attempt index
+        break;
+      case obs::EventKind::kFlushFail:
+        saw_fail = true;
+        break;
+      case obs::EventKind::kDegraded:
+        saw_degraded = true;
+        degraded_seq = e.seq;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_TRUE(saw_fail);
+  EXPECT_TRUE(saw_degraded);
+  EXPECT_LT(retry_seq, degraded_seq);  // backoff precedes degradation
+
+  // The rendered dump (what the degradation hook printed to stderr)
+  // names both phases.
+  const std::string dump = obs::EventTrace::Global().Dump();
+  EXPECT_NE(dump.find("retry-backoff"), std::string::npos);
+  EXPECT_NE(dump.find("degraded"), std::string::npos);
 }
 
 TEST_F(EngineFaultTest, WalPoisonedWhenHealFails) {

@@ -1,0 +1,469 @@
+// Tests for the observability subsystem (src/obs/): metric primitives
+// under concurrency, histogram bucket math and snapshot algebra, the
+// registry's conflict detection and self-check, the exposition formats,
+// and the EventTrace ring's wraparound and seqlock behavior.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_trace.h"
+#include "obs/metrics.h"
+
+namespace fcbench::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+TEST(Counter, StartsAtZeroAndAdds) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  // Torture: sharded cells must never lose an increment, whatever the
+  // interleaving. 8 threads x 100k.
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Counter, SnapshotConcurrentWithWriters) {
+  // value() must be safe (and monotone) while writers are mid-Add.
+  Counter c;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c.Add(1);
+    });
+  }
+  uint64_t prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t now = c.value();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+}
+
+TEST(Counter, DisabledCollectionDropsAdds) {
+  Counter c;
+  SetEnabled(false);
+  c.Add(100);
+  SetEnabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  c.Add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+TEST(Gauge, SetAddAndNegativeValues) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.value(), -15);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  // bucket = bit_width(v): 0 -> 0, 1 -> 1, [2,3] -> 2, [4,7] -> 3, ...
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(7), 3u);
+  EXPECT_EQ(Histogram::BucketOf(8), 4u);
+  EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), 64u);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), UINT64_MAX);
+
+  // Every value lands in the bucket whose range contains it.
+  for (uint64_t v : {0ull, 1ull, 5ull, 1000ull, 123456789ull}) {
+    const size_t b = Histogram::BucketOf(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(b));
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(b - 1));
+    }
+  }
+}
+
+TEST(Histogram, RecordCountSumMaxPercentiles) {
+  Histogram h(Unit::kNanos);
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  HistogramSnapshot s = h.SnapshotNow();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 1000u * 1001u / 2);
+  EXPECT_EQ(s.max, 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+  // Percentiles are bucket upper bounds: conservative (>= the true
+  // value) and monotone in p.
+  EXPECT_GE(s.p50(), 500.0);
+  EXPECT_LE(s.p50(), 1023.0);
+  EXPECT_LE(s.p50(), s.p90());
+  EXPECT_LE(s.p90(), s.p99());
+  EXPECT_LE(s.p99(), static_cast<double>(s.max));
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero) {
+  Histogram h(Unit::kBytes);
+  EXPECT_EQ(h.SnapshotNow().Percentile(99), 0.0);
+}
+
+TEST(Histogram, PercentileClampedByObservedMax) {
+  // A single sample of 5 sits in bucket [4,7]; the reported p99 must be
+  // the observed max (5), not the bucket edge (7).
+  Histogram h(Unit::kNanos);
+  h.Record(5);
+  EXPECT_DOUBLE_EQ(h.SnapshotNow().p99(), 5.0);
+}
+
+TEST(Histogram, MergeAddsAndDeltaSubtracts) {
+  Histogram h(Unit::kBytes);
+  h.Record(10);
+  h.Record(100);
+  HistogramSnapshot early = h.SnapshotNow();
+  h.Record(1000);
+  h.Record(10000);
+  HistogramSnapshot late = h.SnapshotNow();
+
+  HistogramSnapshot delta = late.Delta(early);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_EQ(delta.sum, 11000u);
+  // The two new samples live in buckets bit_width(1000)=10 and
+  // bit_width(10000)=14.
+  EXPECT_EQ(delta.buckets[10], 1u);
+  EXPECT_EQ(delta.buckets[14], 1u);
+  EXPECT_EQ(delta.buckets[4], 0u);  // 10's bucket subtracted away
+
+  HistogramSnapshot merged = early;
+  merged.Merge(delta);
+  EXPECT_EQ(merged.count, late.count);
+  EXPECT_EQ(merged.sum, late.sum);
+  for (size_t b = 0; b < merged.buckets.size(); ++b) {
+    EXPECT_EQ(merged.buckets[b], late.buckets[b]) << "bucket " << b;
+  }
+}
+
+TEST(Histogram, ConcurrentRecordWithSnapshots) {
+  // Writers record while a reader snapshots; every snapshot must be
+  // internally sane and the final tallies exact.
+  Histogram h(Unit::kNanos);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    HistogramSnapshot s = h.SnapshotNow();
+    EXPECT_LE(s.max, static_cast<uint64_t>(kPerThread));
+    EXPECT_GE(s.Percentile(100), 0.0);
+  }
+  for (auto& t : writers) t.join();
+  HistogramSnapshot s = h.SnapshotNow();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.max, static_cast<uint64_t>(kPerThread));
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, SameNameReturnsSamePointer) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("test.counter");
+  Counter* b = reg.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(reg.SelfCheck().ok());
+}
+
+TEST(MetricsRegistry, ValidNameGrammar) {
+  EXPECT_TRUE(MetricsRegistry::ValidName("wal.commit_nanos"));
+  EXPECT_TRUE(MetricsRegistry::ValidName("a.b.c_9"));
+  EXPECT_FALSE(MetricsRegistry::ValidName(""));
+  EXPECT_FALSE(MetricsRegistry::ValidName("nodots"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("Upper.case"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("tra-iling.dash"));
+  EXPECT_FALSE(MetricsRegistry::ValidName(".leading.dot"));
+  EXPECT_FALSE(MetricsRegistry::ValidName("trailing.dot."));
+  EXPECT_FALSE(MetricsRegistry::ValidName("dou..ble"));
+  EXPECT_FALSE(MetricsRegistry::ValidName(std::string(200, 'a') + ".b"));
+}
+
+TEST(MetricsRegistry, KindConflictIsRecordedButUsable) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test.conflicted");
+  Gauge* g = reg.GetGauge("test.conflicted");  // same name, other kind
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(g, nullptr);  // orphan metric: still safe to write through
+  g->Set(7);
+  const Status st = reg.SelfCheck();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("test.conflicted"), std::string::npos);
+  // The conflicting gauge is NOT in snapshots (it was never registered).
+  EXPECT_EQ(reg.Snapshot().FindGauge("test.conflicted"), nullptr);
+}
+
+TEST(MetricsRegistry, HistogramUnitConflictIsRecorded) {
+  MetricsRegistry reg;
+  Histogram* a = reg.GetHistogram("test.hist", Unit::kNanos);
+  Histogram* b = reg.GetHistogram("test.hist", Unit::kBytes);
+  EXPECT_EQ(a, b);  // first registration wins, same pointer
+  EXPECT_EQ(b->unit(), Unit::kNanos);
+  EXPECT_FALSE(reg.SelfCheck().ok());
+}
+
+TEST(MetricsRegistry, BadNameIsRecorded) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("Bad Name!");
+  ASSERT_NE(c, nullptr);
+  c->Increment();  // still usable
+  EXPECT_FALSE(reg.SelfCheck().ok());
+}
+
+TEST(MetricsRegistry, GlobalSelfCheckPasses) {
+  // The naming-convention / duplicate-registration assertion the unit
+  // lane runs: every call site in the tree must register well-formed,
+  // kind-consistent names. Touch a few real ones first.
+  MetricsRegistry::Global().GetCounter("wal.commits")->Add(0);
+  MetricsRegistry::Global()
+      .GetHistogram("lsm.append_nanos", Unit::kNanos)
+      ->Record(0);
+  EXPECT_TRUE(MetricsRegistry::Global().SelfCheck().ok())
+      << MetricsRegistry::Global().SelfCheck().message();
+}
+
+TEST(MetricsRegistry, SnapshotIsAlphabeticalAndComplete) {
+  MetricsRegistry reg;
+  reg.GetCounter("test.b")->Add(2);
+  reg.GetCounter("test.a")->Add(1);
+  reg.GetGauge("test.g")->Set(-3);
+  reg.GetHistogram("test.h", Unit::kBytes)->Record(512);
+  MetricsSnapshot s = reg.Snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].name, "test.a");
+  EXPECT_EQ(s.counters[1].name, "test.b");
+  ASSERT_NE(s.FindCounter("test.b"), nullptr);
+  EXPECT_EQ(s.FindCounter("test.b")->value, 2u);
+  ASSERT_NE(s.FindGauge("test.g"), nullptr);
+  EXPECT_EQ(s.FindGauge("test.g")->value, -3);
+  ASSERT_NE(s.FindHistogram("test.h"), nullptr);
+  EXPECT_EQ(s.FindHistogram("test.h")->count, 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentGetAndSnapshot) {
+  // Registration, writes and snapshots race; pointers must stay stable
+  // and nothing may crash or deadlock.
+  MetricsRegistry reg;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg, t] {
+      const std::string name = "test.c" + std::to_string(t % 2);
+      for (int i = 0; i < 20000; ++i) reg.GetCounter(name)->Increment();
+    });
+  }
+  threads.emplace_back([&reg, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)reg.Snapshot();
+    }
+  });
+  for (size_t t = 0; t + 1 < threads.size(); ++t) threads[t].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads.back().join();
+  MetricsSnapshot s = reg.Snapshot();
+  uint64_t total = 0;
+  for (const auto& c : s.counters) total += c.value;
+  EXPECT_EQ(total, 4u * 20000u);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition formats
+// ---------------------------------------------------------------------------
+
+TEST(Exposition, JsonContainsAllKindsAndEscapes) {
+  MetricsRegistry reg;
+  reg.GetCounter("test.requests")->Add(3);
+  reg.GetGauge("test.depth")->Set(5);
+  reg.GetHistogram("test.lat", Unit::kNanos)->Record(100);
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"test.requests\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.depth\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.lat\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"unit\": \"nanos\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+}
+
+TEST(Exposition, PrometheusFormat) {
+  MetricsRegistry reg;
+  reg.GetCounter("test.requests")->Add(3);
+  reg.GetGauge("test.depth")->Set(-2);
+  Histogram* h = reg.GetHistogram("test.lat", Unit::kNanos);
+  h->Record(5);   // bucket le=7
+  h->Record(100); // bucket le=127
+  const std::string prom = reg.Snapshot().ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE fcbench_test_requests counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("fcbench_test_requests 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE fcbench_test_depth gauge"), std::string::npos);
+  EXPECT_NE(prom.find("fcbench_test_depth -2"), std::string::npos);
+  // Cumulative buckets: le="7" holds 1, le="127" holds 2, +Inf holds 2.
+  EXPECT_NE(prom.find("fcbench_test_lat_bucket{le=\"7\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("fcbench_test_lat_bucket{le=\"127\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fcbench_test_lat_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fcbench_test_lat_sum 105"), std::string::npos);
+  EXPECT_NE(prom.find("fcbench_test_lat_count 2"), std::string::npos);
+}
+
+TEST(Exposition, TextSmoke) {
+  MetricsRegistry reg;
+  reg.GetCounter("test.requests")->Add(1);
+  const std::string text = reg.Snapshot().ToText();
+  EXPECT_NE(text.find("test.requests = 1"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// EventTrace
+// ---------------------------------------------------------------------------
+
+TEST(EventTrace, RecordsInOrderWithPayload) {
+  EventTrace trace(16);
+  trace.Record(EventKind::kFlushStart, "dir-a", 1, 100);
+  trace.Record(EventKind::kFlushPublish, "dir-a", 1, 42);
+  std::vector<TraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kFlushStart);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[0].b, 100u);
+  EXPECT_STREQ(events[0].detail, "dir-a");
+  EXPECT_EQ(events[1].kind, EventKind::kFlushPublish);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_LE(events[0].nanos, events[1].nanos);
+}
+
+TEST(EventTrace, WraparoundKeepsOnlyTheTail) {
+  EventTrace trace(8);  // minimum capacity
+  ASSERT_EQ(trace.capacity(), 8u);
+  for (uint64_t i = 1; i <= 20; ++i) {
+    trace.Record(EventKind::kCompact, "d", i, 0);
+  }
+  EXPECT_EQ(trace.recorded(), 20u);
+  std::vector<TraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The retained window is exactly the last capacity() events, in order.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 13 + i);
+    EXPECT_EQ(events[i].a, 13 + i);
+  }
+}
+
+TEST(EventTrace, DetailIsTruncatedNotOverflowed) {
+  EventTrace trace(8);
+  const std::string longdetail(200, 'x');
+  trace.Record(EventKind::kDegraded, longdetail, 0, 0);
+  std::vector<TraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].detail),
+            std::string(EventTrace::kDetailBytes - 1, 'x'));
+}
+
+TEST(EventTrace, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventTrace(1).capacity(), 8u);
+  EXPECT_EQ(EventTrace(9).capacity(), 16u);
+  EXPECT_EQ(EventTrace(1024).capacity(), 1024u);
+}
+
+TEST(EventTrace, DumpRendersTheTail) {
+  EventTrace trace(16);
+  trace.Record(EventKind::kWalRotate, "shard-3", 7, 0);
+  trace.Record(EventKind::kDegraded, "shard-3", 0, 0);
+  const std::string dump = trace.Dump(/*max_events=*/1);
+  EXPECT_EQ(dump.find("wal-rotate"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("degraded"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("shard-3"), std::string::npos) << dump;
+}
+
+TEST(EventTrace, ConcurrentRecordNeverTearsAnEvent) {
+  // Many writers lapping a tiny ring while a reader snapshots: every
+  // event a snapshot returns must be internally consistent (the seqlock
+  // stamps filter torn slots).
+  EventTrace trace(16);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const TraceEvent& e : trace.Snapshot()) {
+        // Writer t records a = t, b = t * 1000 + i, detail = "w<t>".
+        const uint64_t t = e.a;
+        ASSERT_LT(t, static_cast<uint64_t>(kThreads));
+        ASSERT_EQ(e.b / 1000000, t);
+        std::string want("w");
+        want += std::to_string(t);
+        ASSERT_EQ(std::string(e.detail), want);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&trace, t] {
+      std::string detail("w");
+      detail += std::to_string(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        trace.Record(EventKind::kRetryBackoff, detail,
+                     static_cast<uint64_t>(t),
+                     static_cast<uint64_t>(t) * 1000000 + i);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(trace.recorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace fcbench::obs
