@@ -29,6 +29,7 @@
 #include "bench_common.h"
 #include "db/lsm/lsm_engine.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/fs.h"
 #include "util/timer.h"
 
@@ -247,6 +248,37 @@ int main(int argc, char** argv) {
         on_best, off_best, overhead_pct,
         within ? "OK, budget 2%" : "EXCEEDED, budget 2%");
     json.Add("ingest-metrics-overhead", "sensor-rows", 0.0, on_best, off_best,
+             {{"overhead_pct", overhead_pct}, {"budget_pct", 2.0}});
+  }
+
+  // Trace-overhead check (acceptance: < 2% append-throughput regression
+  // with span tracing disabled — its steady state — versus sampled
+  // tracing at 1/64). The disabled side exercises the
+  // one-relaxed-load-per-span fast path that every production append
+  // pays; the sampled side bounds the cost of turning tracing on.
+  {
+    const int overhead_reps = std::max(repeats, 3);
+    double off_best = 0, sampled_best = 0;
+    // Interleaved A/B: machine-load drift during the measurement hits
+    // both sides equally instead of biasing whichever ran last.
+    for (int rep = 0; rep < overhead_reps; ++rep) {
+      obs::SetTraceSampling(0);
+      ModeResult off = RunMode("trace-off", nrows, kBatchRows, false);
+      if (off.ok) off_best = std::max(off_best, off.ct_gbps);
+      obs::SetTraceSampling(64, 1);
+      ModeResult on = RunMode("trace-sampled", nrows, kBatchRows, false);
+      if (on.ok) sampled_best = std::max(sampled_best, on.ct_gbps);
+    }
+    obs::SetTraceSampling(0);
+    const double overhead_pct =
+        off_best > 0 ? (off_best - sampled_best) / off_best * 100.0 : 0.0;
+    const bool within = overhead_pct < 2.0;
+    std::printf(
+        "trace overhead: sampled 1/64 %.3f GB/s vs disabled %.3f GB/s -> "
+        "%+.2f%% [%s]\n",
+        sampled_best, off_best, overhead_pct,
+        within ? "OK, budget 2%" : "EXCEEDED, budget 2%");
+    json.Add("trace-overhead", "sensor-rows", 0.0, sampled_best, off_best,
              {{"overhead_pct", overhead_pct}, {"budget_pct", 2.0}});
   }
 

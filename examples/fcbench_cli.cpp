@@ -9,9 +9,11 @@
 //   fcbench_cli gen        <dataset> <out.raw> [--bytes=N]
 //   fcbench_cli ingest     <dir> [--shards=N] [--series=N] [--rows=N]
 //                          [--quota-bytes=N] [--fsync] [--scrub]
-//                          [--stats-every=N]
+//                          [--stats-every=N] [--trace-out=FILE]
 //   fcbench_cli stats      [--format=text|json|prom] [--trace]
 //                          [--exercise]
+//   fcbench_cli trace      [--out=FILE] [--series=N] [--rows=N]
+//                          [--sample=N] [--seed=N]
 //
 // The method can be given positionally or as --method=<name>; the auto
 // selectors (auto, auto-speed, auto-ratio) pick a concrete method per
@@ -38,6 +40,7 @@
 #include "db/shard/sharded_engine.h"
 #include "obs/event_trace.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "select/selector.h"
 #include "util/bitio.h"
 #include "util/fs.h"
@@ -411,6 +414,14 @@ int CmdIngest(int argc, char** argv) {
   // view of the append/admission counters while the ingest runs.
   const uint64_t stats_every = std::strtoull(
       FlagValue(argc, argv, "stats-every", "0").c_str(), nullptr, 10);
+  // --trace-out exports the run's span trace as Chrome trace JSON
+  // (loadable in Perfetto / chrome://tracing). If sampling was not
+  // already requested via FCBENCH_TRACE_SAMPLE, every root is sampled
+  // so the exported file covers the whole run.
+  const std::string trace_out = FlagValue(argc, argv, "trace-out", "");
+  if (!trace_out.empty() && obs::TraceSampleN() == 0) {
+    obs::SetTraceSampling(1);
+  }
 
   std::vector<db::lsm::ColumnDef> schema(2);
   schema[0].name = "ts";
@@ -487,6 +498,111 @@ int CmdIngest(int argc, char** argv) {
     std::fprintf(stderr, "close: %s\n", st.ToString().c_str());
     return 1;
   }
+  if (!trace_out.empty()) {
+    auto& coll = obs::TraceCollector::Global();
+    const std::string json = coll.ToChromeJson();
+    Status wst = WriteFile(
+        trace_out, ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
+                            json.size()));
+    if (!wst.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", wst.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %llu spans recorded (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(coll.recorded()),
+                static_cast<unsigned long long>(coll.dropped()),
+                trace_out.c_str());
+  }
+  return 0;
+}
+
+/// Runs a small self-contained ingest+flush+scrub workload with span
+/// sampling forced on and prints (or writes) the Chrome trace JSON.
+/// The quickest way to see what the tracer records without standing up
+/// a real workload.
+int CmdTrace(int argc, char** argv) {
+  const std::string out_path = FlagValue(argc, argv, "out", "");
+  const uint64_t series =
+      std::strtoull(FlagValue(argc, argv, "series", "8").c_str(), nullptr, 10);
+  const uint64_t rows =
+      std::strtoull(FlagValue(argc, argv, "rows", "512").c_str(), nullptr, 10);
+  const uint64_t sample =
+      std::strtoull(FlagValue(argc, argv, "sample", "1").c_str(), nullptr, 10);
+  const uint64_t seed =
+      std::strtoull(FlagValue(argc, argv, "seed", "1").c_str(), nullptr, 10);
+  obs::SetTraceSampling(sample == 0 ? 1 : sample, seed);
+
+  const std::string dir =
+      "/tmp/fcbench_trace_demo_" + std::to_string(::getpid());
+  {
+    db::shard::ShardOptions opt;
+    opt.num_shards = 2;
+    std::vector<db::lsm::ColumnDef> schema(2);
+    schema[0].name = "ts";
+    schema[1].name = "value";
+    auto opened = db::shard::ShardedIngestEngine::Open(dir, schema, opt);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    auto& eng = *opened.value();
+    std::vector<double> batch(rows * 2);
+    for (uint64_t s = 0; s < series; ++s) {
+      for (uint64_t i = 0; i < rows; ++i) {
+        batch[i * 2 + 0] = static_cast<double>(i);
+        batch[i * 2 + 1] = static_cast<double>(s) * 1000.0 + i;
+      }
+      Status st = eng.AppendBatch(s, batch);
+      if (!st.ok()) {
+        std::fprintf(stderr, "append: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    Status st = eng.Flush();
+    if (st.ok()) {
+      (void)eng.Scrub();
+      st = eng.Close();
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  // Best-effort cleanup of the throwaway store (shard subdirectories).
+  if (auto names = fs::ListDir(dir); names.ok()) {
+    for (const auto& n : names.value()) {
+      const std::string sub = fs::JoinPath(dir, n);
+      if (auto inner = fs::ListDir(sub); inner.ok()) {
+        for (const auto& f : inner.value()) {
+          (void)fs::RemoveFile(fs::JoinPath(sub, f));
+        }
+        ::rmdir(sub.c_str());
+      } else {
+        (void)fs::RemoveFile(sub);
+      }
+    }
+  }
+  ::rmdir(dir.c_str());
+
+  auto& coll = obs::TraceCollector::Global();
+  const std::string json = coll.ToChromeJson();
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    Status wst = WriteFile(
+        out_path, ByteSpan(reinterpret_cast<const uint8_t*>(json.data()),
+                           json.size()));
+    if (!wst.ok()) {
+      std::fprintf(stderr, "%s\n", wst.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "trace: %llu spans recorded (%llu dropped) -> %s\n",
+                 static_cast<unsigned long long>(coll.recorded()),
+                 static_cast<unsigned long long>(coll.dropped()),
+                 out_path.c_str());
+  }
   return 0;
 }
 
@@ -497,7 +613,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "fcbench_cli — FCBench compressor toolbox\n"
                  "commands: list | compress | decompress | bench | gen | "
-                 "ingest | stats\n");
+                 "ingest | stats | trace\n");
     return 2;
   }
   std::string cmd = argv[1];
@@ -508,6 +624,7 @@ int main(int argc, char** argv) {
   if (cmd == "bench") return CmdBench(argc, argv);
   if (cmd == "gen") return CmdGen(argc, argv);
   if (cmd == "ingest") return CmdIngest(argc, argv);
+  if (cmd == "trace") return CmdTrace(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

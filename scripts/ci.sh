@@ -79,6 +79,18 @@ if [[ "${1:-}" == "--perf-smoke" ]]; then
   FCBENCH_BENCH_REPEATS=${FCBENCH_BENCH_REPEATS:-3} \
     "${BUILD_DIR}/bench/micro_ingest" --json=BENCH_ingest_throughput.json \
     --metrics-json=BENCH_metrics_snapshot.json
+  # Acceptance gate: span tracing must stay within its 2% append budget
+  # (the trace-overhead row compares disabled tracing against 1/64
+  # sampling; the disabled side is one relaxed load per span site).
+  python3 - BENCH_ingest_throughput.json <<'PYEOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+row = next(r for r in rows if r["method"] == "trace-overhead")
+pct, budget = row["overhead_pct"], row["budget_pct"]
+print(f"perf-smoke: trace overhead {pct:+.2f}% (budget {budget}%)")
+if pct >= budget:
+    sys.exit(f"perf-smoke: trace overhead {pct:.2f}% exceeds {budget}% budget")
+PYEOF
   # Sharded-ingest scaling curve: 64k series over 8 shards on 1/2/4/8
   # writer threads, with and without per-shard fsync. Flat on single-core
   # runners; the artifact still records the admission+routing overhead.
@@ -99,8 +111,20 @@ if [[ "${1:-}" == "--faults" ]]; then
   export FCBENCH_FAULT_SEED=${FCBENCH_FAULT_SEED:-42}
   # Pass 1: Release — the sweep at full speed.
   cmake -B "${BUILD_DIR}-faults" -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build "${BUILD_DIR}-faults" -j "${JOBS}" --target fault_injection_test
+  cmake --build "${BUILD_DIR}-faults" -j "${JOBS}" --target fault_injection_test fcbench_cli
   ctest --test-dir "${BUILD_DIR}-faults" --output-on-failure -j "${JOBS}" -L fault
+  # Sample trace artifact: a fully-sampled ingest with one-shot faults
+  # injected at retry-protected sites (the ladder absorbs them, so the
+  # run succeeds while the timeline shows errno-tagged io.attempt retry
+  # spans), exported as Chrome trace JSON (Perfetto-loadable) and
+  # uploaded by the workflow. The python check proves the file parses
+  # before it is called an artifact.
+  FCBENCH_FAILPOINTS="lsm.flush=err@1" \
+    "${BUILD_DIR}-faults/examples/fcbench_cli" trace \
+    --out="${BUILD_DIR}-faults/fault_trace.json" --series=16 --rows=1024
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "${BUILD_DIR}-faults/fault_trace.json"
+  echo "fault-lane trace artifact: ${BUILD_DIR}-faults/fault_trace.json"
   # Pass 2: ASan+UBSan — every injected error path runs under the
   # sanitizers, so a leak or UB on a rarely-taken failure branch fails
   # the lane instead of shipping.
@@ -121,7 +145,8 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B "${BUILD_DIR}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
   cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}" \
-    --target concurrency_test lsm_test shard_test fault_injection_test
+    --target concurrency_test lsm_test shard_test fault_injection_test \
+    obs_test
   # -L takes a regex: one lane covers the thread-heavy suites AND the
   # fault suites (their injected error paths take rarely-exercised locks).
   ctest --test-dir "${BUILD_DIR}-tsan" --output-on-failure -j "${JOBS}" \

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/bitio.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
@@ -90,6 +91,7 @@ Status ChunkedCompressor::Compress(ByteSpan input, const DataDesc& desc,
   const uint64_t nchunks =
       input.empty() ? 0 : (input.size() + chunk_raw - 1) / chunk_raw;
 
+  obs::ScopedSpan span("chunked.compress", nchunks, input.size());
   std::vector<Buffer> parts(nchunks);
   std::vector<Status> stats(nchunks);
   ThreadPool::Shared().ParallelFor(

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/span.h"
 #include "select/auto_compressor.h"
 #include "select/selector.h"
 #include "util/bitio.h"
@@ -115,6 +116,7 @@ Status ColumnStore::Write(const std::string& prefix,
   ThreadPool::Shared().ParallelFor(
       columns.size(),
       [&](size_t i) {
+        obs::ScopedSpan col_span("segment.column", i, rows);
         const fail::Decision inj = FCB_FAILPOINT("segment.column");
         if (inj.fire) {
           stats[i] = fail::InjectedStatus("segment.column", inj,
@@ -158,6 +160,7 @@ Status ColumnStore::Write(const std::string& prefix,
       {/*grain=*/1});
   for (const auto& st : stats) FCB_RETURN_IF_ERROR(st);
 
+  obs::ScopedSpan publish_span("segment.publish", columns.size(), rows);
   FCB_FAIL_RETURN("segment.publish", ManifestPath(prefix));
   Buffer manifest;
   PutFixed(&manifest, kManifestMagic);

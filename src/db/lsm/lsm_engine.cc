@@ -1,6 +1,7 @@
 #include "db/lsm/lsm_engine.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -8,6 +9,7 @@
 #include "db/column_store.h"
 #include "obs/event_trace.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/bitio.h"
 #include "util/failpoint.h"
 #include "util/hash.h"
@@ -32,6 +34,35 @@ constexpr const char* kQuarantineDir = "quarantine";
 constexpr size_t kMaxCompactRun = 32;
 /// Quarantine reasons are capped going into the manifest.
 constexpr size_t kMaxReasonBytes = 256;
+
+/// The errno a Status code corresponds to on the failure-injection and
+/// real IO paths (failpoints inject EIO and ENOSPC); tags RetryIo
+/// attempt spans so a trace shows WHY each attempt failed.
+int StatusErrno(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIoError:
+      return EIO;
+    case StatusCode::kResourceExhausted:
+      return ENOSPC;
+    case StatusCode::kCorruption:
+      return EBADMSG;
+    default:
+      return 0;
+  }
+}
+
+const char* StatusErrnoName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIoError:
+      return "EIO";
+    case StatusCode::kResourceExhausted:
+      return "ENOSPC";
+    case StatusCode::kCorruption:
+      return "EBADMSG";
+    default:
+      return "err";
+  }
+}
 
 struct ManifestState {
   std::vector<ColumnDef> schema;
@@ -86,7 +117,19 @@ Status RetryIo(const EngineOptions& opt, RetryCancel& cancel,
                           (st.ok() ? "" : ": " + st.message()));
       }
     }
-    st = op();
+    {
+      // Every attempt is a child span; a failed one carries the errno
+      // the failpoint (or real IO) produced, so a sampled trace shows
+      // the whole retry ladder with per-attempt causes and the backoff
+      // gaps between them.
+      obs::ScopedSpan attempt("io.attempt", static_cast<uint64_t>(i + 1));
+      st = op();
+      if (!st.ok()) {
+        attempt.SetArgs(static_cast<uint64_t>(i + 1),
+                        static_cast<uint64_t>(StatusErrno(st.code())));
+        attempt.SetTag(StatusErrnoName(st.code()));
+      }
+    }
     if (st.ok() || st.code() != StatusCode::kIoError) return st;
   }
   return Status(st.code(), what + " failed after " +
@@ -442,6 +485,8 @@ Status IngestEngine::AppendBatch(const std::vector<double>& rows_row_major) {
   }
   const size_t nrows = rows_row_major.size() / ncols;
   if (nrows == 0) return Status::OK();
+  obs::ScopedSpan span("lsm.append", nrows,
+                       rows_row_major.size() * sizeof(double));
   Timer append_timer;
 
   std::unique_lock<std::mutex> lk(mu_);
@@ -461,7 +506,10 @@ Status IngestEngine::AppendBatch(const std::vector<double>& rows_row_major) {
   // engine stays writable for later batches. After this point the batch
   // survives a crash.
   FCB_RETURN_IF_ERROR(wal_->Commit());
-  mem_->AppendRows(rows_row_major.data(), nrows);
+  {
+    obs::ScopedSpan mem_span("lsm.memtable", nrows);
+    mem_->AppendRows(rows_row_major.data(), nrows);
+  }
 
   if (mem_->bytes() >= opt_.memtable_bytes) {
     bool scheduled = false;
@@ -537,6 +585,11 @@ void IngestEngine::DoFlushAndPublish() {
     floor = imm_floor_;
   }
   const uint64_t raw_bytes = imm->bytes();
+  // Nests under the triggering append when that append's trace context
+  // rode along with the pool task (ThreadPool::Submit), or directly
+  // under the caller for inline flushes.
+  obs::ScopedSpan span("lsm.flush", seg_id, raw_bytes);
+  obs::ScopedWatch watch("lsm.flush", dir_, opt_.watchdog_budget_ms);
   obs::EventTrace::Global().Record(obs::EventKind::kFlushStart, dir_,
                                    seg_id, raw_bytes);
   Timer flush_timer;
@@ -569,6 +622,7 @@ void IngestEngine::DoFlushAndPublish() {
       const uint64_t prev_floor = wal_floor_;
       segments_.push_back(SegmentInfo{seg_id, imm->rows(), 0});
       wal_floor_ = floor;
+      obs::ScopedSpan manifest_span("lsm.manifest", seg_id);
       st = RetryIo(opt_, retry_cancel_, "lsm: manifest publish", dir_,
                    stats_.retry_attempts,
                    [&] { return PersistManifestLocked(); });
@@ -716,6 +770,7 @@ Status IngestEngine::Compact() {
 
 Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
   *merged = false;
+  obs::ScopedSpan span("lsm.compact");
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] { return !compact_inflight_; });
   if (closed_) return Status::InvalidArgument("lsm: engine is closed");
@@ -749,6 +804,8 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
   compact_inflight_ = true;
   lk.unlock();
 
+  obs::ScopedWatch watch("lsm.compact", dir_, opt_.watchdog_budget_ms);
+
   // Merge off-lock: concatenate each column across the run and
   // re-compress cold data with the ratio-biased selector.
   uint64_t total_rows = 0;
@@ -757,6 +814,7 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
     total_rows += s.rows;
     max_level = std::max(max_level, s.level);
   }
+  span.SetArgs(run_len, total_rows);
   std::vector<ColumnStore::ColumnSpec> specs(schema_.size());
   Status st;
   for (size_t c = 0; c < schema_.size() && st.ok(); ++c) {
@@ -766,6 +824,7 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
     specs[c].precision_digits = schema_[c].precision_digits;
     specs[c].values.reserve(total_rows);
     for (const auto& s : run) {
+      obs::ScopedSpan read_span("segment.read", s.id, s.rows);
       auto r = ColumnStore::ReadRows(SegPrefix(s.id), schema_[c].name, 0,
                                      s.rows);
       if (!r.ok()) {
@@ -805,6 +864,7 @@ Status IngestEngine::CompactOnce(size_t min_run, bool* merged) {
                       segments_.begin() + idx + run_len);
       segments_.insert(segments_.begin() + idx,
                        SegmentInfo{new_id, total_rows, max_level + 1});
+      obs::ScopedSpan manifest_span("lsm.manifest", new_id);
       st = RetryIo(opt_, retry_cancel_, "lsm: compaction manifest publish",
                    dir_, stats_.retry_attempts,
                    [&] { return PersistManifestLocked(); });
@@ -857,6 +917,7 @@ Result<std::vector<double>> IngestEngine::ReadColumn(
   // Reads deliberately do NOT check bg_error_: a read-only engine keeps
   // serving everything acknowledged — published segments plus both
   // memtables (a kept imm_ after a failed flush is WAL-durable).
+  obs::ScopedSpan span("lsm.read");
   std::unique_lock<std::mutex> lk(mu_);
   size_t col = schema_.size();
   for (size_t c = 0; c < schema_.size(); ++c) {
@@ -879,6 +940,7 @@ Result<std::vector<double>> IngestEngine::ReadColumn(
   std::vector<double> out;
   Status st;
   for (const auto& s : segs) {
+    obs::ScopedSpan read_span("segment.read", s.id, s.rows);
     auto r = ColumnStore::ReadRows(SegPrefix(s.id), column, 0, s.rows);
     if (!r.ok()) {
       st = r.status();
@@ -905,6 +967,8 @@ Result<std::vector<double>> IngestEngine::ReadColumn(
 
 Result<ScrubReport> IngestEngine::Scrub() {
   ScrubReport report;
+  obs::ScopedSpan span("lsm.scrub");
+  obs::ScopedWatch watch("lsm.scrub", dir_, opt_.watchdog_budget_ms);
   std::unique_lock<std::mutex> lk(mu_);
   // Single-flight against flush and compaction so the segment set is
   // stable while its files are re-read.
@@ -922,6 +986,8 @@ Result<ScrubReport> IngestEngine::Scrub() {
   ThreadPool::Shared().ParallelFor(
       segs.size(),
       [&](size_t i) {
+        obs::ScopedSpan verify_span("segment.verify", segs[i].id,
+                                    segs[i].rows);
         verdicts[i] = ColumnStore::Verify(SegPrefix(segs[i].id));
       },
       {/*grain=*/1});

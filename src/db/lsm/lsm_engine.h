@@ -66,6 +66,12 @@ struct EngineOptions {
   /// bytes return to the pool; a failed flush (memtable retained,
   /// engine degraded) deliberately does NOT fire it.
   std::function<void(size_t bytes)> on_memtable_released;
+  /// Stall-watchdog budget for flush/compaction/scrub, in milliseconds:
+  /// an operation still running past this fires a `stall` event, the
+  /// obs.watchdog.stalls counter, and a stderr dump of open spans plus
+  /// the EventTrace tail. 0 = the FCBENCH_WATCHDOG_MS default (30 s);
+  /// negative disables the watchdog for this engine.
+  int64_t watchdog_budget_ms = 0;
 };
 
 /// Cancellation channel for RetryIo's exponential-backoff waits: Close()

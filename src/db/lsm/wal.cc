@@ -5,6 +5,7 @@
 
 #include "obs/event_trace.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/bitio.h"
 #include "util/failpoint.h"
 #include "util/hash.h"
@@ -105,6 +106,7 @@ Status Wal::Commit() {
   commits->Increment();
   batch_bytes->Record(pending_.size());
   commit_bytes->Add(pending_.size());
+  obs::ScopedSpan span("wal.commit", pending_.size());
   Timer commit_timer;
   Status st = EnsureSegment();
   uint64_t good = 0;
@@ -115,8 +117,12 @@ Status Wal::Commit() {
       st = fail::InjectedStatus("wal.append", inj,
                                 fs::JoinPath(dir_, SegmentFileName(seq_)));
     }
-    if (st.ok()) st = file_.Append(pending_.span());
+    if (st.ok()) {
+      obs::ScopedSpan append_span("wal.append", pending_.size());
+      st = file_.Append(pending_.span());
+    }
     if (st.ok() && options_.sync_on_commit) {
+      obs::ScopedSpan sync_span("wal.sync");
       Timer sync_timer;
       st = file_.Sync();
       sync_nanos->Record(sync_timer.ElapsedNanos());
@@ -155,6 +161,7 @@ Status Wal::Commit() {
 }
 
 Status Wal::Rotate() {
+  obs::ScopedSpan span("wal.rotate", seq_ + 1);
   FCB_FAIL_RETURN("wal.rotate", fs::JoinPath(dir_, SegmentFileName(seq_)));
   obs::MetricsRegistry::Global().GetCounter("wal.rotations")->Increment();
   obs::EventTrace::Global().Record(obs::EventKind::kWalRotate, dir_,

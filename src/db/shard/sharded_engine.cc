@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/failpoint.h"
 #include "util/fs.h"
 #include "util/timer.h"
@@ -168,8 +169,15 @@ Status ShardedIngestEngine::AppendImpl(
         " is not a non-zero multiple of " + std::to_string(ncols) +
         " columns");
   }
-  const size_t k = ShardOf(series_key);
-  FCB_FAIL_RETURN("shard.route", dir_);
+  obs::ScopedSpan span("shard.append", series_key,
+                       rows_row_major.size() / ncols);
+  size_t k;
+  {
+    obs::ScopedSpan route_span("shard.route", series_key);
+    k = ShardOf(series_key);
+    FCB_FAIL_RETURN("shard.route", dir_);
+  }
+  span.SetTag(ShardDirName(k).c_str());
 
   // Admission BEFORE the snapshot gate: a blocked appender must never
   // hold the gate shared, or it would stall snapshot reads for up to
@@ -190,12 +198,16 @@ Status ShardedIngestEngine::AppendImpl(
       obs::MetricsRegistry::Global().GetHistogram(
           "shard.admission.wait_nanos", obs::Unit::kNanos);
   Status admit;
-  if (deadline != nullptr) {
-    Timer wait_timer;
-    admit = budget_->AcquireUntil(k, bytes, *deadline);
-    wait_nanos->Record(wait_timer.ElapsedNanos());
-  } else {
-    admit = budget_->TryAcquire(k, bytes);
+  {
+    obs::ScopedSpan admit_span("shard.admission", k, bytes);
+    if (deadline != nullptr) {
+      Timer wait_timer;
+      admit = budget_->AcquireUntil(k, bytes, *deadline);
+      wait_nanos->Record(wait_timer.ElapsedNanos());
+    } else {
+      admit = budget_->TryAcquire(k, bytes);
+    }
+    if (!admit.ok()) admit_span.SetTag("rejected");
   }
   if (!admit.ok()) {
     rejected->Increment();
@@ -222,6 +234,7 @@ ShardedIngestEngine::SnapshotReadShards(const std::string& column) const {
   // Exclusive on the gate: no append is between WAL commit and memtable
   // insert while we look, so each shard's row count is a batch-aligned
   // cut, and all cuts are taken at the same instant.
+  obs::ScopedSpan span("shard.read", shards_.size());
   std::vector<uint64_t> cut(shards_.size(), 0);
   {
     std::unique_lock<std::shared_mutex> gate(snap_mu_);

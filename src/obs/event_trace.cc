@@ -1,25 +1,19 @@
 #include "obs/event_trace.h"
 
 #include <bit>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "obs/span.h"
 
 namespace fcbench::obs {
 
 namespace {
 
-/// Steady-clock nanos since the first call (process-start-relative, so
-/// dumps read as small offsets instead of raw clock epochs).
-uint64_t NowNanos() {
-  static const std::chrono::steady_clock::time_point start =
-      std::chrono::steady_clock::now();
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count());
-}
+/// Steady-clock nanos since process start: the span tracer's epoch, so
+/// ring dumps and span timelines use the same time axis.
+uint64_t NowNanos() { return MonotonicNanos(); }
 
 bool StderrDumpEnabled() {
   static const bool enabled = [] {
@@ -53,19 +47,27 @@ const char* EventKindName(EventKind kind) {
       return "quarantine";
     case EventKind::kScrub:
       return "scrub";
+    case EventKind::kStall:
+      return "stall";
   }
   return "unknown";
 }
 
 std::string TraceEvent::ToString() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "[%9.3f ms] #%llu %-13s a=%llu b=%llu %s",
                 static_cast<double>(nanos) / 1e6,
                 static_cast<unsigned long long>(seq), EventKindName(kind),
                 static_cast<unsigned long long>(a),
                 static_cast<unsigned long long>(b), detail);
-  return buf;
+  std::string out(buf);
+  if (trace_id != 0) {
+    std::snprintf(buf, sizeof(buf), " trace=%llx",
+                  static_cast<unsigned long long>(trace_id));
+    out += buf;
+  }
+  return out;
 }
 
 /// All fields atomic so concurrent write/read of a wrapping slot is a
@@ -79,6 +81,7 @@ struct EventTrace::Slot {
   std::atomic<uint64_t> a{0};
   std::atomic<uint64_t> b{0};
   std::atomic<uint64_t> kind{0};
+  std::atomic<uint64_t> trace_id{0};
   std::atomic<uint64_t> detail[kDetailWords];
 };
 
@@ -104,6 +107,8 @@ void EventTrace::Record(EventKind kind, std::string_view detail, uint64_t a,
   s.a.store(a, std::memory_order_relaxed);
   s.b.store(b, std::memory_order_relaxed);
   s.kind.store(static_cast<uint64_t>(kind), std::memory_order_relaxed);
+  // Correlate with any sampled span trace live on this thread.
+  s.trace_id.store(CurrentTraceContext().trace_id, std::memory_order_relaxed);
   uint64_t words[kDetailWords] = {};
   const size_t n = detail.size() < kDetailBytes - 1 ? detail.size()
                                                     : kDetailBytes - 1;
@@ -129,6 +134,7 @@ std::vector<TraceEvent> EventTrace::Snapshot() const {
     e.a = s.a.load(std::memory_order_relaxed);
     e.b = s.b.load(std::memory_order_relaxed);
     e.kind = static_cast<EventKind>(s.kind.load(std::memory_order_relaxed));
+    e.trace_id = s.trace_id.load(std::memory_order_relaxed);
     uint64_t words[kDetailWords];
     for (size_t w = 0; w < kDetailWords; ++w) {
       words[w] = s.detail[w].load(std::memory_order_relaxed);

@@ -21,19 +21,24 @@ enum class EventKind : uint8_t {
   kDegraded,
   kQuarantine,
   kScrub,
+  kStall,
 };
 const char* EventKindName(EventKind kind);
 
 /// One recorded event. `nanos` is steady-clock time since process
 /// start, `seq` the global 1-based record order, `a`/`b` kind-specific
 /// payload (bytes, attempt number, segment id...), `detail` a truncated
-/// NUL-terminated label (usually the engine dir).
+/// NUL-terminated label (usually the engine dir). `trace_id` is the
+/// sampled span trace active on the recording thread (0 when none):
+/// it travels out-of-band of the 47-char detail so a ring-tail dump can
+/// be correlated with the span timeline.
 struct TraceEvent {
   uint64_t seq = 0;
   uint64_t nanos = 0;
   EventKind kind = EventKind::kWalRotate;
   uint64_t a = 0;
   uint64_t b = 0;
+  uint64_t trace_id = 0;
   char detail[48] = {};
 
   std::string ToString() const;

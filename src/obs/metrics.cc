@@ -233,6 +233,7 @@ std::string MetricsSnapshot::ToPrometheus() const {
   char buf[160];
   for (const auto& c : counters) {
     const std::string n = PromName(c.name);
+    out += "# HELP " + n + " fcbench counter " + c.name + "\n";
     out += "# TYPE " + n + " counter\n";
     std::snprintf(buf, sizeof(buf), "%s %llu\n", n.c_str(),
                   static_cast<unsigned long long>(c.value));
@@ -240,6 +241,7 @@ std::string MetricsSnapshot::ToPrometheus() const {
   }
   for (const auto& g : gauges) {
     const std::string n = PromName(g.name);
+    out += "# HELP " + n + " fcbench gauge " + g.name + "\n";
     out += "# TYPE " + n + " gauge\n";
     std::snprintf(buf, sizeof(buf), "%s %lld\n", n.c_str(),
                   static_cast<long long>(g.value));
@@ -247,10 +249,20 @@ std::string MetricsSnapshot::ToPrometheus() const {
   }
   for (const auto& h : histograms) {
     const std::string n = PromName(h.name);
+    out += "# HELP " + n + " fcbench histogram " + h.name + " (" +
+           std::string(UnitName(h.unit)) + ")\n";
     out += "# TYPE " + n + " histogram\n";
-    uint64_t cum = 0;
+    // A contiguous cumulative chain from bucket 0 through the highest
+    // occupied bucket: scrapers need each le series to be monotone over
+    // time, and skipping empty buckets would make a bucket appear and
+    // disappear across scrapes as samples land. The tail above the
+    // observed max is summarized by +Inf.
+    size_t highest = 0;
     for (size_t b = 0; b < h.buckets.size(); ++b) {
-      if (h.buckets[b] == 0) continue;  // sparse: log buckets are mostly empty
+      if (h.buckets[b] != 0) highest = b;
+    }
+    uint64_t cum = 0;
+    for (size_t b = 0; b <= highest; ++b) {
       cum += h.buckets[b];
       std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%llu\"} %llu\n",
                     n.c_str(),

@@ -1,0 +1,212 @@
+#ifndef FCBENCH_OBS_SPAN_H_
+#define FCBENCH_OBS_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fcbench::obs {
+
+/// Request-scoped hierarchical span tracing for the storage stack. The
+/// same design discipline as metrics and failpoints: when tracing is off
+/// (the default) a ScopedSpan costs one relaxed atomic load and a
+/// branch; when on, spans are pushed onto a thread-local stack, stamped
+/// with steady-clock nanos, and — for sampled traces — drained from a
+/// bounded per-thread buffer into the process-wide TraceCollector with
+/// one fetch_add per batch (lock-free publish, fixed memory cap, drop
+/// counter).
+///
+/// Sampling is deterministic: FCBENCH_TRACE_SAMPLE=1/N (or just N)
+/// samples every Nth root span per thread, phase-shifted by a seeded
+/// hash of the thread index (FCBENCH_TRACE_SEED, default 1), so two
+/// runs of the same workload sample the same operations. A root span is
+/// a span opened with no enclosing span and no adopted context.
+///
+/// The slow-op log (FCBENCH_SLOW_OP_MS) piggybacks on the same stack:
+/// any span — sampled or not — whose duration crosses the threshold
+/// emits a one-line JSON record to stderr with its full span path.
+
+/// Steady-clock nanos since process start. Shared epoch with the
+/// EventTrace flight recorder so span timelines and ring dumps align.
+uint64_t MonotonicNanos();
+
+/// True when span tracking is on (sampling enabled OR a slow-op
+/// threshold set). One relaxed load; the ScopedSpan fast path.
+bool TracingActive();
+
+/// Sample 1 in `n` root spans (0 disables sampling; 1 samples all).
+/// Overrides FCBENCH_TRACE_SAMPLE. `seed` shifts the per-thread phase.
+void SetTraceSampling(uint64_t n, uint64_t seed = 1);
+uint64_t TraceSampleN();
+
+/// Emit a slow-op JSON line for any span at or over `ms` (0 disables).
+/// Overrides FCBENCH_SLOW_OP_MS.
+void SetSlowOpThresholdMs(uint64_t ms);
+uint64_t SlowOpThresholdMs();
+
+/// One completed span. Ids are process-unique and nonzero for sampled
+/// spans; `parent_id` is 0 for a trace root. `tid` is a small
+/// per-thread index (also the Chrome-trace tid).
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  uint64_t start_nanos = 0;
+  uint64_t dur_nanos = 0;
+  uint32_t tid = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  char name[24] = {};
+  char tag[16] = {};
+};
+
+/// The (trace id, innermost open span id) pair of the calling thread;
+/// both zero when no sampled trace is active. Capture at task-submit
+/// time and adopt on the worker (ScopedTraceContext) so background work
+/// nests under its trigger.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+};
+TraceContext CurrentTraceContext();
+
+/// Adopts a captured TraceContext on the current thread: spans opened
+/// while alive record into that trace, parented under ctx.parent_span.
+/// No-op when the context is empty or the thread is already inside a
+/// span stack (the ParallelFor caller participating in its own batch).
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  bool adopted_ = false;
+};
+
+/// RAII span. `name` must have static storage duration (string
+/// literal): the open-span stack stores the pointer, not a copy, so the
+/// watchdog can dump live stacks from another thread.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, uint64_t a = 0, uint64_t b = 0);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Update the kind-specific payload before the span closes.
+  void SetArgs(uint64_t a, uint64_t b);
+  /// Short label (truncated to 15 chars), e.g. the errno of a failed
+  /// IO attempt. Copied.
+  void SetTag(const char* tag);
+  /// True when this span is part of a sampled trace (will be published).
+  bool recording() const { return frame_ >= 0 && recording_; }
+
+ private:
+  int8_t frame_ = -1;  // index into the thread's stack; -1 = not pushed
+  bool recording_ = false;
+};
+
+/// Process-wide ring of completed sampled spans. Same slot discipline
+/// as EventTrace: writers reserve tickets with one fetch_add (one per
+/// drained batch, not per span) and fill all-atomic slots guarded by
+/// begin/end stamps; the ring wraps, keeping the newest `capacity`
+/// spans, and dropped() counts what wrapping discarded. Fixed memory:
+/// capacity * sizeof(slot), allocated once.
+class TraceCollector {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 64.
+  explicit TraceCollector(size_t capacity = 8192);
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// The process-wide collector (leaked singleton). Capacity from
+  /// FCBENCH_TRACE_CAP (spans, default 8192).
+  static TraceCollector& Global();
+
+  /// Publish `n` completed spans with one ticket reservation.
+  void PublishBatch(const SpanRecord* recs, size_t n);
+
+  /// The retained spans, oldest first. Torn slots are skipped.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Chrome-trace / Perfetto-loadable JSON: {"traceEvents": [...]} with
+  /// "ph":"X" complete events (ts/dur in microseconds). Load at
+  /// https://ui.perfetto.dev or chrome://tracing. Nesting on a track is
+  /// by time containment; cross-thread causality travels in
+  /// args.trace/args.parent.
+  std::string ToChromeJson() const;
+
+  uint64_t recorded() const;
+  /// Spans lost to ring wraparound (recorded - capacity, floored at 0).
+  uint64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot;
+
+  const size_t capacity_;  // power of two
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> head_{0};  // tickets handed out
+};
+
+/// Every thread's currently-open span stack as text (one line per
+/// thread with open spans). Best-effort: stacks are read with relaxed
+/// atomics while their owners keep running.
+std::string DumpOpenSpans();
+
+/// Deadline watchdog for long-running storage operations. One lazily
+/// started (and leaked) thread sleeps until the earliest armed
+/// deadline; an operation still armed past its budget fires exactly
+/// once: a `stall` EventTrace event, the obs.watchdog.stalls counter,
+/// and a stderr dump of the open span stacks plus the EventTrace tail.
+class Watchdog {
+ public:
+  static Watchdog& Global();
+
+  /// FCBENCH_WATCHDOG_MS (default 30000; 0 disables all default-budget
+  /// watches).
+  static int64_t DefaultBudgetMs();
+
+  /// Registers an operation. `what` must be a string literal;
+  /// `budget_ms` 0 means DefaultBudgetMs(), negative disables. Returns
+  /// a handle for Disarm (0 when disabled).
+  uint64_t Arm(const char* what, const std::string& detail,
+               int64_t budget_ms = 0);
+  void Disarm(uint64_t handle);
+
+  /// Total stall firings since process start (test hook; independent of
+  /// the metrics-enabled flag).
+  uint64_t stalls_fired() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Watchdog();
+  struct Impl;
+
+  std::atomic<uint64_t> stalls_{0};
+  Impl* const impl_;  // leaked with the singleton
+};
+
+/// RAII Arm/Disarm.
+class ScopedWatch {
+ public:
+  ScopedWatch(const char* what, const std::string& detail,
+              int64_t budget_ms = 0)
+      : id_(Watchdog::Global().Arm(what, detail, budget_ms)) {}
+  ~ScopedWatch() { Watchdog::Global().Disarm(id_); }
+  ScopedWatch(const ScopedWatch&) = delete;
+  ScopedWatch& operator=(const ScopedWatch&) = delete;
+
+ private:
+  uint64_t id_;
+};
+
+}  // namespace fcbench::obs
+
+#endif  // FCBENCH_OBS_SPAN_H_

@@ -6,6 +6,7 @@
 
 #include "core/compressor.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/timer.h"
 
 namespace fcbench::select {
@@ -169,6 +170,7 @@ void Selector::CacheInsert(uint64_t signature, const std::string& method) {
 }
 
 Decision Selector::Choose(ByteSpan chunk, const DataDesc& desc) {
+  obs::ScopedSpan span("select.choose", chunk.size());
   const size_t esize = DTypeSize(desc.dtype);
   // Samples are assembled from evenly spaced segments across the whole
   // chunk rather than a prefix: non-stationary chunks (a sparse field's
@@ -210,6 +212,7 @@ Decision Selector::Choose(ByteSpan chunk, const DataDesc& desc) {
   static obs::Counter* miss_counter =
       obs::MetricsRegistry::Global().GetCounter("select.cache.misses");
   if (auto it = cache_.find(d.signature); it != cache_.end()) {
+    span.SetTag("cache-hit");
     hits_.fetch_add(1, std::memory_order_relaxed);
     hit_counter->Increment();
     ChosenCounter(it->second)->Increment();
@@ -220,6 +223,7 @@ Decision Selector::Choose(ByteSpan chunk, const DataDesc& desc) {
     d.rationale = os.str();
     return d;
   }
+  span.SetTag("probe");
   misses_.fetch_add(1, std::memory_order_relaxed);
   miss_counter->Increment();
   Timer probe_timer;

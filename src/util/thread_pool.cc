@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/timer.h"
 
 namespace fcbench {
@@ -89,6 +90,18 @@ int ThreadPool::ResolveThreads(int configured) {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Carry the submitter's trace context into the task so background
+  // work (a scheduled flush, ParallelFor helpers) records spans nested
+  // under the operation that triggered it. Free when tracing is off:
+  // CurrentTraceContext is one relaxed load, and the wrapper only
+  // exists while a sampled trace is live.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.trace_id != 0) {
+    task = [ctx, inner = std::move(task)] {
+      obs::ScopedTraceContext adopt(ctx);
+      inner();
+    };
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     tasks_.push(std::move(task));

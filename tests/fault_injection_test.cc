@@ -26,6 +26,7 @@
 #include "db/lsm/wal.h"
 #include "db/shard/sharded_engine.h"
 #include "obs/event_trace.h"
+#include "obs/span.h"
 #include "util/failpoint.h"
 #include "util/fs.h"
 
@@ -982,6 +983,47 @@ TEST_F(EngineFaultTest, ProbabilisticChaosNeverLosesAckedData) {
     ASSERT_NO_FATAL_FAILURE(CheckRecovery(run_dir, acked));
     RemoveTree(run_dir);
   }
+}
+
+TEST_F(EngineFaultTest, InjectedFlushStallTripsWatchdogExactlyOnce) {
+  // A sticky lsm.flush fault plus a long retry backoff turns the flush
+  // into a stall the watchdog must catch: with a 5 ms budget and a
+  // ~60 ms retry ladder (2 attempts x 30 ms backoff) the deadline
+  // passes mid-flush. The stall must fire exactly once — the flush,
+  // compaction and scrub watches all share the dog, and a retry ladder
+  // must not refire per attempt — and leave a `stall` event in the
+  // flight recorder attributed to this engine's dir.
+  auto opts = FaultOptions();
+  opts.memtable_bytes = 1 << 20;
+  opts.io_retry_backoff_ms = 30;
+  opts.watchdog_budget_ms = 5;
+  auto engr = IngestEngine::Open(dir_, FaultSchema(), opts);
+  ASSERT_TRUE(engr.ok());
+  auto& eng = engr.value();
+  ASSERT_TRUE(eng->AppendBatch(BatchRows(0, 20)).ok());
+
+  const uint64_t stalls_before = obs::Watchdog::Global().stalls_fired();
+  const uint64_t events_before = obs::EventTrace::Global().recorded();
+  ASSERT_TRUE(fail::FailPoints::Set("lsm.flush", "err").ok());
+  Status st = eng->Flush();
+  EXPECT_FALSE(st.ok());
+  fail::FailPoints::ClearAll();
+
+  EXPECT_EQ(obs::Watchdog::Global().stalls_fired(), stalls_before + 1);
+  bool saw_stall = false;
+  for (const obs::TraceEvent& e : obs::EventTrace::Global().Snapshot()) {
+    if (e.seq <= events_before) continue;  // seq is 1-based
+    if (e.kind != obs::EventKind::kStall) continue;
+    saw_stall = true;
+    EXPECT_EQ(std::string(e.detail), dir_.substr(0, sizeof(e.detail) - 1));
+    EXPECT_GE(e.a, 5u) << "elapsed_ms at firing";
+    EXPECT_EQ(e.b, 5u) << "budget_ms";
+  }
+  EXPECT_TRUE(saw_stall) << "no stall event in the flight recorder";
+
+  // The watch disarmed with the flush: quiet from here on.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(obs::Watchdog::Global().stalls_fired(), stalls_before + 1);
 }
 
 }  // namespace

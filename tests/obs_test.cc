@@ -5,14 +5,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/event_trace.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace fcbench::obs {
 namespace {
@@ -463,6 +469,400 @@ TEST(EventTrace, ConcurrentRecordNeverTearsAnEvent) {
   reader.join();
   EXPECT_EQ(trace.recorded(),
             static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// Span tracing
+// ---------------------------------------------------------------------------
+
+/// Restores the disabled-tracing default however the test exits.
+struct SamplingGuard {
+  ~SamplingGuard() {
+    SetTraceSampling(0);
+    SetSlowOpThresholdMs(0);
+  }
+};
+
+/// The global collector's records published after `mark` tickets.
+/// Snapshot is oldest-first; keep the newest (recorded - mark) entries.
+std::vector<SpanRecord> RecordsAfter(uint64_t mark) {
+  const std::vector<SpanRecord> all = TraceCollector::Global().Snapshot();
+  const uint64_t want = TraceCollector::Global().recorded() - mark;
+  const size_t n = std::min<size_t>(all.size(), static_cast<size_t>(want));
+  return std::vector<SpanRecord>(all.end() - static_cast<long>(n),
+                                 all.end());
+}
+
+const SpanRecord* FindByName(const std::vector<SpanRecord>& recs,
+                             const char* name) {
+  for (const auto& r : recs) {
+    if (std::string(r.name) == name) return &r;
+  }
+  return nullptr;
+}
+
+TEST(Span, DisabledSpansCostNothingAndRecordNothing) {
+  SamplingGuard guard;
+  SetTraceSampling(0);
+  EXPECT_FALSE(TracingActive());
+  const uint64_t before = TraceCollector::Global().recorded();
+  {
+    ScopedSpan s("test.noop", 1, 2);
+    EXPECT_FALSE(s.recording());
+  }
+  EXPECT_EQ(TraceCollector::Global().recorded(), before);
+  // A slow-op threshold alone turns tracking on (the slow-op log needs
+  // the stack), but publishing stays gated on sampling.
+  SetSlowOpThresholdMs(60000);
+  EXPECT_TRUE(TracingActive());
+  {
+    ScopedSpan s("test.noop2");
+  }
+  EXPECT_EQ(TraceCollector::Global().recorded(), before);
+}
+
+TEST(Span, NestedSpansRecordParentChainAndContainment) {
+  SamplingGuard guard;
+  SetTraceSampling(1, 1);  // sample every root
+  const uint64_t mark = TraceCollector::Global().recorded();
+  {
+    ScopedSpan outer("test.outer", 7);
+    {
+      ScopedSpan mid("test.mid");
+      mid.SetArgs(11, 13);
+      mid.SetTag("mid-tag");
+      {
+        ScopedSpan leaf("test.leaf");
+        EXPECT_TRUE(leaf.recording());
+      }
+    }
+  }
+  const std::vector<SpanRecord> recs = RecordsAfter(mark);
+  ASSERT_EQ(recs.size(), 3u);
+  const SpanRecord* outer = FindByName(recs, "test.outer");
+  const SpanRecord* mid = FindByName(recs, "test.mid");
+  const SpanRecord* leaf = FindByName(recs, "test.leaf");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(mid, nullptr);
+  ASSERT_NE(leaf, nullptr);
+
+  // One trace, ids chained root -> mid -> leaf.
+  EXPECT_NE(outer->trace_id, 0u);
+  EXPECT_EQ(mid->trace_id, outer->trace_id);
+  EXPECT_EQ(leaf->trace_id, outer->trace_id);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(mid->parent_id, outer->span_id);
+  EXPECT_EQ(leaf->parent_id, mid->span_id);
+  EXPECT_EQ(outer->tid, mid->tid);
+
+  // Args and tag travel.
+  EXPECT_EQ(outer->a, 7u);
+  EXPECT_EQ(mid->a, 11u);
+  EXPECT_EQ(mid->b, 13u);
+  EXPECT_EQ(std::string(mid->tag), "mid-tag");
+
+  // Strict time containment: each child starts no earlier and ends no
+  // later than its parent.
+  EXPECT_GE(mid->start_nanos, outer->start_nanos);
+  EXPECT_LE(mid->start_nanos + mid->dur_nanos,
+            outer->start_nanos + outer->dur_nanos);
+  EXPECT_GE(leaf->start_nanos, mid->start_nanos);
+  EXPECT_LE(leaf->start_nanos + leaf->dur_nanos,
+            mid->start_nanos + mid->dur_nanos);
+}
+
+TEST(Span, SamplingIsDeterministicAndExact) {
+  SamplingGuard guard;
+  SetTraceSampling(4, 42);
+  // Over any window of k*N root spans exactly k are sampled — the
+  // decision is (root_count % N == phase), not a coin flip — so two
+  // identical windows record identical counts at identical positions.
+  auto run_window = [] {
+    std::vector<uint64_t> sampled_args;
+    for (uint64_t i = 0; i < 100; ++i) {
+      ScopedSpan root("test.det", i);
+      if (root.recording()) sampled_args.push_back(i);
+    }
+    return sampled_args;
+  };
+  const std::vector<uint64_t> a = run_window();
+  const std::vector<uint64_t> b = run_window();
+  EXPECT_EQ(a.size(), 25u);
+  EXPECT_EQ(b.size(), 25u);
+  EXPECT_EQ(a, b) << "same thread, same window: same sampled positions";
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_EQ(a[i] - a[i - 1], 4u) << "every 4th root, exactly";
+  }
+}
+
+TEST(Span, CollectorCapsMemoryAndCountsDrops) {
+  TraceCollector coll(100);  // rounds up to 128 slots
+  EXPECT_EQ(coll.capacity(), 128u);
+  std::vector<SpanRecord> batch(30);
+  for (uint64_t i = 0; i < 300; ++i) {
+    SpanRecord& r = batch[i % batch.size()];
+    r.trace_id = 1;
+    r.span_id = i + 1;
+    r.start_nanos = i * 1000;
+    r.dur_nanos = 100;
+    std::snprintf(r.name, sizeof(r.name), "span-%llu",
+                  static_cast<unsigned long long>(i));
+    if (i % batch.size() == batch.size() - 1) {
+      coll.PublishBatch(batch.data(), batch.size());
+    }
+  }
+  EXPECT_EQ(coll.recorded(), 300u);
+  EXPECT_EQ(coll.dropped(), 300u - 128u);
+  const std::vector<SpanRecord> snap = coll.Snapshot();
+  EXPECT_EQ(snap.size(), 128u);
+  // The ring keeps the newest spans: ids 173..300.
+  EXPECT_EQ(snap.front().span_id, 173u);
+  EXPECT_EQ(snap.back().span_id, 300u);
+}
+
+/// Minimal JSON syntax validator: enough to prove ToChromeJson emits a
+/// parseable document (balanced structure, quoted strings, no trailing
+/// commas), without a JSON library dependency.
+bool ValidJson(const std::string& s, size_t* pos);
+
+bool SkipWs(const std::string& s, size_t* pos) {
+  while (*pos < s.size() &&
+         (s[*pos] == ' ' || s[*pos] == '\n' || s[*pos] == '\t' ||
+          s[*pos] == '\r')) {
+    ++*pos;
+  }
+  return *pos < s.size();
+}
+
+bool ValidString(const std::string& s, size_t* pos) {
+  if (s[*pos] != '"') return false;
+  ++*pos;
+  while (*pos < s.size() && s[*pos] != '"') {
+    if (s[*pos] == '\\') ++*pos;
+    ++*pos;
+  }
+  if (*pos >= s.size()) return false;
+  ++*pos;  // closing quote
+  return true;
+}
+
+bool ValidNumber(const std::string& s, size_t* pos) {
+  const size_t start = *pos;
+  if (*pos < s.size() && (s[*pos] == '-' || s[*pos] == '+')) ++*pos;
+  while (*pos < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[*pos])) ||
+          s[*pos] == '.' || s[*pos] == 'e' || s[*pos] == 'E' ||
+          s[*pos] == '-' || s[*pos] == '+')) {
+    ++*pos;
+  }
+  return *pos > start;
+}
+
+bool ValidJson(const std::string& s, size_t* pos) {
+  if (!SkipWs(s, pos)) return false;
+  const char c = s[*pos];
+  if (c == '{') {
+    ++*pos;
+    if (!SkipWs(s, pos)) return false;
+    if (s[*pos] == '}') {
+      ++*pos;
+      return true;
+    }
+    while (true) {
+      if (!SkipWs(s, pos) || !ValidString(s, pos)) return false;
+      if (!SkipWs(s, pos) || s[*pos] != ':') return false;
+      ++*pos;
+      if (!ValidJson(s, pos)) return false;
+      if (!SkipWs(s, pos)) return false;
+      if (s[*pos] == ',') {
+        ++*pos;
+        continue;
+      }
+      if (s[*pos] == '}') {
+        ++*pos;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '[') {
+    ++*pos;
+    if (!SkipWs(s, pos)) return false;
+    if (s[*pos] == ']') {
+      ++*pos;
+      return true;
+    }
+    while (true) {
+      if (!ValidJson(s, pos)) return false;
+      if (!SkipWs(s, pos)) return false;
+      if (s[*pos] == ',') {
+        ++*pos;
+        continue;
+      }
+      if (s[*pos] == ']') {
+        ++*pos;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '"') return ValidString(s, pos);
+  if (s.compare(*pos, 4, "true") == 0) {
+    *pos += 4;
+    return true;
+  }
+  if (s.compare(*pos, 5, "false") == 0) {
+    *pos += 5;
+    return true;
+  }
+  if (s.compare(*pos, 4, "null") == 0) {
+    *pos += 4;
+    return true;
+  }
+  return ValidNumber(s, pos);
+}
+
+TEST(Span, ChromeJsonIsWellFormedAndPreservesNesting) {
+  TraceCollector coll(64);
+  // A hand-built two-thread trace: on tid 1, parent [1000, 9000] with
+  // child [2000, 5000]; on tid 2 an unrelated root.
+  SpanRecord parent;
+  parent.trace_id = 0xabc;
+  parent.span_id = 10;
+  parent.start_nanos = 1000;
+  parent.dur_nanos = 8000;
+  parent.tid = 1;
+  std::snprintf(parent.name, sizeof(parent.name), "outer");
+  SpanRecord child = parent;
+  child.span_id = 11;
+  child.parent_id = 10;
+  child.start_nanos = 2000;
+  child.dur_nanos = 3000;
+  std::snprintf(child.name, sizeof(child.name), "inner");
+  std::snprintf(child.tag, sizeof(child.tag), "t\"ag\\");  // needs escaping
+  SpanRecord other;
+  other.trace_id = 0xdef;
+  other.span_id = 12;
+  other.start_nanos = 500;
+  other.dur_nanos = 100;
+  other.tid = 2;
+  std::snprintf(other.name, sizeof(other.name), "solo");
+  const SpanRecord recs[] = {child, parent, other};
+  coll.PublishBatch(recs, 3);
+
+  const std::string json = coll.ToChromeJson();
+  size_t pos = 0;
+  EXPECT_TRUE(ValidJson(json, &pos)) << json;
+  SkipWs(json, &pos);
+  EXPECT_EQ(pos, json.size()) << "trailing garbage after the document";
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"solo\""), std::string::npos);
+
+  // Nesting survives the nanos -> microseconds conversion: extract each
+  // event's ts/dur (µs doubles) and check the child interval is still
+  // strictly inside the parent's.
+  auto event_field = [&](const char* name, const char* field) -> double {
+    const size_t at = json.find("\"" + std::string(name) + "\"");
+    EXPECT_NE(at, std::string::npos);
+    const size_t f = json.find("\"" + std::string(field) + "\":", at);
+    EXPECT_NE(f, std::string::npos);
+    return std::atof(json.c_str() + f + std::strlen(field) + 3);
+  };
+  const double pts = event_field("outer", "ts");
+  const double pdur = event_field("outer", "dur");
+  const double cts = event_field("inner", "ts");
+  const double cdur = event_field("inner", "dur");
+  EXPECT_GE(cts, pts);
+  EXPECT_LE(cts + cdur, pts + pdur);
+  // Cross-thread causality args: the child names its parent span id.
+  const size_t inner_at = json.find("\"inner\"");
+  const size_t parent_arg = json.find("\"parent\":\"a\"", inner_at);
+  EXPECT_NE(parent_arg, std::string::npos) << "parent id 10 = hex a";
+}
+
+TEST(Span, ContextPropagatesAcrossThreads) {
+  SamplingGuard guard;
+  SetTraceSampling(1, 1);
+  const uint64_t mark = TraceCollector::Global().recorded();
+  TraceContext captured;
+  {
+    ScopedSpan root("test.ctx.root");
+    captured = CurrentTraceContext();
+    EXPECT_NE(captured.trace_id, 0u);
+    std::thread worker([captured] {
+      ScopedTraceContext adopt(captured);
+      ScopedSpan child("test.ctx.child");
+    });
+    worker.join();
+  }
+  const std::vector<SpanRecord> recs = RecordsAfter(mark);
+  const SpanRecord* root = FindByName(recs, "test.ctx.root");
+  const SpanRecord* child = FindByName(recs, "test.ctx.child");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->trace_id, root->trace_id);
+  EXPECT_EQ(child->parent_id, root->span_id);
+  EXPECT_NE(child->tid, root->tid) << "recorded on the worker's track";
+}
+
+TEST(Span, ConcurrentTracedAppendersNeverTearRecords) {
+  // TSan lane: writers publishing sampled span trees while a reader
+  // snapshots the shared collector. Every record a snapshot returns
+  // must be internally consistent (ids nonzero, known name).
+  SamplingGuard guard;
+  SetTraceSampling(1, 7);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const SpanRecord& r : TraceCollector::Global().Snapshot()) {
+        ASSERT_NE(r.span_id, 0u);
+        ASSERT_NE(r.trace_id, 0u);
+        const std::string name(r.name);
+        ASSERT_FALSE(name.empty());
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ScopedSpan root("test.mt.root", static_cast<uint64_t>(i));
+        ScopedSpan child("test.mt.child");
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  // 4 threads x 2000 roots x 2 spans, all sampled.
+  EXPECT_GE(TraceCollector::Global().recorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread * 2);
+}
+
+TEST(Span, WatchdogFiresOnceOnOverdueOpAndNotOnFastOp) {
+  // A 1 ms budget op left armed past its deadline fires exactly once;
+  // an op disarmed in time never fires.
+  Watchdog& dog = Watchdog::Global();
+  const uint64_t before = dog.stalls_fired();
+  {
+    ScopedWatch fast("test.fast", "fast-op", 1000);
+  }
+  EXPECT_EQ(dog.stalls_fired(), before);
+  const uint64_t h = dog.Arm("test.slow", "slow-op", 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(dog.stalls_fired(), before + 1);
+  dog.Disarm(h);
+  // Already fired: disarm after the fact neither refires nor crashes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(dog.stalls_fired(), before + 1);
+  // Negative budget disables arming entirely.
+  EXPECT_EQ(dog.Arm("test.off", "disabled", -1), 0u);
 }
 
 }  // namespace
